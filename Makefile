@@ -1,0 +1,44 @@
+# Convenience targets for the N-Server reproduction. Everything is plain
+# `go` underneath; the targets only bundle the common invocations.
+
+GO ?= go
+
+.PHONY: all build vet test race bench experiments examples cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One benchmark per table/figure plus ablations and micro-benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure at full virtual length.
+experiments:
+	$(GO) run ./cmd/experiments -all -repo .
+
+# Run every example's self-demo.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/webserver
+	$(GO) run ./examples/ftpserver
+	$(GO) run ./examples/priorityweb
+	$(GO) run ./examples/cluster
+	$(GO) run ./examples/chat
+
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/... && \
+	$(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

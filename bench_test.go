@@ -1,0 +1,491 @@
+package repro
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation (reporting the headline numbers as custom
+// metrics), plus ablation benchmarks for the design choices DESIGN.md
+// calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The figure benchmarks run scaled-down virtual durations; use
+// cmd/experiments for full-length runs that print the complete series.
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/aio"
+	"repro/internal/cache"
+	"repro/internal/eventproc"
+	"repro/internal/events"
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/nserver"
+	"repro/internal/options"
+	"repro/internal/seda"
+	"repro/internal/workload"
+)
+
+// benchParams shrinks the virtual measurement for benchmark iterations.
+func benchParams() experiments.Params {
+	p := experiments.Default()
+	p.Duration = 20 * time.Second
+	p.Warmup = 4 * time.Second
+	return p
+}
+
+// BenchmarkTable1OptionValidation measures template option validation
+// (the entry cost of every generation and server construction).
+func BenchmarkTable1OptionValidation(b *testing.B) {
+	ftp, http := options.COPSFTP(), options.COPSHTTP()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := ftp.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		if err := http.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Generation measures full framework generation for a
+// maximal option set — every crosscutting feature of Table 2 woven in.
+func BenchmarkTable2Generation(b *testing.B) {
+	full := options.COPSHTTP().WithScheduling(1, 8).WithOverloadControl(20, 5)
+	full.ShutdownLongIdle = true
+	full.IdleTimeout = time.Minute
+	full.Profiling = true
+	full.Logging = true
+	full.Mode = options.Debug
+	b.ReportAllocs()
+	var ncss int
+	for i := 0; i < b.N; i++ {
+		a, err := gen.Generate("nserver", full)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ncss = a.Stats().NCSS
+	}
+	b.ReportMetric(float64(ncss), "NCSS")
+}
+
+// BenchmarkTable3FTPGen regenerates the COPS-FTP framework (the
+// "Generated code" row of Table 3).
+func BenchmarkTable3FTPGen(b *testing.B) {
+	b.ReportAllocs()
+	var st gen.CodeStats
+	for i := 0; i < b.N; i++ {
+		a, err := gen.Generate("nserver", options.COPSFTP())
+		if err != nil {
+			b.Fatal(err)
+		}
+		st = a.Stats()
+	}
+	b.ReportMetric(float64(st.NCSS), "NCSS")
+	b.ReportMetric(float64(st.Classes), "classes")
+}
+
+// BenchmarkTable4HTTPGen regenerates the COPS-HTTP framework (the
+// "Generated code" row of Table 4).
+func BenchmarkTable4HTTPGen(b *testing.B) {
+	b.ReportAllocs()
+	var st gen.CodeStats
+	for i := 0; i < b.N; i++ {
+		a, err := gen.Generate("nserver", options.COPSHTTP())
+		if err != nil {
+			b.Fatal(err)
+		}
+		st = a.Stats()
+	}
+	b.ReportMetric(float64(st.NCSS), "NCSS")
+	b.ReportMetric(float64(st.Classes), "classes")
+}
+
+// BenchmarkFig3Throughput runs the COPS-HTTP vs Apache throughput
+// comparison at the paper's crossover points and reports the rates.
+func BenchmarkFig3Throughput(b *testing.B) {
+	p := benchParams()
+	var pts []experiments.Fig3Point
+	for i := 0; i < b.N; i++ {
+		pts = experiments.RunFig3(p, []int{8, 256, 1024})
+	}
+	b.ReportMetric(pts[0].Apache.Throughput, "apache_rps@8")
+	b.ReportMetric(pts[0].Cops.Throughput, "cops_rps@8")
+	b.ReportMetric(pts[1].Apache.Throughput, "apache_rps@256")
+	b.ReportMetric(pts[1].Cops.Throughput, "cops_rps@256")
+	b.ReportMetric(pts[2].Apache.Throughput, "apache_rps@1024")
+	b.ReportMetric(pts[2].Cops.Throughput, "cops_rps@1024")
+}
+
+// BenchmarkFig4Fairness runs the heavy-load point of the fairness
+// comparison and reports both Jain indices.
+func BenchmarkFig4Fairness(b *testing.B) {
+	p := benchParams()
+	var pts []experiments.Fig3Point
+	for i := 0; i < b.N; i++ {
+		pts = experiments.RunFig3(p, []int{1024})
+	}
+	b.ReportMetric(pts[0].Cops.Fairness, "cops_jain@1024")
+	b.ReportMetric(pts[0].Apache.Fairness, "apache_jain@1024")
+	b.ReportMetric(float64(pts[0].Apache.SynDrops), "apache_syndrops")
+}
+
+// BenchmarkFig5Scheduling runs the differentiated-service experiment and
+// reports the achieved portal:homepage ratios against the quota targets.
+func BenchmarkFig5Scheduling(b *testing.B) {
+	p := benchParams()
+	var pts []experiments.Fig5Point
+	for i := 0; i < b.N; i++ {
+		pts = experiments.RunFig5(p, 48, nil)
+	}
+	for _, pt := range pts[:3] {
+		b.ReportMetric(pt.AchievedRatio, "ratio@"+pt.Setting.Label())
+	}
+	b.ReportMetric(pts[3].PortalRate, "portal_rps@max")
+}
+
+// BenchmarkFig6Overload runs the overload-control experiment at 128
+// clients and reports mean response times with and without control.
+func BenchmarkFig6Overload(b *testing.B) {
+	p := benchParams()
+	var pts []experiments.Fig6Point
+	for i := 0; i < b.N; i++ {
+		pts = experiments.RunFig6(p, []int{128})
+	}
+	pt := pts[0]
+	b.ReportMetric(pt.With.MeanResponse.Seconds()*1000, "resp_ms_ctl")
+	b.ReportMetric(pt.Without.MeanResponse.Seconds()*1000, "resp_ms_none")
+	b.ReportMetric(pt.With.Throughput, "rps_ctl")
+	b.ReportMetric(pt.Without.Throughput, "rps_none")
+}
+
+// ---------------------------------------------------------------------
+// Ablation benchmarks (DESIGN.md section 4)
+// ---------------------------------------------------------------------
+
+// echoServer starts a live nserver echo instance for throughput ablations.
+func echoServer(b *testing.B, opts options.Options) (*nserver.Server, string) {
+	b.Helper()
+	srv, err := nserver.New(nserver.Config{
+		Options: opts,
+		App: nserver.AppFuncs{Request: func(c *nserver.Conn, req any) {
+			_ = c.Reply(req.(string))
+		}},
+		Codec: benchLineCodec{},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Start(ln); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(srv.Shutdown)
+	return srv, ln.Addr().String()
+}
+
+type benchLineCodec struct{}
+
+func (benchLineCodec) Decode(buf []byte) (any, int, error) {
+	for i, c := range buf {
+		if c == '\n' {
+			return string(buf[:i]), i + 1, nil
+		}
+	}
+	return nil, 0, nil
+}
+
+func (benchLineCodec) Encode(reply any) ([]byte, error) {
+	return append([]byte(reply.(string)), '\n'), nil
+}
+
+// runEchoLoad drives b.N echo round trips across 4 connections.
+func runEchoLoad(b *testing.B, addr string) {
+	b.Helper()
+	const conns = 4
+	var wg sync.WaitGroup
+	per := b.N / conns
+	b.ResetTimer()
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			for i := 0; i < per; i++ {
+				if _, err := fmt.Fprintf(conn, "x\n"); err != nil {
+					b.Error(err)
+					return
+				}
+				if _, err := r.ReadString('\n'); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkAblationThreadPool compares option O2: handling events on a
+// separate Event Processor pool versus inline in the dispatcher thread
+// (the classic Reactor).
+func BenchmarkAblationThreadPool(b *testing.B) {
+	base := options.Options{DispatcherThreads: 1, Codec: true}
+	b.Run("inline-reactor", func(b *testing.B) {
+		_, addr := echoServer(b, base)
+		runEchoLoad(b, addr)
+	})
+	b.Run("event-processor", func(b *testing.B) {
+		o := base
+		o.SeparateThreadPool = true
+		o.EventThreads = 4
+		_, addr := echoServer(b, o)
+		runEchoLoad(b, addr)
+	})
+}
+
+// BenchmarkAblationCompletion compares option O4: synchronous versus
+// asynchronous completion events on the emulated async file read path
+// (cache hits, so the file system is out of the picture).
+func BenchmarkAblationCompletion(b *testing.B) {
+	for _, mode := range []options.CompletionMode{
+		options.SynchronousCompletion, options.AsynchronousCompletion,
+	} {
+		b.Run(mode.String(), func(b *testing.B) {
+			proc, err := eventproc.New(eventproc.Config{Name: "reactive", Workers: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			proc.Start()
+			defer proc.Stop()
+			fc, err := cache.New(1<<20, options.LRU, cache.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			fc.Put("/hot", make([]byte, 16<<10))
+			cfg := aioConfigFor(mode, proc, fc)
+			svc := mustAIO(b, cfg)
+			svc.Start()
+			defer svc.Stop()
+			var wg sync.WaitGroup
+			b.ReportAllocs()
+			b.ResetTimer()
+			wg.Add(b.N)
+			for i := 0; i < b.N; i++ {
+				if _, err := svc.ReadFile("/hot", nil, 0, func(events.Token, []byte, error) {
+					wg.Done()
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// aioConfigFor builds the aio configuration for one completion mode.
+func aioConfigFor(mode options.CompletionMode, proc *eventproc.Processor, fc *cache.Cache) aio.Config {
+	cfg := aio.Config{Workers: 2, Mode: mode, Cache: fc}
+	if mode == options.AsynchronousCompletion {
+		cfg.Sink = proc.Submit
+	}
+	return cfg
+}
+
+func mustAIO(b *testing.B, cfg aio.Config) *aio.Service {
+	b.Helper()
+	svc, err := aio.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return svc
+}
+
+// BenchmarkAblationCachePolicies compares the five replacement policies
+// under the SpecWeb99-like Zipf access stream (option O6), reporting the
+// hit rate each achieves at the paper's 20 MB capacity.
+func BenchmarkAblationCachePolicies(b *testing.B) {
+	fs := workload.GenerateFileSet(workload.DirsForTotal(int64(2048) * 100 << 10))
+	for _, policy := range []options.CachePolicy{
+		options.LRU, options.LFU, options.LRUMin, options.LRUThreshold, options.HyperG,
+	} {
+		b.Run(policy.String(), func(b *testing.B) {
+			c, err := cache.New(20<<20, policy, cache.Config{Threshold: 256 << 10})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sampler := workload.NewSampler(fs, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f := sampler.Pick()
+				if _, ok := c.Get(f.Path); !ok {
+					c.Put(f.Path, make([]byte, f.Size))
+				}
+			}
+			b.ReportMetric(c.Stats().HitRate(), "hit_rate")
+		})
+	}
+}
+
+// BenchmarkAblationSchedulingOff checks the paper's generative claim that
+// disabling a feature removes its cost: the FIFO queue (O8 off) versus
+// the priority queue (O8 on) on the same push/pop stream.
+func BenchmarkAblationSchedulingOff(b *testing.B) {
+	b.Run("fifo-O8-off", func(b *testing.B) {
+		q := events.NewFIFO()
+		ev := events.Func(func() {})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = q.Push(ev)
+			q.TryPop()
+		}
+	})
+	b.Run("priority-O8-on", func(b *testing.B) {
+		q, err := events.NewPriorityQueue([]int{8, 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = q.Push(events.PFunc{P: events.Priority(i % 2)})
+			q.TryPop()
+		}
+	})
+}
+
+// BenchmarkAblationStages contrasts the N-Server's two-processor layout
+// with a SEDA-style deep pipeline: the same work crossing 1 versus 5
+// stage queues (the thread-switching overhead the paper argues SEDA pays
+// when stages outnumber processors).
+func BenchmarkAblationStages(b *testing.B) {
+	work := func() {
+		s := 0
+		for i := 0; i < 100; i++ {
+			s += i
+		}
+		_ = s
+	}
+	for _, stages := range []int{1, 5} {
+		b.Run(fmt.Sprintf("stages-%d", stages), func(b *testing.B) {
+			procs := make([]*eventproc.Processor, stages)
+			for i := range procs {
+				p, err := eventproc.New(eventproc.Config{
+					Name:    fmt.Sprintf("stage%d", i),
+					Workers: 2,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				p.Start()
+				defer p.Stop()
+				procs[i] = p
+			}
+			var wg sync.WaitGroup
+			// submitAt chains the work through the remaining stages.
+			var submitAt func(stage int)
+			submitAt = func(stage int) {
+				_ = procs[stage].Submit(events.Func(func() {
+					work()
+					if stage+1 < stages {
+						submitAt(stage + 1)
+					} else {
+						wg.Done()
+					}
+				}))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			wg.Add(b.N)
+			for i := 0; i < b.N; i++ {
+				submitAt(0)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkSEDAVersusNServer makes the paper's Section III criticism
+// executable: the same request processing — decode, handle, encode — run
+// as a SEDA pipeline (one queue + one thread pool per FSM stage) versus
+// the N-Server layout (one reactive Event Processor crossing a single
+// queue). With more stages than processors, SEDA pays per-stage queueing
+// and thread switching.
+func BenchmarkSEDAVersusNServer(b *testing.B) {
+	work := func() {
+		s := 0
+		for i := 0; i < 200; i++ {
+			s += i
+		}
+		_ = s
+	}
+	b.Run("seda-3-stages", func(b *testing.B) {
+		var wg sync.WaitGroup
+		p, err := seda.NewPipeline([]seda.StageSpec{
+			{Name: "decode", Workers: 2, Handler: func(ev any, emit func(any)) { work(); emit(ev) }},
+			{Name: "handle", Workers: 2, Handler: func(ev any, emit func(any)) { work(); emit(ev) }},
+			{Name: "encode", Workers: 2, Handler: func(ev any, emit func(any)) { work(); emit(ev) }},
+		}, func(any) { wg.Done() })
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer p.Stop()
+		b.ReportAllocs()
+		b.ResetTimer()
+		wg.Add(b.N)
+		for i := 0; i < b.N; i++ {
+			if err := p.Submit(i); err != nil {
+				b.Fatal(err)
+			}
+		}
+		wg.Wait()
+	})
+	b.Run("nserver-one-processor", func(b *testing.B) {
+		proc, err := eventproc.New(eventproc.Config{Name: "reactive", Workers: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		proc.Start()
+		defer proc.Stop()
+		var wg sync.WaitGroup
+		b.ReportAllocs()
+		b.ResetTimer()
+		wg.Add(b.N)
+		for i := 0; i < b.N; i++ {
+			_ = proc.Submit(events.Func(func() {
+				work() // decode
+				work() // handle
+				work() // encode
+				wg.Done()
+			}))
+		}
+		wg.Wait()
+	})
+}
+
+// BenchmarkLiveEchoThroughput is the end-to-end sanity benchmark: full
+// pipeline over loopback TCP with the COPS-HTTP option structure.
+func BenchmarkLiveEchoThroughput(b *testing.B) {
+	o := options.Options{
+		DispatcherThreads:  1,
+		SeparateThreadPool: true,
+		EventThreads:       4,
+		Codec:              true,
+	}
+	_, addr := echoServer(b, o)
+	runEchoLoad(b, addr)
+}

@@ -1,0 +1,87 @@
+// Command copsftp runs the COPS-FTP server: the paper's event-driven FTP
+// server built on the N-Server framework.
+//
+// Usage:
+//
+//	copsftp -addr :2121 -root ./export
+//	copsftp -addr :2121 -root ./export -user alice:secret -readonly
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/copsftp"
+	"repro/internal/ftpproto"
+	"repro/internal/options"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:2121", "control-connection listen address")
+		root     = flag.String("root", "", "exported directory (required)")
+		users    = flag.String("user", "", "comma-separated user:password pairs")
+		noAnon   = flag.Bool("no-anonymous", false, "refuse anonymous logins")
+		readOnly = flag.Bool("readonly", false, "refuse uploads and file management")
+		idle     = flag.Duration("idle-timeout", 5*time.Minute, "shut down connections idle this long (O7)")
+		debug    = flag.Bool("debug", false, "generate in debug mode (O10)")
+	)
+	flag.Parse()
+	if *root == "" {
+		fmt.Fprintln(os.Stderr, "copsftp: -root is required")
+		os.Exit(2)
+	}
+
+	store := ftpproto.NewUserStore(!*noAnon)
+	if *users != "" {
+		for _, pair := range strings.Split(*users, ",") {
+			u, p, ok := strings.Cut(pair, ":")
+			if !ok {
+				fmt.Fprintf(os.Stderr, "copsftp: bad -user entry %q\n", pair)
+				os.Exit(2)
+			}
+			store.Add(u, p)
+		}
+	}
+
+	opts := options.COPSFTP()
+	opts.IdleTimeout = *idle
+	opts.ShutdownLongIdle = *idle > 0
+	if *debug {
+		opts.Mode = options.Debug
+	}
+
+	srv, err := copsftp.New(copsftp.Config{
+		Root:     *root,
+		Options:  &opts,
+		Users:    store,
+		ReadOnly: *readOnly,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := srv.ListenAndServe(*addr); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("COPS-FTP exporting %s on %s (readonly=%v)\n", *root, srv.Addr(), *readOnly)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	srv.Shutdown()
+	if *debug {
+		for _, rec := range srv.Framework().Trace().Snapshot() {
+			fmt.Println(rec)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "copsftp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,150 @@
+// Command copshttp runs the COPS-HTTP static web server: the paper's
+// high-performance Web server built on the N-Server framework.
+//
+// Usage:
+//
+//	copshttp -addr :8080 -root ./site
+//	copshttp -addr :8080 -root ./site -cache LFU -cache-bytes 33554432
+//	copshttp -addr :8080 -root ./site -sched 1,8 -profile
+//	copshttp -addr :8080 -root ./site -overload 20,5 -decode-delay 50ms
+//	copshttp -addr :8080 -root ./site -materialize 4   # SpecWeb99-like set
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"repro/internal/copshttp"
+	"repro/internal/events"
+	"repro/internal/nserver"
+	"repro/internal/options"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
+		root        = flag.String("root", "", "document root (required)")
+		cachePolicy = flag.String("cache", "LRU", "file cache policy: None, LRU, LFU, LRU-MIN, LRU-Threshold, Hyper-G")
+		cacheBytes  = flag.Int64("cache-bytes", 20<<20, "file cache capacity in bytes")
+		sched       = flag.String("sched", "", "event scheduling quotas 'portal,homepage' (e.g. 1,8); empty disables O8")
+		overload    = flag.String("overload", "", "overload watermarks 'high,low' (e.g. 20,5); empty disables O9")
+		decodeDelay = flag.Duration("decode-delay", 0, "CPU burn per decoded request (the paper's 3rd experiment)")
+		profile     = flag.Bool("profile", false, "enable performance profiling (O11)")
+		debug       = flag.Bool("debug", false, "generate in debug mode (O10): print the internal event trace on exit")
+		materialize = flag.Int("materialize", 0, "materialize a SpecWeb99-like file set of N directories under -root first")
+	)
+	flag.Parse()
+	if *root == "" {
+		fmt.Fprintln(os.Stderr, "copshttp: -root is required")
+		os.Exit(2)
+	}
+
+	if *materialize > 0 {
+		fs := workload.GenerateFileSet(*materialize)
+		if err := fs.Materialize(*root); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("materialized %d files (%d bytes) under %s\n",
+			len(fs.Files), fs.TotalBytes(), *root)
+	}
+
+	opts := options.COPSHTTP()
+	policy, err := options.ParseCachePolicy(*cachePolicy)
+	if err != nil {
+		fatal(err)
+	}
+	opts.Cache = policy
+	opts.CacheCapacity = *cacheBytes
+	if policy == options.NoCache {
+		opts.CacheCapacity = 0
+		opts.FileIOThreads = 0
+	}
+	if policy == options.LRUThreshold {
+		opts.CacheThreshold = *cacheBytes / 4
+	}
+	opts.Profiling = *profile
+	if *debug {
+		opts.Mode = options.Debug
+	}
+
+	var prio nserver.PriorityFunc
+	if *sched != "" {
+		quotas, err := parseInts(*sched)
+		if err != nil {
+			fatal(fmt.Errorf("bad -sched: %w", err))
+		}
+		opts = opts.WithScheduling(quotas...)
+		// The paper's 13-line scheduling policy: classify by client IP
+		// (here: even final octet = portal, otherwise homepage).
+		prio = func(c *nserver.Conn) events.Priority {
+			host, _, err := net.SplitHostPort(c.RemoteAddr().String())
+			if err != nil {
+				return 1
+			}
+			ip := net.ParseIP(host).To4()
+			if ip != nil && ip[3]%2 == 0 {
+				return 0
+			}
+			return 1
+		}
+	}
+	if *overload != "" {
+		wm, err := parseInts(*overload)
+		if err != nil || len(wm) != 2 {
+			fatal(fmt.Errorf("bad -overload %q", *overload))
+		}
+		opts = opts.WithOverloadControl(wm[0], wm[1])
+	}
+
+	srv, err := copshttp.New(copshttp.Config{
+		DocRoot:     *root,
+		Options:     &opts,
+		Priority:    prio,
+		DecodeDelay: *decodeDelay,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := srv.ListenAndServe(*addr); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("COPS-HTTP serving %s on %s (cache=%s)\n", *root, srv.Addr(), policy)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	srv.Shutdown()
+	if *profile {
+		fmt.Println("profile:", srv.Framework().Profile().Snapshot())
+	}
+	if *debug {
+		for _, rec := range srv.Framework().Trace().Snapshot() {
+			fmt.Println(rec)
+		}
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "copshttp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,116 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	experiments -all                 # everything, full virtual durations
+//	experiments -table1 -table2
+//	experiments -table3 -table4 -repo .
+//	experiments -fig3 -duration 1m   # shorter virtual measurement
+//	experiments -fig5 -fig6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		all      = flag.Bool("all", false, "run every table and figure")
+		table1   = flag.Bool("table1", false, "print Table 1 (options and values)")
+		table2   = flag.Bool("table2", false, "print Table 2 (crosscut matrix)")
+		table3   = flag.Bool("table3", false, "measure Table 3 (COPS-FTP code distribution)")
+		table4   = flag.Bool("table4", false, "measure Table 4 (COPS-HTTP code distribution)")
+		fig3     = flag.Bool("fig3", false, "run Fig. 3 (throughput vs clients)")
+		fig4     = flag.Bool("fig4", false, "run Fig. 4 (fairness vs clients; shares Fig. 3's runs)")
+		fig5     = flag.Bool("fig5", false, "run Fig. 5 (differentiated service levels)")
+		fig6     = flag.Bool("fig6", false, "run Fig. 6 (overload control response times)")
+		ablation = flag.Bool("cache-ablation", false, "run the O6 cache-policy ablation")
+		repo     = flag.String("repo", ".", "repository root (for Tables 3-4)")
+		duration = flag.Duration("duration", 5*time.Minute, "virtual measurement duration per point (paper: 5m)")
+		warmup   = flag.Duration("warmup", 20*time.Second, "virtual warmup discarded before measuring")
+		seed     = flag.Int64("seed", 1, "workload random seed")
+		clients  = flag.Int("fig5-clients", 64, "clients per content class for Fig. 5")
+	)
+	flag.Parse()
+	if *all {
+		*table1, *table2, *table3, *table4 = true, true, true, true
+		*fig3, *fig4, *fig5, *fig6, *ablation = true, true, true, true, true
+	}
+	if !(*table1 || *table2 || *table3 || *table4 || *fig3 || *fig4 || *fig5 || *fig6 || *ablation) {
+		fmt.Fprintln(os.Stderr, "experiments: nothing selected (try -all or -help)")
+		os.Exit(2)
+	}
+
+	p := experiments.Default()
+	p.Duration = *duration
+	p.Warmup = *warmup
+	p.Seed = *seed
+
+	out := os.Stdout
+	if *table1 {
+		experiments.PrintTable1(out)
+		fmt.Fprintln(out)
+	}
+	if *table2 {
+		experiments.PrintTable2(out)
+		fmt.Fprintln(out)
+	}
+	if *table3 {
+		rows, err := experiments.Table3(*repo)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintCodeTable(out,
+			"Table 3 — The code distribution of COPS-FTP (measured vs paper)", rows)
+		fmt.Fprintln(out, "  note: the paper reused Apache FTPServer; this reproduction builds its")
+		fmt.Fprintln(out, "  own FTP protocol library from scratch, so the reused/added rows measure")
+		fmt.Fprintln(out, "  the substituted components (see DESIGN.md).")
+		fmt.Fprintln(out)
+	}
+	if *table4 {
+		rows, err := experiments.Table4(*repo)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintCodeTable(out,
+			"Table 4 — The code distribution of COPS-HTTP (measured vs paper)", rows)
+		fmt.Fprintln(out)
+	}
+	var figPts []experiments.Fig3Point
+	if *fig3 || *fig4 {
+		fmt.Fprintf(out, "running Fig. 3/4 sweep (%v virtual per point, %d points x 2 servers)...\n",
+			p.Duration, len(experiments.DefaultClientCounts))
+		figPts = experiments.RunFig3(p, nil)
+	}
+	if *fig3 {
+		experiments.PrintFig3(out, figPts)
+		fmt.Fprintln(out)
+	}
+	if *fig4 {
+		experiments.PrintFig4(out, figPts)
+		fmt.Fprintln(out)
+	}
+	if *fig5 {
+		experiments.PrintFig5(out, experiments.RunFig5(p, *clients, nil))
+		fmt.Fprintln(out)
+	}
+	if *fig6 {
+		experiments.PrintFig6(out, experiments.RunFig6(p, nil))
+		fmt.Fprintln(out)
+	}
+	if *ablation {
+		experiments.PrintCacheAblation(out, 64, experiments.RunCacheAblation(p, 64))
+		fmt.Fprintln(out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,162 @@
+// Command loadgen is the live-TCP client workload generator of the
+// paper's experiments: each simulated Web client repeatedly establishes a
+// connection, issues 5 HTTP requests on it (simulating HTTP/1.1
+// persistent connections) with a 20ms pause after each page, then
+// terminates the connection. It reports throughput and the Jain fairness
+// index across clients.
+//
+// Usage:
+//
+//	loadgen -addr 127.0.0.1:8080 -clients 64 -duration 30s
+//	loadgen -addr 127.0.0.1:8080 -clients 64 -specweb 4   # SpecWeb99 paths
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "server address")
+		clients  = flag.Int("clients", 16, "concurrent simulated clients")
+		duration = flag.Duration("duration", 10*time.Second, "measurement duration")
+		reqs     = flag.Int("reqs", workload.RequestsPerConn, "requests per connection")
+		think    = flag.Duration("think", workload.ThinkTimeMs*time.Millisecond, "pause after each page")
+		path     = flag.String("path", "/", "request path (ignored with -specweb)")
+		specweb  = flag.Int("specweb", 0, "sample paths from a SpecWeb99-like set of N directories")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var pick func(rng *rand.Rand) string
+	if *specweb > 0 {
+		fs := workload.GenerateFileSet(*specweb)
+		sampler := workload.NewSampler(fs, *seed)
+		var mu sync.Mutex
+		pick = func(*rand.Rand) string {
+			mu.Lock()
+			defer mu.Unlock()
+			return sampler.Pick().Path
+		}
+	} else {
+		pick = func(*rand.Rand) string { return *path }
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	responses := make([]int, *clients)
+	var respTimes stats.Series
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(id)))
+			for ctx.Err() == nil {
+				runConn(ctx, *addr, *reqs, *think, pick, rng, func(rt time.Duration) {
+					mu.Lock()
+					responses[id]++
+					respTimes.AddDuration(rt)
+					mu.Unlock()
+				})
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	total := 0
+	for _, r := range responses {
+		total += r
+	}
+	fmt.Printf("clients=%d duration=%v responses=%d\n", *clients, elapsed.Round(time.Millisecond), total)
+	fmt.Printf("throughput: %s responses/sec\n", stats.FormatRate(float64(total)/elapsed.Seconds()))
+	fmt.Printf("fairness (Jain index): %.3f\n", stats.JainIndexInts(responses))
+	fmt.Printf("response time: mean=%v p50=%v p99=%v\n",
+		time.Duration(respTimes.Mean()*float64(time.Second)).Round(time.Microsecond),
+		time.Duration(respTimes.Percentile(0.5)*float64(time.Second)).Round(time.Microsecond),
+		time.Duration(respTimes.Percentile(0.99)*float64(time.Second)).Round(time.Microsecond))
+	if total == 0 {
+		os.Exit(1)
+	}
+}
+
+// runConn performs one connect / N-requests / disconnect cycle.
+func runConn(ctx context.Context, addr string, reqs int, think time.Duration,
+	pick func(*rand.Rand) string, rng *rand.Rand, record func(time.Duration)) {
+	d := net.Dialer{Timeout: 5 * time.Second}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		// Connection refused or timed out (e.g. overload gate closed):
+		// back off briefly as a real client would.
+		select {
+		case <-ctx.Done():
+		case <-time.After(100 * time.Millisecond):
+		}
+		return
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	for i := 0; i < reqs && ctx.Err() == nil; i++ {
+		p := pick(rng)
+		start := time.Now()
+		conn.SetDeadline(time.Now().Add(30 * time.Second))
+		if _, err := fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: loadgen\r\n\r\n", p); err != nil {
+			return
+		}
+		if !readResponse(r) {
+			return
+		}
+		record(time.Since(start))
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(think):
+		}
+	}
+}
+
+// readResponse consumes one HTTP response (status line, headers, body).
+func readResponse(r *bufio.Reader) bool {
+	line, err := r.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, "HTTP/") {
+		return false
+	}
+	contentLength := 0
+	for {
+		h, err := r.ReadString('\n')
+		if err != nil {
+			return false
+		}
+		h = strings.TrimSpace(h)
+		if h == "" {
+			break
+		}
+		if k, v, ok := strings.Cut(h, ":"); ok && strings.EqualFold(k, "Content-Length") {
+			contentLength, _ = strconv.Atoi(strings.TrimSpace(v))
+		}
+	}
+	if contentLength > 0 {
+		if _, err := io.CopyN(io.Discard, r, int64(contentLength)); err != nil {
+			return false
+		}
+	}
+	return true
+}

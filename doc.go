@@ -1,0 +1,12 @@
+// Package repro is a Go reproduction of "Using Generative Design Patterns
+// to Develop Network Server Applications" (Guo, Schaeffer, Szafron, Earl;
+// IPPS 2005): the N-Server generative design pattern template of the
+// CO2P3S system, the COPS-HTTP and COPS-FTP applications built from it,
+// an Apache-like process-per-connection baseline, and a simulated testbed
+// that regenerates every table and figure of the paper's evaluation.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The root package holds only the benchmark harness (bench_test.go); the
+// implementation lives under internal/ and the executables under cmd/.
+package repro

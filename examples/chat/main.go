@@ -1,0 +1,172 @@
+// Chat: the broadcast server developed step by step in TUTORIAL.md — a
+// line-protocol chat room where every message is fanned out to all
+// connected clients. It exercises the library route of the tutorial:
+// a codec (O3), a worker pool (O2), idle shutdown (O7) and profiling
+// (O11), with all application logic in three hook methods.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/nserver"
+	"repro/internal/options"
+)
+
+// lineCodec is the tutorial's Decode/Encode pair.
+type lineCodec struct{}
+
+func (lineCodec) Decode(buf []byte) (any, int, error) {
+	if i := bytes.IndexByte(buf, '\n'); i >= 0 {
+		return strings.TrimRight(string(buf[:i]), "\r"), i + 1, nil
+	}
+	return nil, 0, nil
+}
+
+func (lineCodec) Encode(reply any) ([]byte, error) {
+	return []byte(reply.(string) + "\n"), nil
+}
+
+// chat is the application: a registry of live connections and the three
+// hook methods.
+type chat struct {
+	mu    sync.Mutex
+	next  int
+	conns map[*nserver.Conn]string
+}
+
+func (c *chat) OnConnect(conn *nserver.Conn) {
+	c.mu.Lock()
+	c.next++
+	name := fmt.Sprintf("guest%d", c.next)
+	c.conns[conn] = name
+	c.mu.Unlock()
+	_ = conn.Reply("* welcome, " + name)
+	c.broadcast(conn, "* "+name+" joined")
+}
+
+func (c *chat) Handle(conn *nserver.Conn, req any) {
+	line := req.(string)
+	if line == "" {
+		return
+	}
+	c.mu.Lock()
+	from := c.conns[conn]
+	c.mu.Unlock()
+	c.broadcast(nil, from+": "+line)
+}
+
+func (c *chat) OnClose(conn *nserver.Conn, err error) {
+	c.mu.Lock()
+	name := c.conns[conn]
+	delete(c.conns, conn)
+	c.mu.Unlock()
+	if name != "" {
+		c.broadcast(nil, "* "+name+" left")
+	}
+}
+
+// broadcast fans a message out to every live connection except skip.
+func (c *chat) broadcast(skip *nserver.Conn, msg string) {
+	c.mu.Lock()
+	targets := make([]*nserver.Conn, 0, len(c.conns))
+	for conn := range c.conns {
+		if conn != skip {
+			targets = append(targets, conn)
+		}
+	}
+	c.mu.Unlock()
+	for _, conn := range targets {
+		_ = conn.Reply(msg)
+	}
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9999", "listen address")
+	demo := flag.Bool("demo", true, "run a two-client self-test and exit")
+	flag.Parse()
+
+	opts := options.Options{
+		DispatcherThreads:  1,
+		SeparateThreadPool: true,
+		EventThreads:       4,
+		Codec:              true,
+		ShutdownLongIdle:   true,
+		IdleTimeout:        5 * time.Minute,
+		Profiling:          true,
+	}
+	srv, err := nserver.New(nserver.Config{
+		Options: opts,
+		App:     &chat{conns: map[*nserver.Conn]string{}},
+		Codec:   lineCodec{},
+	})
+	if err != nil {
+		fail(err)
+	}
+	if err := srv.ListenAndServe(*addr); err != nil {
+		fail(err)
+	}
+	fmt.Printf("chat server on %s (try: nc %s)\n", srv.Addr(), srv.Addr())
+
+	if !*demo {
+		select {}
+	}
+	if err := selfTest(srv.Addr().String()); err != nil {
+		fail(err)
+	}
+	srv.Shutdown()
+	fmt.Println("profile:", srv.Profile().Snapshot())
+	fmt.Println("demo OK")
+}
+
+// selfTest connects two clients and checks a broadcast crosses over.
+func selfTest(addr string) error {
+	alice, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer alice.Close()
+	ar := bufio.NewReader(alice)
+	alice.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := ar.ReadString('\n'); err != nil { // welcome
+		return err
+	}
+
+	bob, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer bob.Close()
+	br := bufio.NewReader(bob)
+	bob.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := br.ReadString('\n'); err != nil { // welcome
+		return err
+	}
+	if _, err := ar.ReadString('\n'); err != nil { // "guest2 joined"
+		return err
+	}
+
+	fmt.Fprintf(alice, "hello room\n")
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		fmt.Printf("bob saw: %s", line)
+		if strings.Contains(line, "guest1: hello room") {
+			return nil
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "chat:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,138 @@
+// Ftpserver: COPS-FTP exporting a directory, demonstrated with a scripted
+// anonymous session (login, directory listing, passive-mode download).
+//
+// Run with -demo=false to keep serving; connect with any FTP client:
+//
+//	ftp 127.0.0.1 2121     (user: anonymous)
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/copsftp"
+	"repro/internal/ftpproto"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:2121", "control listen address")
+	demo := flag.Bool("demo", true, "run a scripted session and exit")
+	flag.Parse()
+
+	root, err := os.MkdirTemp("", "copsftp-export")
+	if err != nil {
+		fail(err)
+	}
+	defer os.RemoveAll(root)
+	if err := os.MkdirAll(filepath.Join(root, "pub"), 0o755); err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "README"),
+		[]byte("COPS-FTP demo export\n"), 0o644); err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "pub", "paper.txt"),
+		[]byte("Using Generative Design Patterns to Develop Network Server Applications\n"), 0o644); err != nil {
+		fail(err)
+	}
+
+	srv, err := copsftp.New(copsftp.Config{Root: root, ReadOnly: true})
+	if err != nil {
+		fail(err)
+	}
+	if err := srv.ListenAndServe(*addr); err != nil {
+		fail(err)
+	}
+	fmt.Printf("COPS-FTP exporting %s on %s (read-only, anonymous)\n", root, srv.Addr())
+
+	if !*demo {
+		select {}
+	}
+	if err := session(srv.Addr()); err != nil {
+		fail(err)
+	}
+	srv.Shutdown()
+	fmt.Println("demo OK")
+}
+
+// session runs a scripted anonymous FTP session against the server.
+func session(addr string) error {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	expect := func(code string) (string, error) {
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return "", err
+		}
+		fmt.Printf("<- %s", line)
+		if !strings.HasPrefix(line, code) {
+			return "", fmt.Errorf("expected %s, got %q", code, line)
+		}
+		return line, nil
+	}
+	send := func(cmd string) {
+		fmt.Printf("-> %s\n", cmd)
+		fmt.Fprintf(conn, "%s\r\n", cmd)
+	}
+
+	if _, err := expect("220"); err != nil {
+		return err
+	}
+	send("USER anonymous")
+	if _, err := expect("331"); err != nil {
+		return err
+	}
+	send("PASS guest@example.org")
+	if _, err := expect("230"); err != nil {
+		return err
+	}
+	send("PASV")
+	reply, err := expect("227")
+	if err != nil {
+		return err
+	}
+	open := strings.Index(reply, "(")
+	closeP := strings.Index(reply, ")")
+	host, port, err := ftpproto.ParsePortArg(reply[open+1 : closeP])
+	if err != nil {
+		return err
+	}
+	dc, err := net.DialTimeout("tcp", fmt.Sprintf("%s:%d", host, port), 5*time.Second)
+	if err != nil {
+		return err
+	}
+	send("RETR pub/paper.txt")
+	if _, err := expect("150"); err != nil {
+		dc.Close()
+		return err
+	}
+	data, err := io.ReadAll(dc)
+	dc.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("downloaded %d bytes: %s", len(data), data)
+	if _, err := expect("226"); err != nil {
+		return err
+	}
+	send("QUIT")
+	_, err = expect("221")
+	return err
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ftpserver:", err)
+	os.Exit(1)
+}

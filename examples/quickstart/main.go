@@ -1,0 +1,96 @@
+// Quickstart: a Time server in ~30 lines of hook code — the paper's
+// example of a trivial network server application generated from the
+// N-Server pattern. It uses the Fig. 2 structural variation: no
+// encoding/decoding steps (option O3 = No), so the Handle hook receives
+// raw bytes and replies with raw bytes.
+//
+// Run it, then:  echo time | nc 127.0.0.1 7777
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/nserver"
+	"repro/internal/options"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7777", "listen address")
+	demo := flag.Bool("demo", true, "run a self-test request and exit")
+	flag.Parse()
+
+	// Template options: one dispatcher thread, a small worker pool, no
+	// codec (Fig. 2), idle connections shut down after a minute.
+	opts := options.Options{
+		DispatcherThreads:  1,
+		SeparateThreadPool: true,
+		EventThreads:       2,
+		Codec:              false,
+		ShutdownLongIdle:   true,
+		IdleTimeout:        time.Minute,
+	}
+
+	// The only application code: greet, answer every chunk with the
+	// current time, nothing to clean up.
+	app := nserver.AppFuncs{
+		Connect: func(c *nserver.Conn) {
+			_ = c.Reply([]byte("# time server ready\n"))
+		},
+		Request: func(c *nserver.Conn, req any) {
+			_ = c.Reply([]byte(time.Now().UTC().Format(time.RFC3339Nano) + "\n"))
+		},
+	}
+
+	srv, err := nserver.New(nserver.Config{Options: opts, App: app})
+	if err != nil {
+		fail(err)
+	}
+	if err := srv.ListenAndServe(*addr); err != nil {
+		fail(err)
+	}
+	fmt.Printf("time server on %s\n", srv.Addr())
+
+	if *demo {
+		if err := selfTest(srv.Addr().String()); err != nil {
+			fail(err)
+		}
+		srv.Shutdown()
+		fmt.Println("demo OK")
+		return
+	}
+	select {}
+}
+
+// selfTest talks to the running server once.
+func selfTest(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	buf := make([]byte, 256)
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	n, err := conn.Read(buf) // greeting
+	if err != nil {
+		return err
+	}
+	fmt.Printf("greeting: %s", buf[:n])
+	if _, err := conn.Write([]byte("time\n")); err != nil {
+		return err
+	}
+	n, err = conn.Read(buf)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reply:    %s", buf[:n])
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "quickstart:", err)
+	os.Exit(1)
+}

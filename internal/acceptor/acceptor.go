@@ -1,0 +1,229 @@
+// Package acceptor implements the Acceptor-Connector pattern (Schmidt
+// 1997) for the N-Server: connection establishment is decoupled from data
+// transfer. The Acceptor owns the listening endpoint and turns each new
+// connection into an AcceptReady event on the reactor's Event Source; the
+// Connector initiates outbound connections and delivers the result as a
+// Completion Event carrying an Asynchronous Completion Token. The server's
+// Acceptor Event Handler then wraps the raw transport in a Communicator
+// component (see internal/nserver).
+//
+// The Acceptor is also the enforcement point for option O9's overload
+// control: before accepting it consults the accept gate; while the gate is
+// closed, "new connection requests are postponed" — they wait in the
+// listen backlog exactly as the paper describes — and it applies the
+// trivial mechanism of bounding simultaneous connections.
+package acceptor
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/events"
+	"repro/internal/logging"
+	"repro/internal/profiling"
+	"repro/internal/reactor"
+)
+
+// Gate is the overload controller hook consulted before each accept.
+type Gate interface {
+	AcceptAllowed() bool
+}
+
+// Config configures an Acceptor.
+type Config struct {
+	// Listener is the bound listening socket. Required.
+	Listener net.Listener
+	// Reactor receives AcceptReady events. Required.
+	Reactor *reactor.Reactor
+	// Gate, when non-nil, postpones accepting while it reports false
+	// (option O9's watermark mechanism).
+	Gate Gate
+	// MaxConns, when > 0, bounds simultaneous connections (option O9's
+	// trivial mechanism).
+	MaxConns int
+	// Active, when non-nil, overrides the acceptor's internal live
+	// connection counter as the quantity compared against MaxConns. When
+	// nil the acceptor counts accepts itself and the server reports
+	// connection teardown with ConnClosed.
+	Active func() int
+	// GatePollInterval is how often a postponed acceptor re-checks the
+	// gate. Zero means 1ms.
+	GatePollInterval time.Duration
+	// Profile counts accepted connections (nil when O11 is off).
+	Profile *profiling.Profile
+	// Trace receives internal events in debug mode.
+	Trace *logging.Trace
+}
+
+// Acceptor runs the accept loop for one listening endpoint.
+type Acceptor struct {
+	ln       net.Listener
+	r        *reactor.Reactor
+	handle   reactor.Handle
+	gate     Gate
+	maxConns int
+	active   func() int
+	poll     time.Duration
+	profile  *profiling.Profile
+	trace    *logging.Trace
+	done     chan struct{}
+	closed   atomic.Bool
+	deferred atomic.Uint64
+	live     atomic.Int64
+}
+
+// New validates cfg and creates an Acceptor. Call Run (typically in its
+// own goroutine) to start accepting.
+func New(cfg Config) (*Acceptor, error) {
+	if cfg.Listener == nil {
+		return nil, errors.New("acceptor: listener required")
+	}
+	if cfg.Reactor == nil {
+		return nil, errors.New("acceptor: reactor required")
+	}
+	poll := cfg.GatePollInterval
+	if poll <= 0 {
+		poll = time.Millisecond
+	}
+	return &Acceptor{
+		ln:       cfg.Listener,
+		r:        cfg.Reactor,
+		handle:   cfg.Reactor.NewHandle(),
+		gate:     cfg.Gate,
+		maxConns: cfg.MaxConns,
+		active:   cfg.Active,
+		poll:     poll,
+		profile:  cfg.Profile,
+		trace:    cfg.Trace,
+		done:     make(chan struct{}),
+	}, nil
+}
+
+// Handle returns the reactor handle on which AcceptReady events are
+// emitted.
+func (a *Acceptor) Handle() reactor.Handle { return a.handle }
+
+// Addr returns the listening address.
+func (a *Acceptor) Addr() net.Addr { return a.ln.Addr() }
+
+// Deferred returns how many times accepting was postponed by the gate or
+// the connection bound (each pause-interval counts once).
+func (a *Acceptor) Deferred() uint64 { return a.deferred.Load() }
+
+// Run accepts connections until Close, emitting one AcceptReady event per
+// connection with the accepted net.Conn as Data.
+func (a *Acceptor) Run() {
+	for {
+		if !a.admissible() {
+			return
+		}
+		conn, err := a.ln.Accept()
+		if err != nil {
+			if a.closed.Load() {
+				return
+			}
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				continue
+			}
+			a.trace.Record("acceptor", "accept failed: %v", err)
+			return
+		}
+		a.live.Add(1)
+		a.profile.ConnectionAccepted()
+		a.trace.Record("acceptor", "accepted %s", conn.RemoteAddr())
+		if err := a.r.Source().Emit(reactor.Ready{
+			Type:   reactor.AcceptReady,
+			Handle: a.handle,
+			Data:   conn,
+		}); err != nil {
+			conn.Close()
+			return
+		}
+	}
+}
+
+// admissible blocks while overload control postpones accepting; it
+// returns false when the acceptor is closed.
+func (a *Acceptor) admissible() bool {
+	for {
+		if a.closed.Load() {
+			return false
+		}
+		gateOK := a.gate == nil || a.gate.AcceptAllowed()
+		boundOK := a.maxConns <= 0 || a.activeCount() < a.maxConns
+		if gateOK && boundOK {
+			return true
+		}
+		a.deferred.Add(1)
+		select {
+		case <-a.done:
+			return false
+		case <-time.After(a.poll):
+		}
+	}
+}
+
+// ConnClosed informs the acceptor's internal live counter that one
+// accepted connection has ended. Servers using MaxConns without an Active
+// override must call it once per connection teardown.
+func (a *Acceptor) ConnClosed() {
+	a.live.Add(-1)
+}
+
+// Active returns the live connection count the MaxConns bound is compared
+// against.
+func (a *Acceptor) Active() int { return a.activeCount() }
+
+func (a *Acceptor) activeCount() int {
+	if a.active != nil {
+		return a.active()
+	}
+	return int(a.live.Load())
+}
+
+// Close stops the accept loop and closes the listener. Idempotent.
+func (a *Acceptor) Close() error {
+	if !a.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(a.done)
+	return a.ln.Close()
+}
+
+// Connector initiates outbound connections, delivering results as
+// Completion Events so the application's Connector Event Handler processes
+// them like any other ready event.
+type Connector struct {
+	r       *reactor.Reactor
+	timeout time.Duration
+	trace   *logging.Trace
+}
+
+// NewConnector creates a Connector dialing with the given timeout
+// (zero means no timeout).
+func NewConnector(r *reactor.Reactor, timeout time.Duration, trace *logging.Trace) *Connector {
+	return &Connector{r: r, timeout: timeout, trace: trace}
+}
+
+// Connect dials network/addr asynchronously. The returned token is echoed
+// in the CompletionReady event whose Completion.Result is the net.Conn
+// (nil on error).
+func (c *Connector) Connect(network, addr string, state any) events.Token {
+	tok := events.NewToken(state)
+	go func() {
+		d := net.Dialer{Timeout: c.timeout}
+		conn, err := d.Dial(network, addr)
+		c.trace.Record("connector", "dial %s %s: err=%v", network, addr, err)
+		comp := &events.Completion{Token: tok, Result: conn, Err: err}
+		if eerr := c.r.Source().Emit(reactor.Ready{
+			Type: reactor.CompletionReady,
+			Data: comp,
+		}); eerr != nil && conn != nil {
+			conn.Close()
+		}
+	}()
+	return tok
+}

@@ -1,0 +1,208 @@
+// Package aio emulates non-blocking file I/O for the N-Server framework.
+//
+// Event-driven concurrency requires every operation to be non-blocking,
+// but (as the paper notes for Java 1.3/1.4) portable non-blocking file I/O
+// is not available, so the N-Server emulates it: blocking file operations
+// are queued to a dedicated Event Processor whose workers perform them,
+// following the Proactor pattern. Completion is reported either
+// synchronously — the worker invokes the continuation inline (COPS-FTP's
+// O4 setting) — or asynchronously, by posting a Completion Event that
+// carries an Asynchronous Completion Token back to the reactive Event
+// Processor (COPS-HTTP's setting), where it is processed like any other
+// ready event.
+//
+// When a file cache (option O6) is attached, reads are served through it:
+// hits complete immediately without touching the file-I/O queue, and
+// misses populate the cache on completion, which is exactly the structure
+// that makes COPS-HTTP's disk path cheap under SpecWeb-like locality.
+package aio
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"repro/internal/cache"
+	"repro/internal/eventproc"
+	"repro/internal/events"
+	"repro/internal/logging"
+	"repro/internal/options"
+	"repro/internal/profiling"
+)
+
+// Sink accepts completion events for asynchronous delivery; it is
+// typically the reactive Event Processor's Submit method.
+type Sink func(events.Event) error
+
+// Config configures the async file I/O service.
+type Config struct {
+	// Workers is the size of the file-I/O worker pool.
+	Workers int
+	// Mode selects synchronous or asynchronous completion (option O4).
+	Mode options.CompletionMode
+	// Sink receives Completion Events in asynchronous mode. Required for
+	// AsynchronousCompletion, ignored otherwise.
+	Sink Sink
+	// Cache, when non-nil, serves and stores reads (option O6).
+	Cache *cache.Cache
+	// Profile receives cache hit/miss counts (nil when O11 is off).
+	Profile *profiling.Profile
+	// Trace receives internal events in debug mode.
+	Trace *logging.Trace
+}
+
+// Service performs emulated asynchronous file operations.
+type Service struct {
+	proc    *eventproc.Processor
+	mode    options.CompletionMode
+	sink    Sink
+	cache   *cache.Cache
+	profile *profiling.Profile
+	trace   *logging.Trace
+}
+
+// ErrNoSink is returned by New when asynchronous completion is selected
+// without a completion sink.
+var ErrNoSink = errors.New("aio: asynchronous completion requires a sink")
+
+// New validates cfg and creates the service. Call Start before issuing
+// operations.
+func New(cfg Config) (*Service, error) {
+	if cfg.Mode == options.AsynchronousCompletion && cfg.Sink == nil {
+		return nil, ErrNoSink
+	}
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("aio: workers must be positive (got %d)", cfg.Workers)
+	}
+	proc, err := eventproc.New(eventproc.Config{
+		Name:    "file-io",
+		Workers: cfg.Workers,
+		Profile: cfg.Profile,
+		Trace:   cfg.Trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Service{
+		proc:    proc,
+		mode:    cfg.Mode,
+		sink:    cfg.Sink,
+		cache:   cfg.Cache,
+		profile: cfg.Profile,
+		trace:   cfg.Trace,
+	}, nil
+}
+
+// Start launches the file-I/O worker pool.
+func (s *Service) Start() { s.proc.Start() }
+
+// Stop drains and stops the pool.
+func (s *Service) Stop() { s.proc.Stop() }
+
+// QueueLen exposes the file-I/O event queue length to the overload
+// controller (the "disk" bottleneck queue of option O9).
+func (s *Service) QueueLen() int { return s.proc.QueueLen() }
+
+// Done is the completion continuation for a read: it receives the token
+// issued at submission, the data (nil on error) and the operation error.
+type Done func(tok events.Token, data []byte, err error)
+
+// fileReadEvent is the generated framework's File Read Event: the queued
+// representation of one emulated asynchronous read.
+type fileReadEvent struct {
+	svc  *Service
+	path string
+	tok  events.Token
+	prio events.Priority
+	done Done
+}
+
+// Process performs the blocking read on a file-I/O worker.
+func (e *fileReadEvent) Process() {
+	data, err := os.ReadFile(e.path)
+	if err == nil && e.svc.cache != nil {
+		e.svc.cache.Put(e.path, data)
+	}
+	e.svc.complete(e.tok, e.prio, e.done, data, err)
+}
+
+// Priority implements events.Event.
+func (e *fileReadEvent) Priority() events.Priority { return e.prio }
+
+// fileStatEvent is the File Open Event analogue: it resolves file
+// metadata without reading contents.
+type fileStatEvent struct {
+	svc  *Service
+	path string
+	tok  events.Token
+	prio events.Priority
+	done func(tok events.Token, info os.FileInfo, err error)
+}
+
+// Process stats the file on a file-I/O worker.
+func (e *fileStatEvent) Process() {
+	info, err := os.Stat(e.path)
+	if e.svc.mode == options.SynchronousCompletion {
+		e.done(e.tok, info, err)
+		return
+	}
+	ev := &events.Completion{
+		Token: e.tok, Result: info, Err: err, Prio: e.prio,
+		Done: func(tok events.Token, res any, err error) {
+			info, _ := res.(os.FileInfo)
+			e.done(tok, info, err)
+		},
+	}
+	if serr := e.svc.sink(ev); serr != nil {
+		e.svc.trace.Record("file-io", "completion sink closed: %v", serr)
+	}
+}
+
+// Priority implements events.Event.
+func (e *fileStatEvent) Priority() events.Priority { return e.prio }
+
+// ReadFile issues an emulated asynchronous read of path. The returned
+// token identifies the operation; the same token is handed to done on
+// completion. Cache hits (when a cache is attached) complete without
+// queueing to the file-I/O pool — still through the configured completion
+// path, so callers observe a single completion discipline.
+func (s *Service) ReadFile(path string, state any, prio events.Priority, done Done) (events.Token, error) {
+	tok := events.NewToken(state)
+	if s.cache != nil {
+		if data, ok := s.cache.Get(path); ok {
+			s.profile.CacheHit()
+			s.trace.Record("file-io", "cache hit %s (token %d)", path, tok.ID)
+			s.complete(tok, prio, done, data, nil)
+			return tok, nil
+		}
+		s.profile.CacheMiss()
+	}
+	err := s.proc.Submit(&fileReadEvent{svc: s, path: path, tok: tok, prio: prio, done: done})
+	return tok, err
+}
+
+// Stat issues an emulated asynchronous stat of path.
+func (s *Service) Stat(path string, state any, prio events.Priority,
+	done func(tok events.Token, info os.FileInfo, err error)) (events.Token, error) {
+	tok := events.NewToken(state)
+	err := s.proc.Submit(&fileStatEvent{svc: s, path: path, tok: tok, prio: prio, done: done})
+	return tok, err
+}
+
+// complete routes a read result through the O4 completion discipline.
+func (s *Service) complete(tok events.Token, prio events.Priority, done Done, data []byte, err error) {
+	if s.mode == options.SynchronousCompletion {
+		done(tok, data, err)
+		return
+	}
+	ev := &events.Completion{
+		Token: tok, Result: data, Err: err, Prio: prio,
+		Done: func(tok events.Token, res any, err error) {
+			data, _ := res.([]byte)
+			done(tok, data, err)
+		},
+	}
+	if serr := s.sink(ev); serr != nil {
+		s.trace.Record("file-io", "completion sink closed: %v", serr)
+	}
+}

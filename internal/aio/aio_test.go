@@ -1,0 +1,318 @@
+package aio
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/eventproc"
+	"repro/internal/events"
+	"repro/internal/options"
+	"repro/internal/profiling"
+)
+
+// reactive builds a started reactive Event Processor to act as the
+// completion sink, mirroring the COPS-HTTP wiring.
+func reactive(t *testing.T) *eventproc.Processor {
+	t.Helper()
+	p, err := eventproc.New(eventproc.Config{Name: "reactive", Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	t.Cleanup(p.Stop)
+	return p
+}
+
+func writeTemp(t *testing.T, name string, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Workers: 0}); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if _, err := New(Config{Workers: 1, Mode: options.AsynchronousCompletion}); !errors.Is(err, ErrNoSink) {
+		t.Errorf("async without sink = %v", err)
+	}
+}
+
+func TestSynchronousRead(t *testing.T) {
+	want := []byte("index page body")
+	path := writeTemp(t, "index.html", want)
+	svc, err := New(Config{Workers: 2, Mode: options.SynchronousCompletion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	defer svc.Stop()
+
+	done := make(chan []byte, 1)
+	tok, err := svc.ReadFile(path, "conn-1", 0, func(tk events.Token, data []byte, err error) {
+		if err != nil {
+			t.Errorf("read error: %v", err)
+		}
+		if tk.State.(string) != "conn-1" {
+			t.Errorf("token state = %v", tk.State)
+		}
+		done <- data
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.ID == 0 {
+		t.Error("token not issued")
+	}
+	select {
+	case data := <-done:
+		if !bytes.Equal(data, want) {
+			t.Errorf("read %q want %q", data, want)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("completion never delivered")
+	}
+}
+
+func TestAsynchronousReadDeliversViaSink(t *testing.T) {
+	want := []byte("async body")
+	path := writeTemp(t, "a.html", want)
+	rp := reactive(t)
+	svc, err := New(Config{
+		Workers: 2,
+		Mode:    options.AsynchronousCompletion,
+		Sink:    rp.Submit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	defer svc.Stop()
+
+	done := make(chan []byte, 1)
+	if _, err := svc.ReadFile(path, nil, 0, func(_ events.Token, data []byte, err error) {
+		if err != nil {
+			t.Errorf("read error: %v", err)
+		}
+		done <- data
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case data := <-done:
+		if !bytes.Equal(data, want) {
+			t.Errorf("read %q want %q", data, want)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("completion never delivered through sink")
+	}
+}
+
+func TestReadErrorPropagates(t *testing.T) {
+	svc, err := New(Config{Workers: 1, Mode: options.SynchronousCompletion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	defer svc.Stop()
+	done := make(chan error, 1)
+	_, err = svc.ReadFile("/no/such/file", nil, 0, func(_ events.Token, data []byte, err error) {
+		if data != nil {
+			t.Error("data non-nil on error")
+		}
+		done <- err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("error = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("error completion never delivered")
+	}
+}
+
+func TestCacheReadThrough(t *testing.T) {
+	want := []byte("cached body")
+	path := writeTemp(t, "c.html", want)
+	fc, err := cache.New(1<<20, options.LRU, cache.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := profiling.New()
+	svc, err := New(Config{
+		Workers: 1, Mode: options.SynchronousCompletion,
+		Cache: fc, Profile: prof,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	defer svc.Stop()
+
+	read := func() []byte {
+		done := make(chan []byte, 1)
+		if _, err := svc.ReadFile(path, nil, 0, func(_ events.Token, data []byte, err error) {
+			if err != nil {
+				t.Errorf("read error: %v", err)
+			}
+			done <- data
+		}); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case data := <-done:
+			return data
+		case <-time.After(2 * time.Second):
+			t.Fatal("no completion")
+			return nil
+		}
+	}
+
+	if got := read(); !bytes.Equal(got, want) {
+		t.Fatalf("first read %q", got)
+	}
+	if !fc.Contains(path) {
+		t.Fatal("miss did not populate cache")
+	}
+	// Second read must be a hit served without file I/O; remove the
+	// backing file to prove it.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if got := read(); !bytes.Equal(got, want) {
+		t.Fatalf("cached read %q", got)
+	}
+	s := prof.Snapshot()
+	if s.CacheHits != 1 || s.CacheMisses != 1 {
+		t.Errorf("hits=%d misses=%d", s.CacheHits, s.CacheMisses)
+	}
+}
+
+func TestStatSynchronousAndAsynchronous(t *testing.T) {
+	path := writeTemp(t, "s.html", make([]byte, 123))
+
+	sync1, err := New(Config{Workers: 1, Mode: options.SynchronousCompletion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync1.Start()
+	defer sync1.Stop()
+	done := make(chan os.FileInfo, 1)
+	if _, err := sync1.Stat(path, nil, 0, func(_ events.Token, info os.FileInfo, err error) {
+		if err != nil {
+			t.Errorf("stat error: %v", err)
+		}
+		done <- info
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case info := <-done:
+		if info.Size() != 123 {
+			t.Errorf("size = %d", info.Size())
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no stat completion")
+	}
+
+	rp := reactive(t)
+	async, err := New(Config{Workers: 1, Mode: options.AsynchronousCompletion, Sink: rp.Submit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	async.Start()
+	defer async.Stop()
+	adone := make(chan error, 1)
+	if _, err := async.Stat("/no/such", nil, 0, func(_ events.Token, info os.FileInfo, err error) {
+		adone <- err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-adone:
+		if !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("async stat error = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no async stat completion")
+	}
+}
+
+func TestQueueLenReflectsBacklog(t *testing.T) {
+	svc, err := New(Config{Workers: 1, Mode: options.SynchronousCompletion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not started: submissions fail, QueueLen stays 0.
+	if svc.QueueLen() != 0 {
+		t.Error("fresh service has backlog")
+	}
+	svc.Start()
+	defer svc.Stop()
+	path := writeTemp(t, "q.html", []byte("x"))
+	var wg sync.WaitGroup
+	block := make(chan struct{})
+	wg.Add(1)
+	_, _ = svc.ReadFile(path, nil, 0, func(events.Token, []byte, error) { wg.Done(); <-block })
+	wg.Wait() // worker busy
+	for i := 0; i < 5; i++ {
+		_, _ = svc.ReadFile(path, nil, 0, func(events.Token, []byte, error) {})
+	}
+	if svc.QueueLen() == 0 {
+		t.Error("backlog not visible via QueueLen")
+	}
+	close(block)
+}
+
+func TestConcurrentReads(t *testing.T) {
+	paths := make([]string, 8)
+	for i := range paths {
+		paths[i] = writeTemp(t, filepath.Base(t.Name())+string(rune('a'+i)), bytes.Repeat([]byte{byte(i)}, 64))
+	}
+	rp := reactive(t)
+	fc, _ := cache.New(1<<20, options.LRU, cache.Config{})
+	svc, err := New(Config{Workers: 4, Mode: options.AsynchronousCompletion, Sink: rp.Submit, Cache: fc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	defer svc.Stop()
+	var wg sync.WaitGroup
+	errs := make(chan error, 400)
+	for i := 0; i < 400; i++ {
+		wg.Add(1)
+		p := paths[i%len(paths)]
+		if _, err := svc.ReadFile(p, nil, 0, func(_ events.Token, data []byte, err error) {
+			defer wg.Done()
+			if err != nil {
+				errs <- err
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("reads never completed")
+	}
+	close(errs)
+	for err := range errs {
+		t.Errorf("read error: %v", err)
+	}
+}

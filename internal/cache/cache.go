@@ -1,0 +1,333 @@
+// Package cache implements the N-Server file cache (template option O6).
+//
+// The generated framework keeps recently served disk files in memory; the
+// replacement policy is chosen at generation time from the five policies
+// the paper provides — LRU, LFU, LRU-MIN, LRU-Threshold and Hyper-G — or
+// supplied as a user hook method (the Custom policy). The cache also
+// gathers the hit-rate statistics that the profiling option (O11) reports.
+package cache
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/options"
+)
+
+// Stat describes one cache entry to a custom victim-selection hook.
+type Stat struct {
+	Key       string
+	Size      int64
+	Frequency uint64 // number of Get hits plus the initial Put
+	LastUse   uint64 // logical clock of the most recent use (larger = newer)
+}
+
+// VictimFunc is the hook method a user supplies for the Custom policy. It
+// receives the resident entries (in least-recently-used-first order) and
+// returns the key to evict. Returning a key not in candidates is treated
+// as a policy error and falls back to LRU for that eviction.
+type VictimFunc func(candidates []Stat) string
+
+// Config carries the policy parameters of option O6.
+type Config struct {
+	// Threshold is the largest cacheable document size for the
+	// LRU-Threshold policy.
+	Threshold int64
+	// Custom is the victim-selection hook for the Custom policy.
+	Custom VictimFunc
+}
+
+// Stats is a snapshot of the cache counters sampled by profiling (O11).
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Rejects   uint64 // Put calls refused by the admission rule
+	Bytes     int64  // resident bytes
+	Entries   int
+}
+
+// HitRate returns hits / (hits+misses), or 0 with no traffic.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d rate=%.3f evictions=%d rejects=%d bytes=%d entries=%d",
+		s.Hits, s.Misses, s.HitRate(), s.Evictions, s.Rejects, s.Bytes, s.Entries)
+}
+
+type entry struct {
+	key     string
+	data    []byte
+	size    int64
+	freq    uint64
+	lastUse uint64
+	elem    *list.Element // position in the recency list
+}
+
+// Cache is a size-bounded in-memory file cache with a pluggable
+// replacement policy. It is safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	policy   options.CachePolicy
+	cfg      Config
+	capacity int64
+	used     int64
+	clock    uint64
+	entries  map[string]*entry
+	// recency holds *entry values, least recently used at the front.
+	recency *list.List
+	stats   Stats
+}
+
+// Errors returned by New.
+var (
+	ErrCapacity  = errors.New("cache: capacity must be positive")
+	ErrPolicy    = errors.New("cache: unsupported replacement policy")
+	ErrThreshold = errors.New("cache: LRU-Threshold requires a positive threshold")
+	ErrNoHook    = errors.New("cache: Custom policy requires a victim hook")
+)
+
+// New creates a cache of the given byte capacity using the given
+// replacement policy. The NoCache policy is rejected: callers should skip
+// constructing a cache entirely when O6 is off, exactly as the generated
+// framework omits the Cache class.
+func New(capacity int64, policy options.CachePolicy, cfg Config) (*Cache, error) {
+	if capacity <= 0 {
+		return nil, ErrCapacity
+	}
+	switch policy {
+	case options.LRU, options.LFU, options.LRUMin, options.HyperG:
+	case options.LRUThreshold:
+		if cfg.Threshold <= 0 {
+			return nil, ErrThreshold
+		}
+	case options.CustomPolicy:
+		if cfg.Custom == nil {
+			return nil, ErrNoHook
+		}
+	default:
+		return nil, fmt.Errorf("%w: %v", ErrPolicy, policy)
+	}
+	return &Cache{
+		policy:   policy,
+		cfg:      cfg,
+		capacity: capacity,
+		entries:  make(map[string]*entry),
+		recency:  list.New(),
+	}, nil
+}
+
+// Policy returns the replacement policy selected at construction.
+func (c *Cache) Policy() options.CachePolicy { return c.policy }
+
+// Capacity returns the configured byte capacity.
+func (c *Cache) Capacity() int64 { return c.capacity }
+
+// Get returns the cached bytes for key. The returned slice is shared; the
+// caller must not modify it.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	c.touch(e)
+	return e.data, true
+}
+
+// Contains reports residency without updating policy metadata or counters.
+func (c *Cache) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Put inserts or replaces the document for key. It returns false when the
+// admission rule refuses the document (larger than the whole cache, or
+// above the LRU-Threshold limit).
+func (c *Cache) Put(key string, data []byte) bool {
+	size := int64(len(data))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if size > c.capacity || (c.policy == options.LRUThreshold && size > c.cfg.Threshold) {
+		c.stats.Rejects++
+		return false
+	}
+	if old, ok := c.entries[key]; ok {
+		c.used -= old.size
+		old.data = data
+		old.size = size
+		c.used += size
+		c.touch(old)
+		c.evictToFitLocked(nil)
+		return true
+	}
+	e := &entry{key: key, data: data, size: size, freq: 1}
+	c.clock++
+	e.lastUse = c.clock
+	c.evictToFitLocked(e)
+	e.elem = c.recency.PushBack(e)
+	c.entries[key] = e
+	c.used += size
+	return true
+}
+
+// Remove drops key from the cache if resident.
+func (c *Cache) Remove(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.removeLocked(e)
+	}
+}
+
+// Len returns the number of resident entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Size returns the resident byte total.
+func (c *Cache) Size() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Bytes = c.used
+	s.Entries = len(c.entries)
+	return s
+}
+
+// ResetStats zeroes the counters (used between experiment runs).
+func (c *Cache) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats = Stats{}
+}
+
+func (c *Cache) touch(e *entry) {
+	e.freq++
+	c.clock++
+	e.lastUse = c.clock
+	c.recency.MoveToBack(e.elem)
+}
+
+func (c *Cache) removeLocked(e *entry) {
+	c.recency.Remove(e.elem)
+	delete(c.entries, e.key)
+	c.used -= e.size
+}
+
+// evictToFitLocked evicts entries until incoming (which may be nil when
+// re-fitting after an in-place replacement) fits within capacity.
+func (c *Cache) evictToFitLocked(incoming *entry) {
+	need := c.used
+	if incoming != nil {
+		need += incoming.size
+	}
+	for need > c.capacity && len(c.entries) > 0 {
+		v := c.victimLocked(incoming)
+		need -= v.size
+		c.removeLocked(v)
+		c.stats.Evictions++
+	}
+}
+
+// victimLocked selects the entry to evict under the configured policy.
+// len(c.entries) > 0 is a precondition.
+func (c *Cache) victimLocked(incoming *entry) *entry {
+	switch c.policy {
+	case options.LRU, options.LRUThreshold:
+		return c.recency.Front().Value.(*entry)
+	case options.LFU:
+		return c.scanVictim(func(best, cand *entry) bool {
+			if cand.freq != best.freq {
+				return cand.freq < best.freq
+			}
+			return cand.lastUse < best.lastUse
+		})
+	case options.HyperG:
+		// Least frequency, then least recency, then largest size.
+		return c.scanVictim(func(best, cand *entry) bool {
+			if cand.freq != best.freq {
+				return cand.freq < best.freq
+			}
+			if cand.lastUse != best.lastUse {
+				return cand.lastUse < best.lastUse
+			}
+			return cand.size > best.size
+		})
+	case options.LRUMin:
+		return c.lruMinVictim(incoming)
+	case options.CustomPolicy:
+		return c.customVictim()
+	}
+	return c.recency.Front().Value.(*entry)
+}
+
+// scanVictim returns the entry minimizing the better ordering over the
+// recency list (LRU-first scan, so ties naturally prefer older entries).
+func (c *Cache) scanVictim(better func(best, cand *entry) bool) *entry {
+	var best *entry
+	for el := c.recency.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		if best == nil || better(best, e) {
+			best = e
+		}
+	}
+	return best
+}
+
+// lruMinVictim implements LRU-MIN (Abrams et al. 1995): to make room for a
+// document of size S, evict in LRU order among entries of size >= S; if
+// none qualify, halve the size bound and repeat. Large documents are thus
+// sacrificed before small ones.
+func (c *Cache) lruMinVictim(incoming *entry) *entry {
+	bound := c.capacity
+	if incoming != nil {
+		bound = incoming.size
+	}
+	for ; bound >= 1; bound /= 2 {
+		for el := c.recency.Front(); el != nil; el = el.Next() {
+			if e := el.Value.(*entry); e.size >= bound {
+				return e
+			}
+		}
+	}
+	return c.recency.Front().Value.(*entry)
+}
+
+func (c *Cache) customVictim() *entry {
+	candidates := make([]Stat, 0, len(c.entries))
+	for el := c.recency.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		candidates = append(candidates, Stat{
+			Key: e.key, Size: e.size, Frequency: e.freq, LastUse: e.lastUse,
+		})
+	}
+	key := c.cfg.Custom(candidates)
+	if e, ok := c.entries[key]; ok {
+		return e
+	}
+	// Hook returned an unknown key: fall back to LRU for this eviction.
+	return c.recency.Front().Value.(*entry)
+}

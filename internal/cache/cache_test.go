@@ -1,0 +1,399 @@
+package cache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/options"
+)
+
+func mustNew(t *testing.T, capacity int64, p options.CachePolicy, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(capacity, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, options.LRU, Config{}); !errors.Is(err, ErrCapacity) {
+		t.Errorf("zero capacity: %v", err)
+	}
+	if _, err := New(1024, options.NoCache, Config{}); !errors.Is(err, ErrPolicy) {
+		t.Errorf("NoCache policy: %v", err)
+	}
+	if _, err := New(1024, options.LRUThreshold, Config{}); !errors.Is(err, ErrThreshold) {
+		t.Errorf("threshold missing: %v", err)
+	}
+	if _, err := New(1024, options.CustomPolicy, Config{}); !errors.Is(err, ErrNoHook) {
+		t.Errorf("custom without hook: %v", err)
+	}
+	c := mustNew(t, 1024, options.LRU, Config{})
+	if c.Policy() != options.LRU || c.Capacity() != 1024 {
+		t.Errorf("accessors wrong: %v %d", c.Policy(), c.Capacity())
+	}
+}
+
+func TestBasicGetPut(t *testing.T) {
+	c := mustNew(t, 100, options.LRU, Config{})
+	if _, ok := c.Get("a"); ok {
+		t.Error("hit on empty cache")
+	}
+	if !c.Put("a", []byte("hello")) {
+		t.Error("Put rejected")
+	}
+	got, ok := c.Get("a")
+	if !ok || !bytes.Equal(got, []byte("hello")) {
+		t.Errorf("Get = %q, %v", got, ok)
+	}
+	if !c.Contains("a") || c.Contains("b") {
+		t.Error("Contains wrong")
+	}
+	if c.Len() != 1 || c.Size() != 5 {
+		t.Errorf("Len=%d Size=%d", c.Len(), c.Size())
+	}
+	c.Remove("a")
+	if c.Contains("a") || c.Size() != 0 {
+		t.Error("Remove did not remove")
+	}
+	c.Remove("a") // idempotent
+}
+
+func TestPutReplaceAdjustsSize(t *testing.T) {
+	c := mustNew(t, 100, options.LRU, Config{})
+	c.Put("a", make([]byte, 40))
+	c.Put("a", make([]byte, 10))
+	if c.Size() != 10 || c.Len() != 1 {
+		t.Errorf("replace: Size=%d Len=%d", c.Size(), c.Len())
+	}
+	// Growing a resident entry can trigger eviction of others.
+	c.Put("b", make([]byte, 80))
+	c.Put("b", make([]byte, 95))
+	if c.Size() > 100 {
+		t.Errorf("over capacity after replace-grow: %d", c.Size())
+	}
+	if !c.Contains("b") {
+		t.Error("grown entry evicted itself")
+	}
+}
+
+func TestOversizedRejected(t *testing.T) {
+	c := mustNew(t, 100, options.LRU, Config{})
+	if c.Put("big", make([]byte, 101)) {
+		t.Error("oversized document admitted")
+	}
+	if st := c.Stats(); st.Rejects != 1 {
+		t.Errorf("Rejects = %d", st.Rejects)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := mustNew(t, 30, options.LRU, Config{})
+	c.Put("a", make([]byte, 10))
+	c.Put("b", make([]byte, 10))
+	c.Put("c", make([]byte, 10))
+	c.Get("a") // a becomes most recent; b is now LRU
+	c.Put("d", make([]byte, 10))
+	if c.Contains("b") {
+		t.Error("LRU kept least recently used entry")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if !c.Contains(k) {
+			t.Errorf("LRU evicted wrong entry %q", k)
+		}
+	}
+}
+
+func TestLFUEvictionOrder(t *testing.T) {
+	c := mustNew(t, 30, options.LFU, Config{})
+	c.Put("a", make([]byte, 10))
+	c.Put("b", make([]byte, 10))
+	c.Put("c", make([]byte, 10))
+	c.Get("a")
+	c.Get("a")
+	c.Get("c")
+	// freq: a=3, b=1, c=2 -> b is the victim.
+	c.Put("d", make([]byte, 10))
+	if c.Contains("b") {
+		t.Error("LFU kept least frequently used entry")
+	}
+	if !c.Contains("a") || !c.Contains("c") || !c.Contains("d") {
+		t.Error("LFU evicted wrong entry")
+	}
+}
+
+func TestLFUTieBreaksByRecency(t *testing.T) {
+	c := mustNew(t, 20, options.LFU, Config{})
+	c.Put("old", make([]byte, 10))
+	c.Put("new", make([]byte, 10))
+	// Equal frequency; the older entry must go.
+	c.Put("x", make([]byte, 10))
+	if c.Contains("old") || !c.Contains("new") {
+		t.Error("LFU tie-break by recency failed")
+	}
+}
+
+func TestLRUThresholdAdmission(t *testing.T) {
+	c := mustNew(t, 100, options.LRUThreshold, Config{Threshold: 20})
+	if c.Put("big", make([]byte, 21)) {
+		t.Error("document above threshold admitted")
+	}
+	if !c.Put("ok", make([]byte, 20)) {
+		t.Error("document at threshold rejected")
+	}
+	// Below threshold behaves as LRU.
+	c.Put("a", make([]byte, 20))
+	c.Put("b", make([]byte, 20))
+	c.Put("cc", make([]byte, 20))
+	c.Put("d", make([]byte, 20))
+	c.Put("e", make([]byte, 20)) // evicts "ok" (LRU)
+	if c.Contains("ok") {
+		t.Error("LRU order not respected below threshold")
+	}
+}
+
+func TestLRUMinPrefersLargeVictims(t *testing.T) {
+	c := mustNew(t, 100, options.LRUMin, Config{})
+	c.Put("small-old", make([]byte, 10))
+	c.Put("large", make([]byte, 60))
+	c.Put("small-new", make([]byte, 20))
+	// Need 30 bytes: LRU-MIN scans for entries >= 30 first, so "large"
+	// is evicted even though "small-old" is least recently used.
+	c.Put("incoming", make([]byte, 30))
+	if c.Contains("large") {
+		t.Error("LRU-MIN did not evict the large document")
+	}
+	if !c.Contains("small-old") || !c.Contains("small-new") {
+		t.Error("LRU-MIN evicted a small document unnecessarily")
+	}
+}
+
+func TestLRUMinFallsBackToSmall(t *testing.T) {
+	c := mustNew(t, 100, options.LRUMin, Config{})
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprintf("s%d", i), make([]byte, 10))
+	}
+	// Incoming 40 bytes; no entry >= 40, so the bound halves until small
+	// entries qualify, evicted in LRU order.
+	c.Put("incoming", make([]byte, 40))
+	if c.Contains("s0") || c.Contains("s1") || c.Contains("s2") || c.Contains("s3") {
+		t.Error("LRU-MIN fallback should evict the four oldest small entries")
+	}
+	if !c.Contains("s4") || !c.Contains("incoming") {
+		t.Error("LRU-MIN fallback evicted too much")
+	}
+}
+
+func TestHyperGOrdering(t *testing.T) {
+	c := mustNew(t, 30, options.HyperG, Config{})
+	c.Put("f1", make([]byte, 10)) // freq 1
+	c.Put("f2", make([]byte, 10))
+	c.Get("f2") // freq 2
+	c.Put("f3", make([]byte, 10))
+	c.Get("f3")
+	c.Get("f3") // freq 3
+	c.Put("x", make([]byte, 10))
+	if c.Contains("f1") {
+		t.Error("Hyper-G kept the least frequent entry")
+	}
+
+	// Tie on frequency and recency is impossible (the logical clock is
+	// strictly increasing), so the recency tie-break applies next.
+	c2 := mustNew(t, 20, options.HyperG, Config{})
+	c2.Put("older", make([]byte, 10))
+	c2.Put("newer", make([]byte, 10))
+	c2.Put("y", make([]byte, 10))
+	if c2.Contains("older") || !c2.Contains("newer") {
+		t.Error("Hyper-G recency tie-break failed")
+	}
+}
+
+func TestCustomPolicyHook(t *testing.T) {
+	var sawCandidates int
+	hook := func(cands []Stat) string {
+		sawCandidates = len(cands)
+		// Evict the largest entry.
+		best := cands[0]
+		for _, s := range cands {
+			if s.Size > best.Size {
+				best = s
+			}
+		}
+		return best.Key
+	}
+	c := mustNew(t, 100, options.CustomPolicy, Config{Custom: hook})
+	c.Put("a", make([]byte, 50))
+	c.Put("b", make([]byte, 30))
+	c.Put("cc", make([]byte, 40)) // must evict "a" per the hook
+	if c.Contains("a") || !c.Contains("b") || !c.Contains("cc") {
+		t.Error("custom hook not honored")
+	}
+	if sawCandidates != 2 {
+		t.Errorf("hook saw %d candidates, want 2", sawCandidates)
+	}
+}
+
+func TestCustomPolicyBadKeyFallsBackToLRU(t *testing.T) {
+	c := mustNew(t, 20, options.CustomPolicy, Config{
+		Custom: func([]Stat) string { return "no-such-key" },
+	})
+	c.Put("oldest", make([]byte, 10))
+	c.Put("newest", make([]byte, 10))
+	c.Put("x", make([]byte, 10))
+	if c.Contains("oldest") {
+		t.Error("bad hook key did not fall back to LRU")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	c := mustNew(t, 25, options.LRU, Config{})
+	c.Put("a", make([]byte, 10))
+	c.Get("a")
+	c.Get("a")
+	c.Get("miss")
+	c.Put("b", make([]byte, 10))
+	c.Put("cc", make([]byte, 10)) // evicts one
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Evictions != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if got := st.HitRate(); got < 0.66 || got > 0.67 {
+		t.Errorf("HitRate = %f", got)
+	}
+	if st.Entries != 2 || st.Bytes != 20 {
+		t.Errorf("residency stats wrong: %+v", st)
+	}
+	c.ResetStats()
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("ResetStats left %+v", st)
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Error("empty HitRate should be 0")
+	}
+	if (Stats{Hits: 1}).String() == "" {
+		t.Error("Stats.String empty")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := mustNew(t, 1<<16, options.LRU, Config{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				key := fmt.Sprintf("k%d", rng.Intn(100))
+				if rng.Intn(2) == 0 {
+					c.Put(key, make([]byte, rng.Intn(512)+1))
+				} else {
+					c.Get(key)
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if c.Size() > c.Capacity() {
+		t.Errorf("cache over capacity: %d > %d", c.Size(), c.Capacity())
+	}
+}
+
+// Property: under every policy and any workload, the resident byte total
+// never exceeds capacity and always equals the sum of resident entries.
+func TestQuickCapacityInvariant(t *testing.T) {
+	policies := []options.CachePolicy{
+		options.LRU, options.LFU, options.LRUMin, options.LRUThreshold, options.HyperG,
+	}
+	f := func(ops []uint16, policyPick uint8, capSeed uint16) bool {
+		capacity := int64(capSeed%2000) + 64
+		p := policies[int(policyPick)%len(policies)]
+		cfg := Config{Threshold: capacity / 2}
+		c, err := New(capacity, p, cfg)
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			key := fmt.Sprintf("k%d", op%37)
+			size := int(op % 257)
+			if op%3 == 0 {
+				c.Get(key)
+			} else if op%7 == 0 {
+				c.Remove(key)
+			} else {
+				c.Put(key, make([]byte, size))
+			}
+			if c.Size() > capacity {
+				return false
+			}
+		}
+		// Residency accounting: recompute from scratch.
+		var sum int64
+		for _, op := range ops {
+			key := fmt.Sprintf("k%d", op%37)
+			if data, ok := c.Get(key); ok {
+				sum += int64(len(data))
+				c.Remove(key)
+			}
+		}
+		return sum <= capacity && c.Size() == 0 && c.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a Get hit always returns exactly what the latest Put stored.
+func TestQuickGetReturnsLatestPut(t *testing.T) {
+	f := func(vals [][]byte) bool {
+		c, err := New(1<<20, options.LRU, Config{})
+		if err != nil {
+			return false
+		}
+		latest := map[string][]byte{}
+		for i, v := range vals {
+			key := fmt.Sprintf("k%d", i%5)
+			if c.Put(key, v) {
+				latest[key] = v
+			}
+		}
+		for k, want := range latest {
+			got, ok := c.Get(k)
+			if !ok || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCacheGetHit(b *testing.B) {
+	c, _ := New(1<<20, options.LRU, Config{})
+	c.Put("key", make([]byte, 4096))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Get("key")
+	}
+}
+
+func BenchmarkCachePutEvict(b *testing.B) {
+	for _, p := range []options.CachePolicy{options.LRU, options.LFU, options.LRUMin, options.HyperG} {
+		b.Run(p.String(), func(b *testing.B) {
+			c, _ := New(64<<10, p, Config{})
+			data := make([]byte, 4096)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.Put(fmt.Sprintf("k%d", i%64), data)
+			}
+		})
+	}
+}

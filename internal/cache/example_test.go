@@ -1,0 +1,52 @@
+package cache_test
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/options"
+)
+
+// ExampleNew builds the paper's COPS-HTTP cache: 20 MB with LRU
+// replacement.
+func ExampleNew() {
+	c, err := cache.New(20<<20, options.LRU, cache.Config{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	c.Put("/index.html", []byte("<html>home</html>"))
+	if data, ok := c.Get("/index.html"); ok {
+		fmt.Printf("hit: %d bytes\n", len(data))
+	}
+	_, miss := c.Get("/missing.html")
+	fmt.Println("miss ok:", !miss)
+	fmt.Printf("hit rate: %.2f\n", c.Stats().HitRate())
+	// Output:
+	// hit: 17 bytes
+	// miss ok: true
+	// hit rate: 0.50
+}
+
+// ExampleNew_customPolicy installs a user victim-selection hook — the
+// paper's "Custom" replacement policy.
+func ExampleNew_customPolicy() {
+	evictLargest := func(candidates []cache.Stat) string {
+		best := candidates[0]
+		for _, s := range candidates {
+			if s.Size > best.Size {
+				best = s
+			}
+		}
+		return best.Key
+	}
+	c, _ := cache.New(100, options.CustomPolicy, cache.Config{Custom: evictLargest})
+	c.Put("small", make([]byte, 20))
+	c.Put("large", make([]byte, 70))
+	c.Put("incoming", make([]byte, 40)) // must evict "large"
+	fmt.Println("small resident:", c.Contains("small"))
+	fmt.Println("large resident:", c.Contains("large"))
+	// Output:
+	// small resident: true
+	// large resident: false
+}

@@ -1,0 +1,289 @@
+// Package cluster implements the paper's proposed extension: "to support
+// the generation of distributed N-servers that will serve from a network
+// of workstations". A Balancer is the cluster's front end: it accepts
+// client connections and forwards each — whole, at connection
+// granularity, so the per-connection request pipeline still runs on
+// exactly one N-Server — to one of the backend servers. The application's
+// hook methods are identical whether the server is generated for one
+// shared-memory machine or for the cluster, which is the property the
+// paper's conclusion calls out (after Tan et al., PPoPP 2003).
+//
+// The Balancer reuses the framework's building blocks: an Acceptor feeds
+// connection events through a Reactor, and forwarding decisions are a
+// pluggable Strategy (round-robin or least-connections). Unreachable
+// backends are skipped and retried after a cool-down.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/logging"
+	"repro/internal/profiling"
+)
+
+// Strategy selects the backend for a new connection.
+type Strategy int
+
+const (
+	// RoundRobin cycles through healthy backends.
+	RoundRobin Strategy = iota
+	// LeastConnections picks the healthy backend with the fewest live
+	// forwarded connections.
+	LeastConnections
+)
+
+func (s Strategy) String() string {
+	if s == LeastConnections {
+		return "least-connections"
+	}
+	return "round-robin"
+}
+
+// Config configures a Balancer.
+type Config struct {
+	// Backends are the addresses of the N-Server instances. Required.
+	Backends []string
+	// Strategy selects backend placement. Default RoundRobin.
+	Strategy Strategy
+	// DialTimeout bounds backend connection establishment. Default 2s.
+	DialTimeout time.Duration
+	// CoolDown is how long a failed backend is skipped. Default 1s.
+	CoolDown time.Duration
+	// Profile counts accepted/forwarded connections (nil disables).
+	Profile *profiling.Profile
+	// Trace receives internal events (nil disables).
+	Trace *logging.Trace
+}
+
+// Balancer distributes client connections across backend N-Servers.
+type Balancer struct {
+	strategy    Strategy
+	dialTimeout time.Duration
+	coolDown    time.Duration
+	profile     *profiling.Profile
+	trace       *logging.Trace
+
+	backends []*backend
+	next     atomic.Uint64
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+type backend struct {
+	addr string
+	// live counts forwarded connections currently open.
+	live atomic.Int64
+	// forwarded counts total connections placed here.
+	forwarded atomic.Uint64
+	// failedUntil is a unix-nano timestamp before which the backend is
+	// skipped.
+	failedUntil atomic.Int64
+}
+
+// ErrNoBackends is returned by New for an empty backend list.
+var ErrNoBackends = errors.New("cluster: at least one backend required")
+
+// errAllDown reports that every backend is cooling down or unreachable.
+var errAllDown = errors.New("cluster: no healthy backend")
+
+// New validates cfg and creates a Balancer. Call Start to begin serving.
+func New(cfg Config) (*Balancer, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, ErrNoBackends
+	}
+	dt := cfg.DialTimeout
+	if dt <= 0 {
+		dt = 2 * time.Second
+	}
+	cd := cfg.CoolDown
+	if cd <= 0 {
+		cd = time.Second
+	}
+	b := &Balancer{
+		strategy:    cfg.Strategy,
+		dialTimeout: dt,
+		coolDown:    cd,
+		profile:     cfg.Profile,
+		trace:       cfg.Trace,
+	}
+	for _, addr := range cfg.Backends {
+		if addr == "" {
+			return nil, errors.New("cluster: empty backend address")
+		}
+		b.backends = append(b.backends, &backend{addr: addr})
+	}
+	return b, nil
+}
+
+// Start begins accepting from ln and forwarding. It returns immediately.
+func (b *Balancer) Start(ln net.Listener) {
+	b.ln = ln
+	b.wg.Add(1)
+	go b.acceptLoop()
+}
+
+// ListenAndServe binds addr and starts the balancer.
+func (b *Balancer) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	b.Start(ln)
+	return nil
+}
+
+// Addr returns the front-end address once serving.
+func (b *Balancer) Addr() net.Addr {
+	if b.ln == nil {
+		return nil
+	}
+	return b.ln.Addr()
+}
+
+// Shutdown stops accepting and waits for in-flight forwards to finish
+// their current copies.
+func (b *Balancer) Shutdown() {
+	if !b.closed.CompareAndSwap(false, true) {
+		return
+	}
+	if b.ln != nil {
+		b.ln.Close()
+	}
+	b.wg.Wait()
+}
+
+// Forwarded returns total connections placed per backend address.
+func (b *Balancer) Forwarded() map[string]uint64 {
+	out := make(map[string]uint64, len(b.backends))
+	for _, be := range b.backends {
+		out[be.addr] = be.forwarded.Load()
+	}
+	return out
+}
+
+// Live returns currently open forwarded connections per backend address.
+func (b *Balancer) Live() map[string]int64 {
+	out := make(map[string]int64, len(b.backends))
+	for _, be := range b.backends {
+		out[be.addr] = be.live.Load()
+	}
+	return out
+}
+
+func (b *Balancer) acceptLoop() {
+	defer b.wg.Done()
+	for {
+		conn, err := b.ln.Accept()
+		if err != nil {
+			return
+		}
+		b.profile.ConnectionAccepted()
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			b.forward(conn)
+		}()
+	}
+}
+
+// forward places one client connection on a backend and splices bytes in
+// both directions until either side closes.
+func (b *Balancer) forward(client net.Conn) {
+	defer client.Close()
+	be, upstream, err := b.connect()
+	if err != nil {
+		b.trace.Record("cluster", "dropping %s: %v", client.RemoteAddr(), err)
+		b.profile.ConnectionRefused()
+		return
+	}
+	defer upstream.Close()
+	be.live.Add(1)
+	defer be.live.Add(-1)
+	b.trace.Record("cluster", "forwarding %s -> %s", client.RemoteAddr(), be.addr)
+
+	done := make(chan struct{}, 2)
+	splice := func(dst, src net.Conn, count func(int)) {
+		buf := make([]byte, 32<<10)
+		for {
+			n, rerr := src.Read(buf)
+			if n > 0 {
+				count(n)
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					break
+				}
+			}
+			if rerr != nil {
+				break
+			}
+		}
+		// Half-close so the peer's pending read completes.
+		if tc, ok := dst.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		done <- struct{}{}
+	}
+	go splice(upstream, client, b.profile.BytesRead)
+	go splice(client, upstream, b.profile.BytesSent)
+	<-done
+	<-done
+	b.profile.ConnectionClosed()
+}
+
+// connect picks backends under the strategy until one dials, marking
+// failures for cool-down.
+func (b *Balancer) connect() (*backend, net.Conn, error) {
+	for attempt := 0; attempt < len(b.backends); attempt++ {
+		be := b.pick()
+		if be == nil {
+			break
+		}
+		conn, err := net.DialTimeout("tcp", be.addr, b.dialTimeout)
+		if err != nil {
+			be.failedUntil.Store(time.Now().Add(b.coolDown).UnixNano())
+			b.trace.Record("cluster", "backend %s failed: %v", be.addr, err)
+			continue
+		}
+		be.forwarded.Add(1)
+		return be, conn, nil
+	}
+	return nil, nil, errAllDown
+}
+
+// pick selects the next healthy backend under the strategy (nil when all
+// are cooling down).
+func (b *Balancer) pick() *backend {
+	now := time.Now().UnixNano()
+	healthy := make([]*backend, 0, len(b.backends))
+	for _, be := range b.backends {
+		if be.failedUntil.Load() <= now {
+			healthy = append(healthy, be)
+		}
+	}
+	if len(healthy) == 0 {
+		return nil
+	}
+	switch b.strategy {
+	case LeastConnections:
+		best := healthy[0]
+		for _, be := range healthy[1:] {
+			if be.live.Load() < best.live.Load() {
+				best = be
+			}
+		}
+		return best
+	default:
+		return healthy[int(b.next.Add(1)-1)%len(healthy)]
+	}
+}
+
+// String describes the balancer for logs.
+func (b *Balancer) String() string {
+	return fmt.Sprintf("cluster balancer (%s, %d backends)", b.strategy, len(b.backends))
+}

@@ -1,0 +1,314 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/nserver"
+	"repro/internal/options"
+	"repro/internal/profiling"
+)
+
+// idCodec is a line codec whose replies carry the backend's identity.
+type idCodec struct{}
+
+func (idCodec) Decode(buf []byte) (any, int, error) {
+	for i, c := range buf {
+		if c == '\n' {
+			return string(buf[:i]), i + 1, nil
+		}
+	}
+	return nil, 0, nil
+}
+
+func (idCodec) Encode(reply any) ([]byte, error) {
+	return append([]byte(reply.(string)), '\n'), nil
+}
+
+// startBackend runs one N-Server that identifies itself in every reply.
+func startBackend(t *testing.T, id string) string {
+	t.Helper()
+	srv, err := nserver.New(nserver.Config{
+		Options: options.Options{
+			DispatcherThreads:  1,
+			SeparateThreadPool: true,
+			EventThreads:       2,
+			Codec:              true,
+		},
+		App: nserver.AppFuncs{Request: func(c *nserver.Conn, req any) {
+			_ = c.Reply(id + ":" + req.(string))
+		}},
+		Codec: idCodec{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(ln); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Shutdown)
+	return ln.Addr().String()
+}
+
+func startBalancer(t *testing.T, cfg Config) *Balancer {
+	t.Helper()
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(b.Shutdown)
+	return b
+}
+
+// askOnce opens a connection through the balancer, sends one request and
+// returns the backend id prefix of the reply.
+func askOnce(t *testing.T, addr string) string {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	fmt.Fprint(conn, "ping\n")
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _, ok := strings.Cut(strings.TrimSpace(line), ":")
+	if !ok {
+		t.Fatalf("malformed reply %q", line)
+	}
+	return id
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err != ErrNoBackends {
+		t.Errorf("empty backends: %v", err)
+	}
+	if _, err := New(Config{Backends: []string{""}}); err == nil {
+		t.Error("empty address accepted")
+	}
+	b, err := New(Config{Backends: []string{"127.0.0.1:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "round-robin") {
+		t.Errorf("String = %q", b.String())
+	}
+	if RoundRobin.String() != "round-robin" || LeastConnections.String() != "least-connections" {
+		t.Error("strategy strings wrong")
+	}
+}
+
+func TestRoundRobinDistributesConnections(t *testing.T) {
+	a := startBackend(t, "A")
+	bAddr := startBackend(t, "B")
+	lb := startBalancer(t, Config{Backends: []string{a, bAddr}})
+	seen := map[string]int{}
+	for i := 0; i < 8; i++ {
+		seen[askOnce(t, lb.Addr().String())]++
+	}
+	if seen["A"] != 4 || seen["B"] != 4 {
+		t.Errorf("round robin skewed: %v", seen)
+	}
+	fw := lb.Forwarded()
+	if fw[a] != 4 || fw[bAddr] != 4 {
+		t.Errorf("forwarded counts: %v", fw)
+	}
+}
+
+func TestConnectionAffinity(t *testing.T) {
+	// All requests of one client connection land on one backend (the
+	// pipeline runs on exactly one N-Server).
+	a := startBackend(t, "A")
+	bAddr := startBackend(t, "B")
+	lb := startBalancer(t, Config{Backends: []string{a, bAddr}})
+	conn, err := net.Dial("tcp", lb.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	var first string
+	for i := 0; i < 5; i++ {
+		fmt.Fprintf(conn, "req%d\n", i)
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, rest, _ := strings.Cut(strings.TrimSpace(line), ":")
+		if rest != fmt.Sprintf("req%d", i) {
+			t.Fatalf("reply %q", line)
+		}
+		if first == "" {
+			first = id
+		} else if id != first {
+			t.Fatalf("connection switched backends: %s then %s", first, id)
+		}
+	}
+}
+
+func TestFailoverSkipsDeadBackend(t *testing.T) {
+	alive := startBackend(t, "A")
+	// A dead address: listener opened then closed immediately.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	prof := profiling.New()
+	lb := startBalancer(t, Config{
+		Backends: []string{deadAddr, alive},
+		CoolDown: 50 * time.Millisecond,
+		Profile:  prof,
+	})
+	for i := 0; i < 4; i++ {
+		if id := askOnce(t, lb.Addr().String()); id != "A" {
+			t.Fatalf("request %d served by %q", i, id)
+		}
+	}
+	if lb.Forwarded()[deadAddr] != 0 {
+		t.Error("connections counted on the dead backend")
+	}
+}
+
+func TestAllBackendsDownDropsClient(t *testing.T) {
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+	prof := profiling.New()
+	lb := startBalancer(t, Config{
+		Backends:    []string{deadAddr},
+		DialTimeout: 200 * time.Millisecond,
+		CoolDown:    10 * time.Second,
+		Profile:     prof,
+	})
+	conn, err := net.Dial("tcp", lb.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Error("client connection survived with no backends")
+	}
+	// Second client hits the cool-down path (no healthy backend at all).
+	conn2, err := net.Dial("tcp", lb.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	conn2.SetReadDeadline(time.Now().Add(3 * time.Second))
+	conn2.Read(make([]byte, 1))
+	deadline := time.After(2 * time.Second)
+	for prof.Snapshot().ConnectionsRefused < 2 {
+		select {
+		case <-deadline:
+			t.Fatalf("refused = %d", prof.Snapshot().ConnectionsRefused)
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func TestLeastConnectionsPrefersIdleBackend(t *testing.T) {
+	a := startBackend(t, "A")
+	bAddr := startBackend(t, "B")
+	lb := startBalancer(t, Config{
+		Backends: []string{a, bAddr},
+		Strategy: LeastConnections,
+	})
+	// Park several long-lived connections; least-connections must keep
+	// the live counts balanced within one.
+	var conns []net.Conn
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	for i := 0; i < 6; i++ {
+		c, err := net.Dial("tcp", lb.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, c)
+		// Confirm the forward is established before the next dial so the
+		// live counts are settled.
+		c.SetDeadline(time.Now().Add(5 * time.Second))
+		fmt.Fprint(c, "hold\n")
+		if _, err := bufio.NewReader(c).ReadString('\n'); err != nil {
+			t.Fatal(err)
+		}
+	}
+	live := lb.Live()
+	if live[a] != 3 || live[bAddr] != 3 {
+		t.Errorf("least-connections imbalance: %v", live)
+	}
+}
+
+func TestConcurrentClientsThroughBalancer(t *testing.T) {
+	a := startBackend(t, "A")
+	bAddr := startBackend(t, "B")
+	lb := startBalancer(t, Config{Backends: []string{a, bAddr}})
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", lb.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			for j := 0; j < 10; j++ {
+				conn.SetDeadline(time.Now().Add(5 * time.Second))
+				fmt.Fprintf(conn, "c%d-%d\n", id, j)
+				line, err := r.ReadString('\n')
+				if err != nil {
+					errs <- fmt.Errorf("client %d: %w", id, err)
+					return
+				}
+				if !strings.Contains(line, fmt.Sprintf("c%d-%d", id, j)) {
+					errs <- fmt.Errorf("client %d got %q", id, line)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestShutdownIdempotent(t *testing.T) {
+	a := startBackend(t, "A")
+	lb := startBalancer(t, Config{Backends: []string{a}})
+	addr := lb.Addr().String()
+	lb.Shutdown()
+	lb.Shutdown()
+	if _, err := net.Dial("tcp", addr); err == nil {
+		t.Error("front end open after shutdown")
+	}
+}

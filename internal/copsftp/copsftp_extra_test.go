@@ -1,0 +1,185 @@
+package copsftp
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFrameworkAccessor(t *testing.T) {
+	s := startFTP(t, Config{Root: buildRoot(t)})
+	if s.Framework() == nil {
+		t.Error("Framework() nil")
+	}
+	if s.Addr() == "" {
+		t.Error("Addr() empty after start")
+	}
+	unstarted, err := New(Config{Root: buildRoot(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unstarted.Addr() != "" {
+		t.Error("Addr() non-empty before start")
+	}
+}
+
+func TestPortArgumentValidation(t *testing.T) {
+	s := startFTP(t, Config{Root: buildRoot(t)})
+	c := newClient(t, s.Addr())
+	c.login()
+	c.cmd(501, "PORT not,a,valid,arg")
+	c.cmd(501, "PORT 1,2,3")
+	// A valid PORT after PASV drops the passive listener.
+	c.cmd(227, "PASV")
+	c.cmd(200, "PORT 127,0,0,1,10,10")
+}
+
+func TestPasvReplacesPreviousListener(t *testing.T) {
+	s := startFTP(t, Config{Root: buildRoot(t)})
+	c := newClient(t, s.Addr())
+	c.login()
+	first := c.cmd(227, "PASV")
+	second := c.cmd(227, "PASV")
+	if first == second {
+		t.Error("PASV reply identical (listener not replaced)")
+	}
+	// The first listener was closed: only the second endpoint accepts.
+	open := strings.Index(second, "(")
+	if open < 0 {
+		t.Fatalf("bad PASV reply %q", second)
+	}
+}
+
+func TestSizeOnDirectoryAndMissing(t *testing.T) {
+	s := startFTP(t, Config{Root: buildRoot(t)})
+	c := newClient(t, s.Addr())
+	c.login()
+	c.cmd(550, "SIZE pub")       // directory
+	c.cmd(550, "SIZE ghost.txt") // missing
+}
+
+func TestRenameErrors(t *testing.T) {
+	root := buildRoot(t)
+	s := startFTP(t, Config{Root: root})
+	c := newClient(t, s.Addr())
+	c.login()
+	c.cmd(550, "RNFR missing.txt")
+	// RNTO in a read-only server.
+	ro := startFTP(t, Config{Root: buildRoot(t), ReadOnly: true})
+	c2 := newClient(t, ro.Addr())
+	c2.login()
+	c2.cmd(350, "RNFR hello.txt") // RNFR allowed (no mutation yet)
+	c2.cmd(550, "RNTO other.txt") // RNTO refused
+}
+
+func TestDeleRefusesDirectory(t *testing.T) {
+	s := startFTP(t, Config{Root: buildRoot(t)})
+	c := newClient(t, s.Addr())
+	c.login()
+	c.cmd(550, "DELE pub")
+	c.cmd(501, "DELE")
+}
+
+func TestRmdRefusesFile(t *testing.T) {
+	s := startFTP(t, Config{Root: buildRoot(t)})
+	c := newClient(t, s.Addr())
+	c.login()
+	c.cmd(550, "RMD hello.txt")
+}
+
+func TestListMissingDirectory(t *testing.T) {
+	s := startFTP(t, Config{Root: buildRoot(t)})
+	c := newClient(t, s.Addr())
+	c.login()
+	c.cmd(550, "LIST nowhere")
+}
+
+func TestUserEmptyArgument(t *testing.T) {
+	s := startFTP(t, Config{Root: buildRoot(t)})
+	c := newClient(t, s.Addr())
+	c.expect(220)
+	c.cmd(501, "USER")
+	c.cmd(503, "PASS x") // PASS before USER
+}
+
+func TestSessionCleanupClosesPasvListener(t *testing.T) {
+	s := startFTP(t, Config{Root: buildRoot(t)})
+	c := newClient(t, s.Addr())
+	c.login()
+	reply := c.cmd(227, "PASV")
+	open := strings.Index(reply, "(")
+	closeP := strings.Index(reply, ")")
+	parts := strings.Split(reply[open+1:closeP], ",")
+	if len(parts) != 6 {
+		t.Fatalf("bad PASV %q", reply)
+	}
+	// Close the control connection; the passive listener must close too.
+	c.conn.Close()
+	time.Sleep(50 * time.Millisecond)
+	port := 0
+	var p1, p2 int
+	if _, err := sscan(parts[4], &p1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscan(parts[5], &p2); err != nil {
+		t.Fatal(err)
+	}
+	port = p1*256 + p2
+	dc, err := net.DialTimeout("tcp", net.JoinHostPort("127.0.0.1", itoa(port)), 300*time.Millisecond)
+	if err == nil {
+		// Either refused (listener closed) or accepted-then-closed by
+		// the dying accept; a successful dial must at least see EOF.
+		dc.SetReadDeadline(time.Now().Add(time.Second))
+		buf := make([]byte, 1)
+		if _, rerr := dc.Read(buf); rerr == nil {
+			t.Error("passive listener alive after control close")
+		}
+		dc.Close()
+	}
+}
+
+func sscan(s string, out *int) (int, error) {
+	n := 0
+	for _, c := range strings.TrimSpace(s) {
+		if c < '0' || c > '9' {
+			return 0, os.ErrInvalid
+		}
+		n = n*10 + int(c-'0')
+	}
+	*out = n
+	return 1, nil
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestStorCreatesNestedPath(t *testing.T) {
+	root := buildRoot(t)
+	s := startFTP(t, Config{Root: root})
+	c := newClient(t, s.Addr())
+	c.login()
+	c.cmd(250, "CWD pub")
+	dc := c.pasvData()
+	c.cmd(150, "STOR nested.txt")
+	dc.Write([]byte("in pub"))
+	dc.Close()
+	c.expect(226)
+	data, err := os.ReadFile(filepath.Join(root, "pub", "nested.txt"))
+	if err != nil || string(data) != "in pub" {
+		t.Errorf("nested store: %q %v", data, err)
+	}
+}

@@ -1,0 +1,330 @@
+// Package copshttp is COPS-HTTP: the paper's high-performance static Web
+// server built on the N-Server framework. It corresponds to the 785 NCSS
+// of "other application code" in Table 4 — everything else (concurrency,
+// dispatch, caching, overload control) comes from the framework, and the
+// request grammar comes from internal/httpproto.
+//
+// The server handles static page requests: GET and HEAD with HTTP/1.0-1.1
+// persistent connections. File content is fetched through the framework's
+// emulated asynchronous file I/O (asynchronous completion events, per
+// COPS-HTTP's O4 setting) and cached under the configured replacement
+// policy (LRU in the paper's experiments).
+package copshttp
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/events"
+	"repro/internal/httpproto"
+	"repro/internal/logging"
+	"repro/internal/nserver"
+	"repro/internal/options"
+)
+
+// Config configures a COPS-HTTP server.
+type Config struct {
+	// DocRoot is the directory served. Required.
+	DocRoot string
+	// Options is the template option assignment; zero value means the
+	// paper's COPS-HTTP preset (options.COPSHTTP()).
+	Options *options.Options
+	// Priority assigns connection priorities when O8 is on (the ISP
+	// experiment's 13-line hook classifies by client IP).
+	Priority nserver.PriorityFunc
+	// IndexFile is served for directory requests. Default "index.html".
+	IndexFile string
+	// DecodeDelay, when positive, burns the configured duration in the
+	// Decode Request step — the paper's third experiment makes the
+	// workload CPU-bound by sleeping 50ms while decoding.
+	DecodeDelay time.Duration
+	// Dynamic maps path prefixes to dynamic-content handlers, the
+	// extension the paper notes ("the same pattern can be used to
+	// generate a server for dynamic content, except that more
+	// application-dependent code would be required"). The longest
+	// matching prefix wins; unmatched paths serve static files.
+	Dynamic map[string]DynamicHandler
+	// Trace receives the debug trace in Debug mode.
+	Trace *logging.Trace
+	// AccessLog receives one record per completed request when the
+	// logging option (O12) is selected in Options.
+	AccessLog *logging.Logger
+	// GatePollInterval tunes the overload gate poll (tests/experiments).
+	GatePollInterval time.Duration
+}
+
+// DynamicHandler computes one response for a dynamic-content request. It
+// runs on an Event Processor worker; it must not block indefinitely.
+type DynamicHandler func(req *httpproto.Request) *httpproto.Response
+
+// Server is a running COPS-HTTP instance.
+type Server struct {
+	ns        *nserver.Server
+	docroot   string
+	indexFile string
+	dynamic   map[string]DynamicHandler
+}
+
+// connState carries one in-flight request through the asynchronous stat
+// and read hops (the Asynchronous Completion Token's state).
+type connState struct {
+	conn *nserver.Conn
+	req  *httpproto.Request
+	// full is the resolved filesystem path being served.
+	full string
+	// modTime is the file's modification time from the stat hop.
+	modTime time.Time
+	// triedIndex guards the single directory -> index file retry.
+	triedIndex bool
+}
+
+// New assembles a COPS-HTTP server.
+func New(cfg Config) (*Server, error) {
+	if cfg.DocRoot == "" {
+		return nil, errors.New("copshttp: DocRoot required")
+	}
+	root, err := filepath.Abs(cfg.DocRoot)
+	if err != nil {
+		return nil, err
+	}
+	if fi, err := os.Stat(root); err != nil || !fi.IsDir() {
+		return nil, fmt.Errorf("copshttp: DocRoot %q is not a directory", root)
+	}
+	opts := options.COPSHTTP()
+	if cfg.Options != nil {
+		opts = *cfg.Options
+	}
+	idx := cfg.IndexFile
+	if idx == "" {
+		idx = "index.html"
+	}
+	s := &Server{docroot: root, indexFile: idx, dynamic: cfg.Dynamic}
+
+	var codec nserver.Codec = httpproto.Codec{}
+	if cfg.DecodeDelay > 0 {
+		codec = delayCodec{inner: codec, delay: cfg.DecodeDelay}
+	}
+	ns, err := nserver.New(nserver.Config{
+		Options:          opts,
+		App:              nserver.AppFuncs{Request: s.handle},
+		Codec:            codec,
+		Priority:         cfg.Priority,
+		Trace:            cfg.Trace,
+		Logger:           cfg.AccessLog,
+		GatePollInterval: cfg.GatePollInterval,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.ns = ns
+	return s, nil
+}
+
+// Framework returns the underlying N-Server (profiling, cache, shutdown).
+func (s *Server) Framework() *nserver.Server { return s.ns }
+
+// ListenAndServe binds addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error { return s.ns.ListenAndServe(addr) }
+
+// Shutdown stops the server.
+func (s *Server) Shutdown() { s.ns.Shutdown() }
+
+// Addr returns the bound address once serving.
+func (s *Server) Addr() string {
+	if a := s.ns.Addr(); a != nil {
+		return a.String()
+	}
+	return ""
+}
+
+// handle is the Handle Request hook: validate, resolve the path under the
+// document root, then run the event-driven file pipeline — an
+// asynchronous stat hop (directory resolution and If-Modified-Since),
+// then an asynchronous read hop — and reply from the completions.
+func (s *Server) handle(c *nserver.Conn, req any) {
+	r, ok := req.(*httpproto.Request)
+	if !ok {
+		_ = c.Reply(httpproto.ErrorResponse(500, true))
+		c.Close()
+		return
+	}
+	if h := s.lookupDynamic(r.Path); h != nil {
+		s.serveDynamic(c, r, h)
+		return
+	}
+	if r.Method != "GET" && r.Method != "HEAD" {
+		s.reply(c, r, httpproto.ErrorResponse(405, !r.KeepAlive()))
+		return
+	}
+	full, err := s.resolve(r.Path)
+	if err != nil {
+		s.reply(c, r, httpproto.ErrorResponse(403, !r.KeepAlive()))
+		return
+	}
+	st := &connState{conn: c, req: r, full: full}
+	if _, err := s.ns.AIO().Stat(full, st, c.Priority(), s.statDone); err != nil {
+		s.reply(c, r, httpproto.ErrorResponse(503, true))
+		c.Close()
+	}
+}
+
+// statDone is the completion handler of the stat hop: it resolves
+// directories to their index file (one retry), answers conditional
+// requests with 304, and otherwise issues the read hop.
+func (s *Server) statDone(tok events.Token, info os.FileInfo, err error) {
+	st := tok.State.(*connState)
+	c, r := st.conn, st.req
+	if err != nil {
+		status := 404
+		if errors.Is(err, fs.ErrPermission) {
+			status = 403
+		}
+		s.reply(c, r, httpproto.ErrorResponse(status, !r.KeepAlive()))
+		return
+	}
+	if info.IsDir() {
+		if st.triedIndex {
+			s.reply(c, r, httpproto.ErrorResponse(403, !r.KeepAlive()))
+			return
+		}
+		st.triedIndex = true
+		st.full = filepath.Join(st.full, s.indexFile)
+		if _, err := s.ns.AIO().Stat(st.full, st, c.Priority(), s.statDone); err != nil {
+			s.reply(c, r, httpproto.ErrorResponse(503, true))
+			c.Close()
+		}
+		return
+	}
+	st.modTime = info.ModTime()
+	if httpproto.NotModifiedSince(r.Headers.Get("If-Modified-Since"), st.modTime) {
+		resp := &httpproto.Response{Status: 304, Headers: httpproto.NewHeader()}
+		resp.Headers.Set("Last-Modified", httpproto.FormatHTTPDate(st.modTime))
+		resp.Close = !r.KeepAlive()
+		s.reply(c, r, resp)
+		return
+	}
+	if _, err := s.ns.AIO().ReadFile(st.full, st, c.Priority(), s.fileDone); err != nil {
+		s.reply(c, r, httpproto.ErrorResponse(503, true))
+		c.Close()
+	}
+}
+
+// fileDone is the Completion Handler: it runs when the emulated
+// asynchronous read finishes (on the reactive pool for asynchronous
+// completions) and performs the Encode Reply / Send Reply steps.
+func (s *Server) fileDone(tok events.Token, data []byte, err error) {
+	st := tok.State.(*connState)
+	c, r := st.conn, st.req
+	if err != nil {
+		status := 404
+		if errors.Is(err, fs.ErrPermission) {
+			status = 403
+		}
+		s.reply(c, r, httpproto.ErrorResponse(status, !r.KeepAlive()))
+		return
+	}
+	resp := httpproto.NewResponse(200, httpproto.MimeType(st.full), data)
+	if !st.modTime.IsZero() {
+		resp.Headers.Set("Last-Modified", httpproto.FormatHTTPDate(st.modTime))
+	}
+	if r.Method == "HEAD" {
+		resp.Headers.Set("Content-Length", fmt.Sprintf("%d", len(data)))
+		resp.Body = nil
+	}
+	resp.Close = !r.KeepAlive()
+	s.reply(c, r, resp)
+}
+
+// lookupDynamic returns the handler with the longest matching path
+// prefix (nil when the path is static).
+func (s *Server) lookupDynamic(path string) DynamicHandler {
+	var best DynamicHandler
+	bestLen := -1
+	for prefix, h := range s.dynamic {
+		if len(prefix) > bestLen && strings.HasPrefix(path, prefix) {
+			best = h
+			bestLen = len(prefix)
+		}
+	}
+	return best
+}
+
+// serveDynamic runs a dynamic-content handler with panic isolation.
+func (s *Server) serveDynamic(c *nserver.Conn, r *httpproto.Request, h DynamicHandler) {
+	resp := func() (resp *httpproto.Response) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				resp = httpproto.ErrorResponse(500, true)
+			}
+		}()
+		return h(r)
+	}()
+	if resp == nil {
+		resp = httpproto.ErrorResponse(404, !r.KeepAlive())
+	}
+	if !resp.Close {
+		resp.Close = !r.KeepAlive()
+	}
+	if r.Method == "HEAD" {
+		resp.Headers.Set("Content-Length", fmt.Sprintf("%d", len(resp.Body)))
+		resp.Body = nil
+	}
+	s.reply(c, r, resp)
+}
+
+// reply sends the response, writes the access-log record (O12) and
+// closes non-persistent connections.
+func (s *Server) reply(c *nserver.Conn, r *httpproto.Request, resp *httpproto.Response) {
+	if r != nil {
+		resp.Proto = r.Proto
+	}
+	_ = c.Reply(resp)
+	if lg := s.ns.Logger(); lg != nil && r != nil {
+		// Common-log-style record: remote, request line, status, bytes.
+		lg.Infof("%s \"%s %s %s\" %d %d",
+			c.RemoteAddr(), r.Method, r.Target, r.Proto, resp.Status, len(resp.Body))
+	}
+	if resp.Close {
+		c.Close()
+	}
+}
+
+// resolve maps a cleaned request path to a file under the document root.
+// Directory resolution happens in the asynchronous stat hop, so no
+// blocking filesystem call occurs here.
+func (s *Server) resolve(reqPath string) (string, error) {
+	p := httpproto.CleanPath(reqPath)
+	if strings.HasSuffix(p, "/") {
+		p += s.indexFile
+	}
+	full := filepath.Join(s.docroot, filepath.FromSlash(p))
+	// CleanPath cannot escape the root, but keep the invariant explicit.
+	if full != s.docroot && !strings.HasPrefix(full, s.docroot+string(filepath.Separator)) {
+		return "", errors.New("copshttp: path escapes document root")
+	}
+	return full, nil
+}
+
+// delayCodec wraps a codec with the CPU-burn of the overload experiment.
+type delayCodec struct {
+	inner nserver.Codec
+	delay time.Duration
+}
+
+// Decode sleeps for the configured delay before decoding, making request
+// decoding CPU-bound as in the paper's third experiment.
+func (d delayCodec) Decode(buf []byte) (any, int, error) {
+	req, n, err := d.inner.Decode(buf)
+	if req != nil {
+		time.Sleep(d.delay)
+	}
+	return req, n, err
+}
+
+// Encode delegates to the wrapped codec.
+func (d delayCodec) Encode(reply any) ([]byte, error) { return d.inner.Encode(reply) }

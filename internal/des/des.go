@@ -1,0 +1,143 @@
+// Package des is a single-threaded discrete-event simulation kernel: a
+// virtual clock, an event heap, and queueing-station/resource primitives.
+//
+// It is the substrate for reproducing the paper's testbed experiments
+// (Figs. 3-6) without the paper's hardware: the Sun E420R server, the 16
+// client hosts, the bandwidth-limited switched network and five-minute
+// wall-clock runs become deterministic virtual-time models built from
+// these primitives (see internal/simnet and internal/experiments).
+// Everything runs on the caller's goroutine in continuation-passing
+// style; there is no real concurrency and therefore no nondeterminism.
+package des
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Kernel is the simulation clock and event queue.
+type Kernel struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+}
+
+// NewKernel creates a kernel at virtual time zero.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Pending returns the number of scheduled events.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// Timer identifies a scheduled event; Cancel prevents a pending firing.
+type Timer struct {
+	item *eventItem
+}
+
+// Cancel stops the timer if it has not fired; it reports whether the
+// event was still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.item == nil || t.item.fn == nil {
+		return false
+	}
+	t.item.fn = nil // lazily deleted when popped
+	return true
+}
+
+// At schedules fn at absolute virtual time at (clamped to now if in the
+// past).
+func (k *Kernel) At(at time.Duration, fn func()) *Timer {
+	if at < k.now {
+		at = k.now
+	}
+	k.seq++
+	item := &eventItem{t: at, seq: k.seq, fn: fn}
+	heap.Push(&k.events, item)
+	return &Timer{item: item}
+}
+
+// After schedules fn after virtual duration d.
+func (k *Kernel) After(d time.Duration, fn func()) *Timer {
+	return k.At(k.now+d, fn)
+}
+
+// Step runs the next event; it reports whether one was run.
+func (k *Kernel) Step() bool {
+	for len(k.events) > 0 {
+		item := heap.Pop(&k.events).(*eventItem)
+		if item.fn == nil {
+			continue // cancelled
+		}
+		k.now = item.t
+		fn := item.fn
+		item.fn = nil
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (k *Kernel) Run() {
+	for k.Step() {
+	}
+}
+
+// RunUntil executes events with time <= deadline, then sets the clock to
+// deadline. Events scheduled beyond the deadline stay pending.
+func (k *Kernel) RunUntil(deadline time.Duration) {
+	for len(k.events) > 0 {
+		if k.events[0].fn == nil {
+			heap.Pop(&k.events)
+			continue
+		}
+		if k.events[0].t > deadline {
+			break
+		}
+		k.Step()
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+}
+
+// eventItem is one scheduled event. Ties on time break by insertion
+// sequence so the simulation is fully deterministic.
+type eventItem struct {
+	t     time.Duration
+	seq   uint64
+	fn    func()
+	index int
+}
+
+type eventHeap []*eventItem
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	item := x.(*eventItem)
+	item.index = len(*h)
+	*h = append(*h, item)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return item
+}

@@ -1,0 +1,181 @@
+package des
+
+import (
+	"time"
+)
+
+// Job is one unit of work submitted to a Station.
+type Job struct {
+	// Prio is the scheduling priority (0 = highest) for priority
+	// disciplines; FIFO ignores it.
+	Prio int
+	// Service is how long one server is held.
+	Service time.Duration
+	// Done runs when service completes.
+	Done func()
+}
+
+// JobQueue is a Station's waiting-line discipline.
+type JobQueue interface {
+	Push(Job)
+	Pop() (Job, bool)
+	Len() int
+}
+
+// FIFOQueue is the default first-come-first-served waiting line.
+type FIFOQueue struct {
+	buf  []Job
+	head int
+}
+
+// Push implements JobQueue.
+func (q *FIFOQueue) Push(j Job) { q.buf = append(q.buf, j) }
+
+// Pop implements JobQueue.
+func (q *FIFOQueue) Pop() (Job, bool) {
+	if q.head == len(q.buf) {
+		return Job{}, false
+	}
+	j := q.buf[q.head]
+	q.buf[q.head] = Job{}
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return j, true
+}
+
+// Len implements JobQueue.
+func (q *FIFOQueue) Len() int { return len(q.buf) - q.head }
+
+// QuotaQueue is the single-threaded analogue of the N-Server's quota-based
+// priority queue (option O8): highest priority first, with per-level
+// quotas per scheduling cycle so lower levels cannot starve. It is used
+// by the Fig. 5 model.
+type QuotaQueue struct {
+	levels  []FIFOQueue
+	quotas  []int
+	credits []int
+	total   int
+}
+
+// NewQuotaQueue creates a queue with one level per quota (level 0 is the
+// highest priority). Quotas must be positive.
+func NewQuotaQueue(quotas []int) *QuotaQueue {
+	q := &QuotaQueue{
+		levels:  make([]FIFOQueue, len(quotas)),
+		quotas:  append([]int(nil), quotas...),
+		credits: make([]int, len(quotas)),
+	}
+	copy(q.credits, quotas)
+	return q
+}
+
+// Push implements JobQueue, clamping out-of-range priorities.
+func (q *QuotaQueue) Push(j Job) {
+	lvl := j.Prio
+	if lvl < 0 {
+		lvl = 0
+	}
+	if lvl >= len(q.levels) {
+		lvl = len(q.levels) - 1
+	}
+	q.levels[lvl].Push(j)
+	q.total++
+}
+
+// Pop implements JobQueue under the quota discipline.
+func (q *QuotaQueue) Pop() (Job, bool) {
+	if q.total == 0 {
+		return Job{}, false
+	}
+	for {
+		for i := range q.levels {
+			if q.levels[i].Len() > 0 && q.credits[i] > 0 {
+				q.credits[i]--
+				q.total--
+				return q.levels[i].Pop()
+			}
+		}
+		copy(q.credits, q.quotas)
+	}
+}
+
+// Len implements JobQueue.
+func (q *QuotaQueue) Len() int { return q.total }
+
+// LevelLen returns the backlog at one priority level.
+func (q *QuotaQueue) LevelLen(level int) int {
+	if level < 0 || level >= len(q.levels) {
+		return 0
+	}
+	return q.levels[level].Len()
+}
+
+// Station is a multi-server queueing station: capacity servers drain jobs
+// from a pluggable waiting line. It models the experiment CPUs, the disk,
+// and (with capacity 1) the bandwidth-limited network link.
+type Station struct {
+	k        *Kernel
+	capacity int
+	busy     int
+	queue    JobQueue
+	served   uint64
+	busyTime time.Duration
+}
+
+// NewStation creates a station with the given number of servers and
+// waiting-line discipline (nil means FIFO).
+func NewStation(k *Kernel, capacity int, queue JobQueue) *Station {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	if queue == nil {
+		queue = &FIFOQueue{}
+	}
+	return &Station{k: k, capacity: capacity, queue: queue}
+}
+
+// Submit enqueues a job; service begins as soon as a server is free.
+func (s *Station) Submit(j Job) {
+	if s.busy < s.capacity {
+		s.start(j)
+		return
+	}
+	s.queue.Push(j)
+}
+
+// QueueLen returns the waiting-line length (excluding jobs in service) —
+// the quantity the overload watermarks sample.
+func (s *Station) QueueLen() int { return s.queue.Len() }
+
+// Busy returns the number of servers currently serving.
+func (s *Station) Busy() int { return s.busy }
+
+// Served returns the total jobs completed.
+func (s *Station) Served() uint64 { return s.served }
+
+// Utilization returns the cumulative busy time across servers (divide by
+// capacity x elapsed for the classic rho).
+func (s *Station) Utilization() time.Duration { return s.busyTime }
+
+func (s *Station) start(j Job) {
+	s.busy++
+	s.busyTime += j.Service
+	s.k.After(j.Service, func() {
+		s.busy--
+		s.served++
+		if j.Done != nil {
+			j.Done()
+		}
+		// Done may itself have submitted work and reoccupied the freed
+		// server, so re-check capacity before taking from the queue.
+		if s.busy < s.capacity {
+			if next, ok := s.queue.Pop(); ok {
+				s.start(next)
+			}
+		}
+	})
+}

@@ -1,0 +1,257 @@
+// Package eventproc implements the Event Processor participant that the
+// N-Server template adds to the Reactor pattern.
+//
+// "An Event Processor contains an event queue and a pool of threads that
+// operate collaboratively to process ready events." The Event Dispatcher
+// only polls for ready events and passes them here, which is how the
+// generated server scales to multiple processors. A second Event Processor
+// instance is used to emulate non-blocking file I/O (see internal/aio).
+//
+// Option O5 selects the worker allocation strategy: a static pool, or a
+// dynamic pool managed by a Processor Controller that grows the pool under
+// queue pressure and shrinks it when the queue stays empty. Option O8
+// swaps the FIFO event queue for the quota-based priority queue, and the
+// O9 overload controller samples this processor's queue length against its
+// watermarks (see overload.go).
+package eventproc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/events"
+	"repro/internal/logging"
+	"repro/internal/options"
+	"repro/internal/profiling"
+)
+
+// Config configures a Processor.
+type Config struct {
+	// Name labels the processor in traces ("reactive", "file-io").
+	Name string
+	// Queue supplies the event queue discipline. Nil means a new FIFO.
+	Queue events.Queue
+	// Workers is the pool size for static allocation and the initial size
+	// for dynamic allocation. Must be positive.
+	Workers int
+	// Allocation selects static or dynamic worker allocation (O5).
+	Allocation options.Allocation
+	// MinWorkers/MaxWorkers bound the dynamic pool. Ignored when static.
+	MinWorkers int
+	MaxWorkers int
+	// ControlInterval is the Processor Controller's sampling period for
+	// dynamic allocation. Zero means 10ms.
+	ControlInterval time.Duration
+	// Profile receives EventProcessed counts (nil when O11 is off).
+	Profile *profiling.Profile
+	// Trace receives internal events in debug mode (nil in production).
+	Trace *logging.Trace
+}
+
+// Processor is an event queue plus a pool of workers.
+type Processor struct {
+	name    string
+	queue   events.Queue
+	profile *profiling.Profile
+	trace   *logging.Trace
+
+	dynamic  bool
+	min, max int
+	interval time.Duration
+
+	// desired is the pool size the Processor Controller wants; workers
+	// retire themselves when live > desired.
+	desired atomic.Int32
+	live    atomic.Int32
+
+	wg       sync.WaitGroup
+	ctrlDone chan struct{}
+	stopOnce sync.Once
+	started  atomic.Bool
+}
+
+// ErrNotStarted is returned by Submit before Start.
+var ErrNotStarted = errors.New("eventproc: processor not started")
+
+// New validates cfg and creates a Processor. Call Start to launch workers.
+func New(cfg Config) (*Processor, error) {
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("eventproc: workers must be positive (got %d)", cfg.Workers)
+	}
+	if cfg.Allocation == options.DynamicAllocation {
+		if cfg.MinWorkers <= 0 || cfg.MaxWorkers < cfg.MinWorkers {
+			return nil, fmt.Errorf("eventproc: dynamic allocation needs 0 < min <= max (got %d, %d)",
+				cfg.MinWorkers, cfg.MaxWorkers)
+		}
+		if cfg.Workers < cfg.MinWorkers {
+			cfg.Workers = cfg.MinWorkers
+		}
+		if cfg.Workers > cfg.MaxWorkers {
+			cfg.Workers = cfg.MaxWorkers
+		}
+	}
+	q := cfg.Queue
+	if q == nil {
+		q = events.NewFIFO()
+	}
+	interval := cfg.ControlInterval
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	p := &Processor{
+		name:     cfg.Name,
+		queue:    q,
+		profile:  cfg.Profile,
+		trace:    cfg.Trace,
+		dynamic:  cfg.Allocation == options.DynamicAllocation,
+		min:      cfg.MinWorkers,
+		max:      cfg.MaxWorkers,
+		interval: interval,
+		ctrlDone: make(chan struct{}),
+	}
+	p.desired.Store(int32(cfg.Workers))
+	return p, nil
+}
+
+// Name returns the processor's trace label.
+func (p *Processor) Name() string { return p.name }
+
+// Start launches the worker pool (and the Processor Controller for
+// dynamic allocation). Start is idempotent.
+func (p *Processor) Start() {
+	if !p.started.CompareAndSwap(false, true) {
+		return
+	}
+	n := int(p.desired.Load())
+	for i := 0; i < n; i++ {
+		p.spawn()
+	}
+	if p.dynamic {
+		p.wg.Add(1)
+		go p.controller()
+	}
+	p.trace.Record(p.name, "started with %d workers (dynamic=%v)", n, p.dynamic)
+}
+
+// Submit queues an event for processing.
+func (p *Processor) Submit(ev events.Event) error {
+	if !p.started.Load() {
+		return ErrNotStarted
+	}
+	if err := p.queue.Push(ev); err != nil {
+		return err
+	}
+	p.profile.EventDispatched()
+	return nil
+}
+
+// QueueLen returns the current event queue length (the quantity the
+// overload controller samples).
+func (p *Processor) QueueLen() int { return p.queue.Len() }
+
+// Workers returns the current live worker count.
+func (p *Processor) Workers() int { return int(p.live.Load()) }
+
+// Stop closes the queue, lets the workers drain the remaining events, and
+// waits for them to exit. Stop is idempotent.
+func (p *Processor) Stop() {
+	p.stopOnce.Do(func() {
+		close(p.ctrlDone)
+		p.queue.Close()
+	})
+	p.wg.Wait()
+	p.trace.Record(p.name, "stopped")
+}
+
+func (p *Processor) spawn() {
+	p.live.Add(1)
+	p.wg.Add(1)
+	go p.work()
+}
+
+func (p *Processor) work() {
+	defer p.wg.Done()
+	for {
+		if p.dynamic && p.tryRetire() {
+			return
+		}
+		ev, ok := p.queue.Pop()
+		if !ok {
+			p.live.Add(-1)
+			return
+		}
+		p.process(ev)
+	}
+}
+
+// tryRetire atomically claims one retirement slot when the Processor
+// Controller has shrunk the pool. The CAS guarantees at most (live-desired)
+// workers exit, and the min bound and the empty-queue check ensure
+// shrinking never strands queued events or drops the pool below minimum.
+func (p *Processor) tryRetire() bool {
+	if p.queue.Len() != 0 {
+		return false
+	}
+	for {
+		l := p.live.Load()
+		if l <= p.desired.Load() || int(l) <= p.min {
+			return false
+		}
+		if p.live.CompareAndSwap(l, l-1) {
+			return true
+		}
+	}
+}
+
+// process runs one event, isolating worker goroutines from handler panics
+// (a failing event must not take down the pool).
+func (p *Processor) process(ev events.Event) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.trace.Record(p.name, "event panic: %v", r)
+		}
+	}()
+	ev.Process()
+	p.profile.EventProcessed()
+}
+
+// controller is the Processor Controller of option O5: it samples queue
+// pressure every interval, growing the pool when the backlog exceeds the
+// live worker count and shrinking it after the queue stays empty.
+func (p *Processor) controller() {
+	defer p.wg.Done()
+	ticker := time.NewTicker(p.interval)
+	defer ticker.Stop()
+	idleStreak := 0
+	for {
+		select {
+		case <-p.ctrlDone:
+			return
+		case <-ticker.C:
+		}
+		backlog := p.queue.Len()
+		live := int(p.live.Load())
+		switch {
+		case backlog > live && live < p.max:
+			idleStreak = 0
+			p.desired.Store(int32(live + 1))
+			p.spawn()
+			p.trace.Record(p.name, "controller grew pool to %d (backlog %d)", live+1, backlog)
+		case backlog == 0 && live > p.min:
+			idleStreak++
+			if idleStreak >= 3 {
+				idleStreak = 0
+				p.desired.Store(int32(live - 1))
+				// A parked worker is blocked in Pop; nudge it so it can
+				// observe the shrink request.
+				_ = p.queue.Push(events.Func(func() {}))
+				p.trace.Record(p.name, "controller shrank pool to %d", live-1)
+			}
+		default:
+			idleStreak = 0
+		}
+	}
+}

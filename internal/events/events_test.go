@@ -1,0 +1,440 @@
+package events
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestFuncEvents(t *testing.T) {
+	ran := false
+	var ev Event = Func(func() { ran = true })
+	ev.Process()
+	if !ran {
+		t.Error("Func.Process did not run closure")
+	}
+	if ev.Priority() != DefaultPriority {
+		t.Errorf("Func priority = %d", ev.Priority())
+	}
+
+	ran = false
+	pev := PFunc{P: 3, F: func() { ran = true }}
+	pev.Process()
+	if !ran || pev.Priority() != 3 {
+		t.Errorf("PFunc wrong: ran=%v prio=%d", ran, pev.Priority())
+	}
+}
+
+func TestTokensAreUnique(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		tok := NewToken(i)
+		if seen[tok.ID] {
+			t.Fatalf("duplicate token ID %d", tok.ID)
+		}
+		seen[tok.ID] = true
+		if tok.State.(int) != i {
+			t.Fatalf("token state lost")
+		}
+	}
+}
+
+func TestCompletionEvent(t *testing.T) {
+	var gotTok Token
+	var gotRes any
+	var gotErr error
+	tok := NewToken("conn-7")
+	c := &Completion{
+		Token:  tok,
+		Result: []byte("data"),
+		Err:    errors.New("boom"),
+		Prio:   2,
+		Done: func(tk Token, res any, err error) {
+			gotTok, gotRes, gotErr = tk, res, err
+		},
+	}
+	c.Process()
+	if gotTok != tok || gotErr == nil || string(gotRes.([]byte)) != "data" {
+		t.Errorf("completion delivered wrong values: %v %v %v", gotTok, gotRes, gotErr)
+	}
+	if c.Priority() != 2 {
+		t.Errorf("priority = %d", c.Priority())
+	}
+	if !strings.Contains(c.String(), "token=") {
+		t.Errorf("String() = %q", c.String())
+	}
+	// A nil continuation must not panic.
+	(&Completion{}).Process()
+}
+
+func TestFIFOOrder(t *testing.T) {
+	q := NewFIFO()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		if err := q.Push(Func(func() { got = append(got, i) })); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for {
+		ev, ok := q.TryPop()
+		if !ok {
+			break
+		}
+		ev.Process()
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order at %d: %v", i, got[:i+1])
+		}
+	}
+	if len(got) != 100 {
+		t.Fatalf("popped %d events", len(got))
+	}
+}
+
+func TestFIFOCloseSemantics(t *testing.T) {
+	q := NewFIFO()
+	if err := q.Push(Func(func() {})); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	if err := q.Push(Func(func() {})); !errors.Is(err, ErrClosed) {
+		t.Errorf("Push after close = %v", err)
+	}
+	// The queued event is still poppable after close.
+	if _, ok := q.Pop(); !ok {
+		t.Error("Pop lost queued event after close")
+	}
+	if _, ok := q.Pop(); ok {
+		t.Error("Pop returned event from drained closed queue")
+	}
+	if _, ok := q.TryPop(); ok {
+		t.Error("TryPop returned event from drained closed queue")
+	}
+}
+
+func TestFIFOBlockingPopWakesOnPush(t *testing.T) {
+	q := NewFIFO()
+	done := make(chan Event)
+	go func() {
+		ev, _ := q.Pop()
+		done <- ev
+	}()
+	if err := q.Push(Func(func() {})); err != nil {
+		t.Fatal(err)
+	}
+	if ev := <-done; ev == nil {
+		t.Error("blocked Pop returned nil")
+	}
+}
+
+func TestFIFOBlockingPopWakesOnClose(t *testing.T) {
+	q := NewFIFO()
+	done := make(chan bool)
+	go func() {
+		_, ok := q.Pop()
+		done <- ok
+	}()
+	q.Close()
+	if ok := <-done; ok {
+		t.Error("Pop on closed empty queue returned ok")
+	}
+}
+
+func TestFIFOConcurrentProducersConsumers(t *testing.T) {
+	q := NewFIFO()
+	const producers, perProducer = 8, 500
+	var consumed sync.WaitGroup
+	consumed.Add(producers * perProducer)
+	var count sync.Map
+	for p := 0; p < producers; p++ {
+		go func() {
+			for i := 0; i < perProducer; i++ {
+				_ = q.Push(Func(func() {}))
+			}
+		}()
+	}
+	for c := 0; c < 4; c++ {
+		c := c
+		go func() {
+			for {
+				if _, ok := q.Pop(); !ok {
+					return
+				}
+				count.Store(c, true)
+				consumed.Done()
+			}
+		}()
+	}
+	consumed.Wait()
+	q.Close()
+	if q.Len() != 0 {
+		t.Errorf("queue not drained: %d", q.Len())
+	}
+}
+
+func TestFIFOCompaction(t *testing.T) {
+	// Push/pop enough to trigger the internal buffer compaction path and
+	// confirm no events are lost or reordered across it.
+	q := NewFIFO()
+	next := 0
+	want := 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 37; i++ {
+			v := next
+			next++
+			_ = q.Push(PFunc{F: func() {}, P: Priority(v)})
+		}
+		for i := 0; i < 31; i++ {
+			ev, ok := q.TryPop()
+			if !ok {
+				t.Fatal("queue empty early")
+			}
+			if int(ev.Priority()) != want {
+				t.Fatalf("got %d want %d", ev.Priority(), want)
+			}
+			want++
+		}
+	}
+	for {
+		ev, ok := q.TryPop()
+		if !ok {
+			break
+		}
+		if int(ev.Priority()) != want {
+			t.Fatalf("tail got %d want %d", ev.Priority(), want)
+		}
+		want++
+	}
+	if want != next {
+		t.Fatalf("drained %d of %d", want, next)
+	}
+}
+
+func TestPriorityQueueValidation(t *testing.T) {
+	if _, err := NewPriorityQueue(nil); err == nil {
+		t.Error("empty quota list accepted")
+	}
+	if _, err := NewPriorityQueue([]int{1, 0}); err == nil {
+		t.Error("zero quota accepted")
+	}
+	q, err := NewPriorityQueue([]int{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Levels() != 2 {
+		t.Errorf("Levels = %d", q.Levels())
+	}
+}
+
+func TestPriorityQueueServesHighFirst(t *testing.T) {
+	q, _ := NewPriorityQueue([]int{10, 10})
+	var order []Priority
+	mk := func(p Priority) Event {
+		return PFunc{P: p, F: func() { order = append(order, p) }}
+	}
+	// Low priority arrives first but high must be served first.
+	_ = q.Push(mk(1))
+	_ = q.Push(mk(1))
+	_ = q.Push(mk(0))
+	for i := 0; i < 3; i++ {
+		ev, _ := q.TryPop()
+		ev.Process()
+	}
+	if order[0] != 0 {
+		t.Errorf("high priority not served first: %v", order)
+	}
+}
+
+func TestPriorityQueueQuotaPreventsStarvation(t *testing.T) {
+	// Quota 3 for high, 1 for low. With both levels saturated, every
+	// scheduling cycle serves 3 high + 1 low, so low is never starved and
+	// the service ratio is 3:1.
+	q, _ := NewPriorityQueue([]int{3, 1})
+	const n = 400
+	for i := 0; i < n; i++ {
+		_ = q.Push(PFunc{P: 0, F: func() {}})
+		_ = q.Push(PFunc{P: 1, F: func() {}})
+	}
+	var served []Priority
+	for i := 0; i < 100; i++ {
+		ev, ok := q.TryPop()
+		if !ok {
+			t.Fatal("queue drained early")
+		}
+		served = append(served, ev.Priority())
+	}
+	// Check cycle structure: in each window of 4, exactly one low event.
+	var lows int
+	for i := 0; i < len(served); i += 4 {
+		w := served[i : i+4]
+		c := 0
+		for _, p := range w {
+			if p == 1 {
+				c++
+			}
+		}
+		lows += c
+		if c != 1 {
+			t.Fatalf("window %v has %d low-priority events, want 1", w, c)
+		}
+	}
+	if lows != 25 {
+		t.Errorf("served %d low events in 100, want 25", lows)
+	}
+}
+
+func TestPriorityQueueIdleHighYieldsToLow(t *testing.T) {
+	// With no high-priority backlog, low priority gets full service.
+	q, _ := NewPriorityQueue([]int{8, 1})
+	for i := 0; i < 10; i++ {
+		_ = q.Push(PFunc{P: 1, F: func() {}})
+	}
+	for i := 0; i < 10; i++ {
+		ev, ok := q.TryPop()
+		if !ok {
+			t.Fatalf("drained after %d", i)
+		}
+		if ev.Priority() != 1 {
+			t.Fatalf("unexpected priority %d", ev.Priority())
+		}
+	}
+}
+
+func TestPriorityQueueClampsOutOfRange(t *testing.T) {
+	q, _ := NewPriorityQueue([]int{1, 1})
+	_ = q.Push(PFunc{P: -5, F: func() {}})
+	_ = q.Push(PFunc{P: 99, F: func() {}})
+	if q.LevelLen(0) != 1 || q.LevelLen(1) != 1 {
+		t.Errorf("clamping failed: L0=%d L1=%d", q.LevelLen(0), q.LevelLen(1))
+	}
+	if q.LevelLen(-1) != 0 || q.LevelLen(5) != 0 {
+		t.Error("LevelLen out of range should be 0")
+	}
+}
+
+func TestPriorityQueueCloseSemantics(t *testing.T) {
+	q, _ := NewPriorityQueue([]int{1})
+	_ = q.Push(Func(func() {}))
+	q.Close()
+	if err := q.Push(Func(func() {})); !errors.Is(err, ErrClosed) {
+		t.Errorf("Push after close = %v", err)
+	}
+	if _, ok := q.Pop(); !ok {
+		t.Error("queued event lost on close")
+	}
+	if _, ok := q.Pop(); ok {
+		t.Error("drained closed queue returned event")
+	}
+}
+
+func TestNewQueueSelectsDiscipline(t *testing.T) {
+	q, err := NewQueue(false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q.(*FIFO); !ok {
+		t.Errorf("scheduling off should give FIFO, got %T", q)
+	}
+	q, err = NewQueue(true, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q.(*PriorityQueue); !ok {
+		t.Errorf("scheduling on should give PriorityQueue, got %T", q)
+	}
+	if _, err := NewQueue(true, nil); err == nil {
+		t.Error("scheduling without quotas accepted")
+	}
+}
+
+// Property: the priority queue conserves events — everything pushed is
+// popped exactly once, regardless of the priority mix.
+func TestQuickPriorityQueueConservation(t *testing.T) {
+	f := func(prios []uint8, qa, qb uint8) bool {
+		quotas := []int{int(qa%5) + 1, int(qb%5) + 1}
+		q, err := NewPriorityQueue(quotas)
+		if err != nil {
+			return false
+		}
+		for _, p := range prios {
+			if q.Push(PFunc{P: Priority(p % 2), F: func() {}}) != nil {
+				return false
+			}
+		}
+		if q.Len() != len(prios) {
+			return false
+		}
+		for range prios {
+			if _, ok := q.TryPop(); !ok {
+				return false
+			}
+		}
+		_, ok := q.TryPop()
+		return !ok && q.Len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: under saturation with both levels backlogged, a full cycle
+// serves exactly quota[0] high and quota[1] low events.
+func TestQuickPriorityQueueCycleRatio(t *testing.T) {
+	f := func(qa, qb uint8) bool {
+		ha, lo := int(qa%6)+1, int(qb%6)+1
+		q, err := NewPriorityQueue([]int{ha, lo})
+		if err != nil {
+			return false
+		}
+		cycle := ha + lo
+		for i := 0; i < cycle*10; i++ {
+			_ = q.Push(PFunc{P: 0, F: func() {}})
+			_ = q.Push(PFunc{P: 1, F: func() {}})
+		}
+		for c := 0; c < 5; c++ {
+			highs := 0
+			for i := 0; i < cycle; i++ {
+				ev, ok := q.TryPop()
+				if !ok {
+					return false
+				}
+				if ev.Priority() == 0 {
+					highs++
+				}
+			}
+			if highs != ha {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkFIFOPushPop(b *testing.B) {
+	q := NewFIFO()
+	ev := Func(func() {})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = q.Push(ev)
+		q.TryPop()
+	}
+}
+
+func BenchmarkPriorityQueuePushPop(b *testing.B) {
+	q, _ := NewPriorityQueue([]int{8, 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = q.Push(PFunc{P: Priority(i % 2), F: nil})
+		q.TryPop()
+	}
+}

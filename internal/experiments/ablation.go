@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cache"
+	"repro/internal/options"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// CachePoint is one row of the O6 ablation: COPS-HTTP under one cache
+// configuration.
+type CachePoint struct {
+	Policy     options.CachePolicy
+	Throughput float64
+	HitRate    float64
+	MeanResp   float64 // seconds
+}
+
+// RunCacheAblation measures the effect of option O6 on the Fig. 3
+// workload at a fixed client count: the cache disabled, then each
+// replacement policy at the paper's 20 MB capacity. The real cache
+// implementation runs inside the simulation, so policy differences in hit
+// rate are genuine, not modeled.
+func RunCacheAblation(p Params, clients int) []CachePoint {
+	p = p.withDefaults()
+	policies := []options.CachePolicy{
+		options.NoCache, options.LRU, options.LFU,
+		options.LRUMin, options.LRUThreshold, options.HyperG,
+	}
+	out := make([]CachePoint, 0, len(policies))
+	for _, policy := range policies {
+		policy := policy
+		pp := p
+		if policy == options.NoCache {
+			pp.CopsCacheBytes = 0
+		}
+		res := runPopulation(pp, clients, func(net *simnet.Net) serverModel {
+			m := newCopsModel(pp, net, nil, 0, 0, 0)
+			if policy != options.NoCache && policy != options.LRU {
+				// Swap the model's user cache for the selected policy
+				// (same capacity).
+				c, err := cache.New(pp.CopsCacheBytes, policy, cache.Config{
+					Threshold: 256 << 10,
+				})
+				if err != nil {
+					panic(err)
+				}
+				m.userCache = c
+			}
+			return m
+		}, nil)
+		out = append(out, CachePoint{
+			Policy:     policy,
+			Throughput: res.Throughput,
+			HitRate:    res.CacheHitRate,
+			MeanResp:   res.MeanResponse.Seconds(),
+		})
+	}
+	return out
+}
+
+// PrintCacheAblation renders the O6 ablation table.
+func PrintCacheAblation(w io.Writer, clients int, points []CachePoint) {
+	fmt.Fprintf(w, "Ablation — file cache policies (O6) at %d clients, 20 MB capacity\n", clients)
+	fmt.Fprintf(w, "  %-14s %12s %10s %12s\n", "policy", "rps", "hit rate", "mean resp")
+	for _, pt := range points {
+		name := pt.Policy.String()
+		if pt.Policy == options.NoCache {
+			name = "disabled"
+		}
+		fmt.Fprintf(w, "  %-14s %12s %10.3f %11.0fms\n",
+			name, stats.FormatRate(pt.Throughput), pt.HitRate, pt.MeanResp*1000)
+	}
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// RunResult summarizes one simulated measurement run.
+type RunResult struct {
+	// Clients is the simulated client count.
+	Clients int
+	// Throughput is responses per second over the measurement window.
+	Throughput float64
+	// Fairness is the Jain index of per-client response counts (Fig. 4).
+	Fairness float64
+	// MeanResponse is the mean request response time (Fig. 6).
+	MeanResponse time.Duration
+	// MeanCombined additionally charges connection-establishment waits
+	// to the first request of each connection (Fig. 6's combined time).
+	MeanCombined time.Duration
+	// PerClass is responses/second per priority class (Fig. 5).
+	PerClass map[int]float64
+	// CacheHitRate is the COPS user-cache hit rate (0 for Apache).
+	CacheHitRate float64
+	// SynDrops counts connection attempts dropped at a full backlog.
+	SynDrops uint64
+}
+
+// population drives n closed-loop clients against a server model,
+// implementing the paper's client behaviour: connect, issue 5 requests on
+// the persistent connection with a think-time pause after each page, then
+// disconnect and reconnect.
+type population struct {
+	p       Params
+	k       *des.Kernel
+	net     *simnet.Net
+	srv     serverModel
+	sampler *workload.Sampler
+	classOf func(client int) int
+
+	warmupEnd  time.Duration
+	measureEnd time.Duration
+
+	responses []int
+	perClass  map[int]int
+	resp      stats.Series
+	combined  stats.Series
+}
+
+// runPopulation builds the network, the server (via mk) and n clients,
+// runs the virtual measurement and returns the metrics.
+func runPopulation(p Params, n int, mk func(*simnet.Net) serverModel, classOf func(int) int) RunResult {
+	p = p.withDefaults()
+	k := des.NewKernel()
+	net := simnet.New(simnet.Config{
+		Kernel:    k,
+		Bandwidth: p.BandwidthBytes,
+		RTT:       p.RTT,
+	})
+	srv := mk(net)
+	fs := workload.GenerateFileSet(workload.DirsForTotal(p.FileSetBytes))
+	pop := &population{
+		p:          p,
+		k:          k,
+		net:        net,
+		srv:        srv,
+		sampler:    workload.NewSampler(fs, p.Seed),
+		classOf:    classOf,
+		warmupEnd:  p.Warmup,
+		measureEnd: p.Warmup + p.Duration,
+		responses:  make([]int, n),
+		perClass:   make(map[int]int),
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		// Stagger arrivals across one think time to avoid a thundering
+		// herd at t=0.
+		k.After(time.Duration(i)*p.ThinkTime/time.Duration(n+1), func() {
+			pop.dial(i)
+		})
+	}
+	k.RunUntil(pop.measureEnd)
+
+	res := RunResult{
+		Clients:  n,
+		Fairness: stats.JainIndexInts(pop.responses),
+		SynDrops: net.SynDrops(),
+		PerClass: make(map[int]float64),
+	}
+	window := p.Duration.Seconds()
+	var total int
+	for _, r := range pop.responses {
+		total += r
+	}
+	res.Throughput = float64(total) / window
+	for class, count := range pop.perClass {
+		res.PerClass[class] = float64(count) / window
+	}
+	res.MeanResponse = time.Duration(pop.resp.Mean() * float64(time.Second))
+	res.MeanCombined = time.Duration(pop.combined.Mean() * float64(time.Second))
+	if cm, ok := srv.(*copsModel); ok {
+		res.CacheHitRate = cm.CacheStats().HitRate()
+	}
+	return res
+}
+
+// dial starts one connection for a client (and reconnects forever).
+func (pop *population) dial(client int) {
+	if pop.k.Now() >= pop.measureEnd {
+		return
+	}
+	pop.srv.Listener().Dial(func(c *simnet.Conn) {
+		pop.srv.ConnOpened()
+		pop.request(client, c, pop.p.RequestsPerConn, true)
+	})
+}
+
+// request issues the next request of a connection; remaining counts down
+// to the connection's termination.
+func (pop *population) request(client int, c *simnet.Conn, remaining int, first bool) {
+	if remaining == 0 || pop.k.Now() >= pop.measureEnd {
+		pop.srv.ConnClosed()
+		pop.dial(client)
+		return
+	}
+	file := pop.sampler.Pick()
+	prio := 0
+	if pop.classOf != nil {
+		prio = pop.classOf(client)
+	}
+	start := pop.k.Now()
+	pop.srv.Request(file, prio, func() {
+		// The page has arrived; add the wide-area delay, record, think,
+		// then continue the connection.
+		pop.k.After(pop.p.WANDelay, func() {
+			now := pop.k.Now()
+			if now > pop.warmupEnd && now <= pop.measureEnd {
+				pop.responses[client]++
+				pop.perClass[prio]++
+				rt := now - start
+				pop.resp.AddDuration(rt)
+				if first {
+					pop.combined.AddDuration(rt + c.SetupTime())
+				} else {
+					pop.combined.AddDuration(rt)
+				}
+			}
+			pop.k.After(pop.p.ThinkTime, func() {
+				pop.request(client, c, remaining-1, false)
+			})
+		})
+	})
+}

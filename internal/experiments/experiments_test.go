@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// shortParams shrinks the virtual run so tests stay fast; the qualitative
+// shape is stable well below the paper's 5 minutes.
+func shortParams() Params {
+	p := Default()
+	p.Duration = 30 * time.Second
+	p.Warmup = 5 * time.Second
+	return p
+}
+
+func TestDefaultsFillZeroFields(t *testing.T) {
+	var p Params
+	p = p.withDefaults()
+	d := Default()
+	if p.CPUs != d.CPUs || p.BandwidthBytes != d.BandwidthBytes ||
+		p.ApacheWorkers != d.ApacheWorkers || p.Duration != d.Duration {
+		t.Errorf("defaults not applied: %+v", p)
+	}
+}
+
+func TestRunPopulationBasics(t *testing.T) {
+	p := shortParams()
+	res := runPopulation(p, 8, func(net *simnet.Net) serverModel {
+		return newCopsModel(p, net, nil, 0, 0, 0)
+	}, nil)
+	if res.Throughput <= 0 {
+		t.Error("no throughput")
+	}
+	if res.Fairness < 0.99 {
+		t.Errorf("uncontended fairness = %f", res.Fairness)
+	}
+	if res.MeanResponse <= 0 || res.MeanCombined < res.MeanResponse {
+		t.Errorf("response times: %v %v", res.MeanResponse, res.MeanCombined)
+	}
+	if res.CacheHitRate <= 0 || res.CacheHitRate > 1 {
+		t.Errorf("cache hit rate = %f", res.CacheHitRate)
+	}
+	if res.SynDrops != 0 {
+		t.Errorf("SYN drops at light load: %d", res.SynDrops)
+	}
+}
+
+func TestRunsAreDeterministic(t *testing.T) {
+	p := shortParams()
+	mk := func(net *simnet.Net) serverModel { return newCopsModel(p, net, nil, 0, 0, 0) }
+	a := runPopulation(p, 32, mk, nil)
+	b := runPopulation(p, 32, mk, nil)
+	if a.Throughput != b.Throughput || a.Fairness != b.Fairness ||
+		a.MeanResponse != b.MeanResponse {
+		t.Errorf("nondeterministic runs:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestFig3ShapeMatchesPaper(t *testing.T) {
+	pts := RunFig3(shortParams(), []int{4, 128, 256, 1024})
+	byN := map[int]Fig3Point{}
+	for _, pt := range pts {
+		byN[pt.Clients] = pt
+	}
+	// Light load: Apache at least on par ("slightly better throughput
+	// under light workloads").
+	if light := byN[4]; light.Apache.Throughput < light.Cops.Throughput*0.99 {
+		t.Errorf("light load: apache=%f cops=%f", light.Apache.Throughput, light.Cops.Throughput)
+	}
+	// Heavier load: COPS-HTTP clearly ahead.
+	for _, n := range []int{128, 256} {
+		if pt := byN[n]; pt.Cops.Throughput <= pt.Apache.Throughput {
+			t.Errorf("N=%d: cops=%f not above apache=%f", n, pt.Cops.Throughput, pt.Apache.Throughput)
+		}
+	}
+	// Very heavy load: Apache ahead again (at the expense of fairness).
+	if heavy := byN[1024]; heavy.Apache.Throughput <= heavy.Cops.Throughput {
+		t.Errorf("N=1024: apache=%f not above cops=%f", heavy.Apache.Throughput, heavy.Cops.Throughput)
+	}
+	// Throughput grows toward saturation for both.
+	if byN[256].Cops.Throughput < byN[4].Cops.Throughput*2 {
+		t.Error("COPS throughput did not grow with load")
+	}
+}
+
+func TestFig4FairnessMatchesPaper(t *testing.T) {
+	pts := RunFig3(shortParams(), []int{4, 1024})
+	for _, pt := range pts {
+		if pt.Cops.Fairness < 0.95 {
+			t.Errorf("N=%d: COPS fairness %f below 0.95", pt.Clients, pt.Cops.Fairness)
+		}
+	}
+	heavy := pts[len(pts)-1]
+	if heavy.Apache.Fairness > 0.6 {
+		t.Errorf("N=1024: Apache fairness %f did not collapse", heavy.Apache.Fairness)
+	}
+	if heavy.Apache.SynDrops == 0 {
+		t.Error("N=1024: no SYN drops at Apache")
+	}
+	if pts[0].Apache.Fairness < 0.99 {
+		t.Errorf("N=4: Apache fairness %f should be ~1", pts[0].Apache.Fairness)
+	}
+}
+
+func TestFig5QuotasControlServiceRatio(t *testing.T) {
+	p := shortParams()
+	pts := RunFig5(p, 48, nil)
+	if len(pts) != 4 {
+		t.Fatalf("%d settings", len(pts))
+	}
+	var prevRatio float64
+	for i, pt := range pts[:3] {
+		// "There is a small gap between the ratio of priority levels and
+		// the actual throughput ratio" — the gap widens at skewed quotas
+		// because the portal class alone cannot fill every cycle.
+		target := float64(pt.Setting.PortalQuota) / float64(pt.Setting.HomeQuota)
+		if pt.AchievedRatio < target*0.5 || pt.AchievedRatio > target*1.5 {
+			t.Errorf("setting %s: achieved %.2f vs target %.2f beyond the paper's small gap",
+				pt.Setting.Label(), pt.AchievedRatio, target)
+		}
+		if pt.AchievedRatio <= prevRatio {
+			t.Errorf("achieved ratio not increasing at setting %d: %.2f <= %.2f",
+				i, pt.AchievedRatio, prevRatio)
+		}
+		prevRatio = pt.AchievedRatio
+		if pt.PortalRate <= pt.HomeRate {
+			t.Errorf("setting %s: portal %.1f not above homepage %.1f",
+				pt.Setting.Label(), pt.PortalRate, pt.HomeRate)
+		}
+	}
+	// The rightmost column: portal-only maximal throughput.
+	max := pts[3]
+	if !max.Setting.PortalOnly || max.HomeRate != 0 {
+		t.Errorf("max column wrong: %+v", max)
+	}
+	for _, pt := range pts[:3] {
+		if pt.PortalRate >= max.PortalRate {
+			t.Errorf("setting %s portal rate %.1f exceeds portal-only max %.1f",
+				pt.Setting.Label(), pt.PortalRate, max.PortalRate)
+		}
+	}
+}
+
+func TestFig6OverloadControlLowersResponseTime(t *testing.T) {
+	p := shortParams()
+	pts := RunFig6(p, []int{4, 64, 128})
+	byN := map[int]Fig6Point{}
+	for _, pt := range pts {
+		byN[pt.Clients] = pt
+	}
+	// Below overload the controller is inert.
+	if light := byN[4]; light.With.MeanResponse > light.Without.MeanResponse*11/10 {
+		t.Errorf("light load: control added latency: %v vs %v",
+			light.With.MeanResponse, light.Without.MeanResponse)
+	}
+	// Overloaded: significantly lower response time at the same
+	// throughput.
+	for _, n := range []int{64, 128} {
+		pt := byN[n]
+		if pt.With.MeanResponse >= pt.Without.MeanResponse {
+			t.Errorf("N=%d: control response %v not below uncontrolled %v",
+				n, pt.With.MeanResponse, pt.Without.MeanResponse)
+		}
+		lo, hi := pt.Without.Throughput*0.93, pt.Without.Throughput*1.07
+		if pt.With.Throughput < lo || pt.With.Throughput > hi {
+			t.Errorf("N=%d: throughput degraded by control: %f vs %f",
+				n, pt.With.Throughput, pt.Without.Throughput)
+		}
+	}
+	// The CPU burn caps throughput around CPUs/decodeBurn.
+	maxRate := float64(p.CPUs) / 0.050
+	if got := byN[128].Without.Throughput; got > maxRate*1.1 {
+		t.Errorf("throughput %f above the CPU-burn bound %f", got, maxRate)
+	}
+}
+
+func TestPrintersRenderSeries(t *testing.T) {
+	p := shortParams()
+	p.Duration = 10 * time.Second
+	p.Warmup = 2 * time.Second
+	f3 := RunFig3(p, []int{4, 32})
+	var buf bytes.Buffer
+	PrintFig3(&buf, f3)
+	PrintFig4(&buf, f3)
+	PrintFig5(&buf, RunFig5(p, 8, nil))
+	PrintFig6(&buf, RunFig6(p, []int{4, 16}))
+	out := buf.String()
+	for _, want := range []string{
+		"Fig. 3", "Fig. 4", "Fig. 5", "Fig. 6",
+		"COPS-HTTP", "Apache", "portal", "homepage", "combined",
+		"1/2", "max",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printer output missing %q", want)
+		}
+	}
+}
+
+func TestFig5SettingLabels(t *testing.T) {
+	if (Fig5Setting{HomeQuota: 1, PortalQuota: 8}).Label() != "1/8" {
+		t.Error("ratio label wrong")
+	}
+	if (Fig5Setting{PortalOnly: true}).Label() != "max" {
+		t.Error("max label wrong")
+	}
+}
+
+func TestCopsCacheImprovesWithLocality(t *testing.T) {
+	p := shortParams()
+	res := runPopulation(p, 64, func(net *simnet.Net) serverModel {
+		return newCopsModel(p, net, nil, 0, 0, 0)
+	}, nil)
+	// Zipf directories + 20 MB cache over 204.8 MB: a healthy hit rate.
+	if res.CacheHitRate < 0.2 {
+		t.Errorf("cache hit rate %f suspiciously low", res.CacheHitRate)
+	}
+}
+
+func TestApacheWorkerAccounting(t *testing.T) {
+	p := shortParams()
+	p.Duration = 10 * time.Second
+	res := runPopulation(p, 16, func(net *simnet.Net) serverModel {
+		return newApacheModel(p, net, 0)
+	}, nil)
+	if res.Throughput <= 0 {
+		t.Error("apache model served nothing")
+	}
+}
+
+func TestCacheAblation(t *testing.T) {
+	p := shortParams()
+	pts := RunCacheAblation(p, 64)
+	if len(pts) != 6 {
+		t.Fatalf("%d points", len(pts))
+	}
+	if pts[0].Policy.String() != "None" || pts[0].HitRate != 0 {
+		t.Errorf("disabled row wrong: %+v", pts[0])
+	}
+	for _, pt := range pts[1:] {
+		if pt.HitRate <= 0.1 {
+			t.Errorf("policy %v hit rate %f suspiciously low", pt.Policy, pt.HitRate)
+		}
+		if pt.Throughput <= 0 {
+			t.Errorf("policy %v no throughput", pt.Policy)
+		}
+	}
+	// With a cache, the mean response must be no worse than without
+	// (disk hops removed).
+	if pts[1].MeanResp > pts[0].MeanResp*1.05 {
+		t.Errorf("LRU cache made responses slower: %f vs %f", pts[1].MeanResp, pts[0].MeanResp)
+	}
+	var buf bytes.Buffer
+	PrintCacheAblation(&buf, 64, pts)
+	if !strings.Contains(buf.String(), "disabled") || !strings.Contains(buf.String(), "LRU") {
+		t.Error("ablation printer incomplete")
+	}
+}

@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// Fig3Point is one x-position of Figs. 3 and 4: both servers at one
+// client count.
+type Fig3Point struct {
+	Clients int
+	Cops    RunResult
+	Apache  RunResult
+}
+
+// DefaultClientCounts is the log-scaled x-axis of Figs. 3 and 4.
+var DefaultClientCounts = []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// RunFig3 runs the COPS-HTTP vs Apache comparison for every client count,
+// producing the data behind both Fig. 3 (throughput) and Fig. 4 (Jain
+// fairness). One run yields both metrics, exactly as in the paper.
+func RunFig3(p Params, clientCounts []int) []Fig3Point {
+	p = p.withDefaults()
+	if len(clientCounts) == 0 {
+		clientCounts = DefaultClientCounts
+	}
+	out := make([]Fig3Point, 0, len(clientCounts))
+	for _, n := range clientCounts {
+		cops := runPopulation(p, n, func(net *simnet.Net) serverModel {
+			return newCopsModel(p, net, nil, 0, 0, 0)
+		}, nil)
+		apache := runPopulation(p, n, func(net *simnet.Net) serverModel {
+			return newApacheModel(p, net, 0)
+		}, nil)
+		out = append(out, Fig3Point{Clients: n, Cops: cops, Apache: apache})
+	}
+	return out
+}
+
+// PrintFig3 renders the Fig. 3 series (throughput, responses/sec).
+func PrintFig3(w io.Writer, points []Fig3Point) {
+	fmt.Fprintln(w, "Fig. 3 — Throughput for the COPS-HTTP/Apache Web server experiment")
+	fmt.Fprintln(w, "  (responses/second; log-scaled client axis as in the paper)")
+	fmt.Fprintf(w, "  %8s  %12s  %12s  %s\n", "clients", "COPS-HTTP", "Apache", "leader")
+	for _, pt := range points {
+		leader := "Apache"
+		if pt.Cops.Throughput > pt.Apache.Throughput {
+			leader = "COPS-HTTP"
+		}
+		fmt.Fprintf(w, "  %8d  %12s  %12s  %s\n", pt.Clients,
+			stats.FormatRate(pt.Cops.Throughput),
+			stats.FormatRate(pt.Apache.Throughput), leader)
+	}
+}
+
+// PrintFig4 renders the Fig. 4 series (Jain fairness index).
+func PrintFig4(w io.Writer, points []Fig3Point) {
+	fmt.Fprintln(w, "Fig. 4 — Service fairness (Jain index of per-client responses)")
+	fmt.Fprintf(w, "  %8s  %10s  %10s  %14s\n", "clients", "COPS-HTTP", "Apache", "apache SYNdrop")
+	for _, pt := range points {
+		fmt.Fprintf(w, "  %8d  %10.3f  %10.3f  %14d\n", pt.Clients,
+			pt.Cops.Fairness, pt.Apache.Fairness, pt.Apache.SynDrops)
+	}
+}
+
+// Fig5Setting is one priority-level setting of Fig. 5: the quota ratio
+// x/y where x is the homepage quota and y the corporate-portal quota.
+type Fig5Setting struct {
+	// HomeQuota (x) and PortalQuota (y), as in the paper's "x/y" labels.
+	HomeQuota, PortalQuota int
+	// PortalOnly runs the rightmost column: no homepage load at all.
+	PortalOnly bool
+}
+
+// Label renders the paper's column label.
+func (s Fig5Setting) Label() string {
+	if s.PortalOnly {
+		return "max"
+	}
+	return fmt.Sprintf("%d/%d", s.HomeQuota, s.PortalQuota)
+}
+
+// Fig5Point is one column of Fig. 5.
+type Fig5Point struct {
+	Setting Fig5Setting
+	// PortalRate and HomeRate are responses/second per content class.
+	PortalRate, HomeRate float64
+	// AchievedRatio is PortalRate/HomeRate (to compare against y/x).
+	AchievedRatio float64
+}
+
+// DefaultFig5Settings are the paper's priority-level settings.
+var DefaultFig5Settings = []Fig5Setting{
+	{HomeQuota: 1, PortalQuota: 2},
+	{HomeQuota: 1, PortalQuota: 4},
+	{HomeQuota: 1, PortalQuota: 8},
+	{PortalOnly: true},
+}
+
+// RunFig5 reproduces the differentiated-service experiment: an ISP hosts
+// a corporate portal (priority 0) and personal homepages (priority 1);
+// event scheduling allocates CPU cycles by quota. Per the paper, file
+// caching is disabled to make the workload heavier, and the host is a
+// dual-processor machine. Clients split evenly between the two classes.
+func RunFig5(p Params, clientsPerClass int, settings []Fig5Setting) []Fig5Point {
+	p = p.withDefaults()
+	// The paper's Fig. 5 testbed: dual 600 MHz PIII, 100 Mbit Ethernet,
+	// caching off. The heavier no-cache workload is CPU/disk bound.
+	p.CPUs = 2
+	p.CopsCacheBytes = 0
+	// Raise per-request CPU cost so the CPU is the contended resource the
+	// scheduler arbitrates (the paper's host is much slower than the
+	// E420R and serves everything from disk).
+	p.CopsBaseService = 8 * time.Millisecond
+	if len(settings) == 0 {
+		settings = DefaultFig5Settings
+	}
+	classOf := func(client int) int {
+		if client%2 == 0 {
+			return 0 // corporate portal
+		}
+		return 1 // personal homepages
+	}
+	out := make([]Fig5Point, 0, len(settings))
+	for _, set := range settings {
+		set := set
+		n := 2 * clientsPerClass
+		cls := classOf
+		quotas := []int{set.PortalQuota, set.HomeQuota}
+		if set.PortalOnly {
+			n = clientsPerClass
+			cls = func(int) int { return 0 }
+			quotas = []int{1, 1}
+		}
+		res := runPopulation(p, n, func(net *simnet.Net) serverModel {
+			return newCopsModel(p, net, quotas, 0, 0, 0)
+		}, cls)
+		pt := Fig5Point{
+			Setting:    set,
+			PortalRate: res.PerClass[0],
+			HomeRate:   res.PerClass[1],
+		}
+		if pt.HomeRate > 0 {
+			pt.AchievedRatio = pt.PortalRate / pt.HomeRate
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// PrintFig5 renders the Fig. 5 columns.
+func PrintFig5(w io.Writer, points []Fig5Point) {
+	fmt.Fprintln(w, "Fig. 5 — Service throughput for differentiated service levels")
+	fmt.Fprintln(w, "  (quota setting x/y: x = homepage quota, y = portal quota)")
+	fmt.Fprintf(w, "  %8s  %14s  %14s  %14s  %12s\n",
+		"setting", "portal rps", "homepage rps", "achieved y:x", "target y:x")
+	for _, pt := range points {
+		target := "-"
+		achieved := "-"
+		if !pt.Setting.PortalOnly {
+			target = fmt.Sprintf("%.2f", float64(pt.Setting.PortalQuota)/float64(pt.Setting.HomeQuota))
+			achieved = fmt.Sprintf("%.2f", pt.AchievedRatio)
+		}
+		fmt.Fprintf(w, "  %8s  %14s  %14s  %14s  %12s\n", pt.Setting.Label(),
+			stats.FormatRate(pt.PortalRate), stats.FormatRate(pt.HomeRate),
+			achieved, target)
+	}
+}
+
+// Fig6Point is one x-position of Fig. 6: response times with and without
+// automatic overload control at one client count.
+type Fig6Point struct {
+	Clients int
+	With    RunResult
+	Without RunResult
+}
+
+// DefaultFig6Clients is the x-axis of Fig. 6 (1 to 128 clients).
+var DefaultFig6Clients = []int{1, 2, 4, 8, 16, 32, 64, 128}
+
+// RunFig6 reproduces the overload-control experiment: the workload is
+// made CPU-intensive by burning 50ms per request in the Decode step; the
+// controlled server gates accepts on the reactive queue's watermarks
+// (high 20, low 5).
+func RunFig6(p Params, clientCounts []int) []Fig6Point {
+	p = p.withDefaults()
+	if len(clientCounts) == 0 {
+		clientCounts = DefaultFig6Clients
+	}
+	const decodeBurn = 50 * time.Millisecond
+	out := make([]Fig6Point, 0, len(clientCounts))
+	for _, n := range clientCounts {
+		with := runPopulation(p, n, func(net *simnet.Net) serverModel {
+			return newCopsModel(p, net, nil, 20, 5, decodeBurn)
+		}, nil)
+		without := runPopulation(p, n, func(net *simnet.Net) serverModel {
+			return newCopsModel(p, net, nil, 0, 0, decodeBurn)
+		}, nil)
+		out = append(out, Fig6Point{Clients: n, With: with, Without: without})
+	}
+	return out
+}
+
+// PrintFig6 renders the Fig. 6 series.
+func PrintFig6(w io.Writer, points []Fig6Point) {
+	fmt.Fprintln(w, "Fig. 6 — Response time with and without automatic overload control")
+	fmt.Fprintln(w, "  (50ms decode burn; watermarks high=20 low=5; combined adds connection wait)")
+	fmt.Fprintf(w, "  %8s  %12s  %12s  %14s  %14s  %10s  %10s\n",
+		"clients", "resp(ctl)", "resp(none)", "combined(ctl)", "combined(none)",
+		"rps(ctl)", "rps(none)")
+	for _, pt := range points {
+		fmt.Fprintf(w, "  %8d  %12s  %12s  %14s  %14s  %10s  %10s\n", pt.Clients,
+			fmtDur(pt.With.MeanResponse), fmtDur(pt.Without.MeanResponse),
+			fmtDur(pt.With.MeanCombined), fmtDur(pt.Without.MeanCombined),
+			stats.FormatRate(pt.With.Throughput), stats.FormatRate(pt.Without.Throughput))
+	}
+}
+
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Millisecond).String()
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+
+	"repro/internal/gen"
+	"repro/internal/options"
+)
+
+// PrintTable1 renders Table 1: the N-Server options, their legal values,
+// and the settings of the two applications.
+func PrintTable1(w io.Writer) {
+	ftp := options.COPSFTP()
+	http := options.COPSHTTP()
+	fmt.Fprintln(w, "Table 1 — N-Server options and their values")
+	fmt.Fprintf(w, "  %-4s %-42s %-26s %-12s %-12s\n",
+		"", "Option Name", "Legal Values", "COPS-FTP", "COPS-HTTP")
+	for _, id := range options.AllOptionIDs() {
+		httpVal := http.Value(id)
+		switch id {
+		case options.O8EventScheduling:
+			httpVal = "No, Yes, No" // enabled only for the 2nd experiment
+		case options.O9OverloadControl:
+			httpVal = "No, No, Yes" // enabled only for the 3rd experiment
+		}
+		fmt.Fprintf(w, "  %-4s %-42s %-26s %-12s %-12s\n",
+			id.String(), id.Name(), id.LegalValues(), ftp.Value(id), httpVal)
+	}
+}
+
+// PrintTable2 renders Table 2: the class x option crosscut matrix ("O" =
+// the option decides the class's existence; "+" = the generated code of
+// the class depends on the option's value).
+func PrintTable2(w io.Writer) {
+	fmt.Fprintln(w, "Table 2 — The N-Server options crosscut the generated code")
+	fmt.Fprintf(w, "  %-32s", "Class \\ Option")
+	for _, id := range options.AllOptionIDs() {
+		fmt.Fprintf(w, " %3s", id.String())
+	}
+	fmt.Fprintln(w)
+	for _, class := range options.Classes() {
+		fmt.Fprintf(w, "  %-32s", class)
+		for _, id := range options.AllOptionIDs() {
+			fmt.Fprintf(w, " %3s", options.CrosscutMark(class, id).String())
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// TableRow is one row of a code-distribution table.
+type TableRow struct {
+	Label string
+	Stats gen.CodeStats
+	// PaperNCSS is the value the paper reports for the corresponding
+	// row, for side-by-side comparison (0 when not applicable).
+	PaperClasses, PaperMethods, PaperNCSS int
+}
+
+// Table4 measures the COPS-HTTP code distribution: the framework
+// generated from the COPS-HTTP option set, the HTTP protocol library, and
+// the server application code. repoRoot locates this repository.
+func Table4(repoRoot string) ([]TableRow, error) {
+	a, err := gen.Generate("nserver", options.COPSHTTP())
+	if err != nil {
+		return nil, err
+	}
+	proto, err := gen.CountDir(filepath.Join(repoRoot, "internal", "httpproto"))
+	if err != nil {
+		return nil, err
+	}
+	app, err := gen.CountDir(filepath.Join(repoRoot, "internal", "copshttp"))
+	if err != nil {
+		return nil, err
+	}
+	genStats := a.Stats()
+	total := genStats
+	total.Add(proto)
+	total.Add(app)
+	return []TableRow{
+		{Label: "Generated code", Stats: genStats, PaperClasses: 79, PaperMethods: 474, PaperNCSS: 2697},
+		{Label: "HTTP protocol code", Stats: proto, PaperClasses: 10, PaperMethods: 50, PaperNCSS: 449},
+		{Label: "Other application code", Stats: app, PaperClasses: 16, PaperMethods: 89, PaperNCSS: 785},
+		{Label: "Total code", Stats: total, PaperClasses: 105, PaperMethods: 613, PaperNCSS: 3931},
+	}, nil
+}
+
+// Table3 measures the COPS-FTP code distribution. The paper transformed
+// the existing Apache FTPServer (8,141 reused NCSS, 1,186 removed, 1,897
+// added) onto the generated framework; Apache FTPServer is proprietary to
+// that port, so this reproduction substitutes its own from-scratch protocol
+// library for the "reused" row and the COPS-FTP application for the
+// "added" row, plus the framework generated from the COPS-FTP option set.
+func Table3(repoRoot string) ([]TableRow, error) {
+	a, err := gen.Generate("nserver", options.COPSFTP())
+	if err != nil {
+		return nil, err
+	}
+	proto, err := gen.CountDir(filepath.Join(repoRoot, "internal", "ftpproto"))
+	if err != nil {
+		return nil, err
+	}
+	app, err := gen.CountDir(filepath.Join(repoRoot, "internal", "copsftp"))
+	if err != nil {
+		return nil, err
+	}
+	return []TableRow{
+		{Label: "Reused code (ftpproto lib)", Stats: proto, PaperClasses: 124, PaperMethods: 945, PaperNCSS: 8141},
+		{Label: "Added code (copsftp app)", Stats: app, PaperClasses: 23, PaperMethods: 150, PaperNCSS: 1897},
+		{Label: "Generated code", Stats: a.Stats(), PaperClasses: 84, PaperMethods: 480, PaperNCSS: 2937},
+	}, nil
+}
+
+// PrintCodeTable renders a code-distribution table with the paper's
+// figures alongside.
+func PrintCodeTable(w io.Writer, title string, rows []TableRow) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "  %-28s %8s %8s %8s   %s\n",
+		"", "Classes", "Methods", "NCSS", "(paper: classes/methods/NCSS)")
+	for _, r := range rows {
+		paper := ""
+		if r.PaperNCSS > 0 {
+			paper = fmt.Sprintf("(%d / %d / %d)", r.PaperClasses, r.PaperMethods, r.PaperNCSS)
+		}
+		fmt.Fprintf(w, "  %-28s %8d %8d %8d   %s\n",
+			r.Label, r.Stats.Classes, r.Stats.Methods, r.Stats.NCSS, paper)
+	}
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"bytes"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// repoRoot locates the repository root from this source file.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+func TestPrintTable1(t *testing.T) {
+	var buf bytes.Buffer
+	PrintTable1(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"Table 1", "O1", "O12", "1 or 2N", "Asynchronous", "Yes: LRU",
+		"No, Yes, No", "No, No, Yes", "COPS-FTP", "COPS-HTTP",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+	// 12 option rows plus 2 header lines.
+	if lines := strings.Count(out, "\n"); lines != 14 {
+		t.Errorf("Table 1 has %d lines", lines)
+	}
+}
+
+func TestPrintTable2(t *testing.T) {
+	var buf bytes.Buffer
+	PrintTable2(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"Table 2", "Reactor", "Processor Controller", "Completion Event",
+		"Server Configuration",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 missing %q", want)
+		}
+	}
+	// 27 class rows + 2 header lines.
+	if lines := strings.Count(out, "\n"); lines != 29 {
+		t.Errorf("Table 2 has %d lines", lines)
+	}
+	// The Completion Event row has exactly one mark, an O under O4.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "Completion Event") {
+			if strings.Count(line, "O") != 1 || strings.Contains(line, "+") {
+				t.Errorf("Completion Event row wrong: %q", line)
+			}
+		}
+	}
+}
+
+func TestTable4Measured(t *testing.T) {
+	rows, err := Table4(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byLabel := map[string]TableRow{}
+	for _, r := range rows {
+		byLabel[r.Label] = r
+	}
+	genRow := byLabel["Generated code"]
+	if genRow.Stats.NCSS < 300 || genRow.Stats.Classes < 8 {
+		t.Errorf("generated row too small: %+v", genRow.Stats)
+	}
+	proto := byLabel["HTTP protocol code"]
+	if proto.Stats.NCSS < 200 {
+		t.Errorf("protocol row too small: %+v", proto.Stats)
+	}
+	total := byLabel["Total code"]
+	wantTotal := genRow.Stats.NCSS + proto.Stats.NCSS + byLabel["Other application code"].Stats.NCSS
+	if total.Stats.NCSS != wantTotal {
+		t.Errorf("total NCSS %d != sum %d", total.Stats.NCSS, wantTotal)
+	}
+	// The paper's headline: the generated fraction dominates the
+	// handwritten application code.
+	if genRow.Stats.NCSS <= byLabel["Other application code"].Stats.NCSS/2 {
+		t.Errorf("generated code (%d NCSS) suspiciously small next to app code (%d NCSS)",
+			genRow.Stats.NCSS, byLabel["Other application code"].Stats.NCSS)
+	}
+	if genRow.PaperNCSS != 2697 || total.PaperNCSS != 3931 {
+		t.Error("paper reference values wrong")
+	}
+}
+
+func TestTable3Measured(t *testing.T) {
+	rows, err := Table3(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Stats.NCSS == 0 {
+			t.Errorf("row %q measured empty", r.Label)
+		}
+	}
+	if rows[0].PaperNCSS != 8141 || rows[2].PaperNCSS != 2937 {
+		t.Error("paper reference values wrong")
+	}
+}
+
+func TestTablesFailOnBadRoot(t *testing.T) {
+	if _, err := Table3("/no/such/repo"); err == nil {
+		t.Error("Table3 accepted bad root")
+	}
+	if _, err := Table4("/no/such/repo"); err == nil {
+		t.Error("Table4 accepted bad root")
+	}
+}
+
+func TestPrintCodeTable(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Table4(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintCodeTable(&buf, "Table 4 — The code distribution of COPS-HTTP", rows)
+	out := buf.String()
+	for _, want := range []string{"Table 4", "Generated code", "2697", "3931", "NCSS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,260 @@
+// Package ftpproto is the handcrafted FTP protocol library of COPS-FTP:
+// the control-connection command grammar (RFC 959 subset), reply encoding,
+// a user store, and virtual-path resolution. Like internal/httpproto it is
+// framework-independent and plugs into the N-Server pipeline as the Decode
+// Request / Encode Reply hook methods of the control connection.
+package ftpproto
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+)
+
+// MaxLineBytes bounds one control-connection command line.
+const MaxLineBytes = 4096
+
+// Parse errors.
+var (
+	ErrLineTooLong = errors.New("ftpproto: command line exceeds limit")
+	ErrEmptyLine   = errors.New("ftpproto: empty command line")
+)
+
+// Command is one parsed control-connection command.
+type Command struct {
+	// Name is the upper-cased command verb ("USER", "RETR", ...).
+	Name string
+	// Arg is the argument text (may be empty).
+	Arg string
+}
+
+func (c Command) String() string {
+	if c.Arg == "" {
+		return c.Name
+	}
+	return c.Name + " " + c.Arg
+}
+
+// ParseCommand extracts one CRLF-terminated command from buf, returning
+// the command and bytes consumed (0 when incomplete). Bare LF is accepted
+// for robustness, as most servers do.
+func ParseCommand(buf []byte) (*Command, int, error) {
+	i := bytes.IndexByte(buf, '\n')
+	if i < 0 {
+		if len(buf) > MaxLineBytes {
+			return nil, 0, ErrLineTooLong
+		}
+		return nil, 0, nil
+	}
+	if i > MaxLineBytes {
+		return nil, 0, ErrLineTooLong
+	}
+	line := strings.TrimRight(string(buf[:i]), "\r")
+	consumed := i + 1
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return nil, consumed, ErrEmptyLine
+	}
+	name, arg, _ := strings.Cut(line, " ")
+	return &Command{
+		Name: strings.ToUpper(name),
+		Arg:  strings.TrimSpace(arg),
+	}, consumed, nil
+}
+
+// Reply is one control-connection reply.
+type Reply struct {
+	Code int
+	Text string
+	// Lines, when non-empty, renders a multi-line reply (e.g. directory
+	// listings over the control connection for SITE/HELP output).
+	Lines []string
+}
+
+// Standard reply constructors for the codes COPS-FTP uses.
+var replyText = map[int]string{
+	150: "File status okay; about to open data connection.",
+	200: "Command okay.",
+	211: "System status.",
+	215: "UNIX Type: L8",
+	220: "COPS-FTP server ready.",
+	221: "Goodbye.",
+	226: "Closing data connection.",
+	227: "Entering Passive Mode",
+	230: "User logged in, proceed.",
+	250: "Requested file action okay, completed.",
+	257: "Directory created.",
+	331: "User name okay, need password.",
+	350: "Requested file action pending further information.",
+	421: "Service not available, closing control connection.",
+	425: "Can't open data connection.",
+	426: "Connection closed; transfer aborted.",
+	450: "Requested file action not taken.",
+	500: "Syntax error, command unrecognized.",
+	501: "Syntax error in parameters or arguments.",
+	502: "Command not implemented.",
+	503: "Bad sequence of commands.",
+	530: "Not logged in.",
+	550: "Requested action not taken.",
+}
+
+// NewReply builds a reply with the standard text for code, or the given
+// override text when non-empty.
+func NewReply(code int, text string) *Reply {
+	if text == "" {
+		text = replyText[code]
+	}
+	return &Reply{Code: code, Text: text}
+}
+
+// Encode renders the reply in RFC 959 wire form.
+func (r *Reply) Encode() []byte {
+	if len(r.Lines) == 0 {
+		return []byte(fmt.Sprintf("%d %s\r\n", r.Code, r.Text))
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%d-%s\r\n", r.Code, r.Text)
+	for _, l := range r.Lines {
+		fmt.Fprintf(&b, " %s\r\n", l)
+	}
+	fmt.Fprintf(&b, "%d End.\r\n", r.Code)
+	return b.Bytes()
+}
+
+// Codec adapts the protocol library to the N-Server pipeline.
+type Codec struct{}
+
+// Decode implements nserver.Codec. Empty lines are skipped (consumed with
+// no request) rather than treated as protocol errors.
+func (Codec) Decode(buf []byte) (any, int, error) {
+	for {
+		cmd, n, err := ParseCommand(buf)
+		if errors.Is(err, ErrEmptyLine) {
+			buf = buf[n:]
+			if len(buf) == 0 {
+				return nil, n, nil
+			}
+			cmd2, n2, err2 := ParseCommand(buf)
+			if cmd2 != nil || err2 != nil {
+				return cmd2, n + n2, err2
+			}
+			return nil, n, nil
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		if cmd == nil {
+			return nil, 0, nil
+		}
+		return cmd, n, nil
+	}
+}
+
+// Encode implements nserver.Codec.
+func (Codec) Encode(reply any) ([]byte, error) {
+	switch v := reply.(type) {
+	case *Reply:
+		return v.Encode(), nil
+	case []byte:
+		return v, nil
+	default:
+		return nil, fmt.Errorf("ftpproto: cannot encode %T", reply)
+	}
+}
+
+// UserStore authenticates control-connection logins.
+type UserStore struct {
+	users          map[string]string
+	allowAnonymous bool
+}
+
+// NewUserStore creates a store; when allowAnonymous is true the users
+// "anonymous" and "ftp" log in with any password.
+func NewUserStore(allowAnonymous bool) *UserStore {
+	return &UserStore{users: make(map[string]string), allowAnonymous: allowAnonymous}
+}
+
+// Add registers a user/password pair.
+func (s *UserStore) Add(user, password string) {
+	s.users[user] = password
+}
+
+// Known reports whether USER should be answered with 331 (password
+// needed) rather than 530.
+func (s *UserStore) Known(user string) bool {
+	if s.allowAnonymous && (user == "anonymous" || user == "ftp") {
+		return true
+	}
+	_, ok := s.users[user]
+	return ok
+}
+
+// Authenticate checks a user/password pair.
+func (s *UserStore) Authenticate(user, password string) bool {
+	if s.allowAnonymous && (user == "anonymous" || user == "ftp") {
+		return true
+	}
+	want, ok := s.users[user]
+	return ok && want == password
+}
+
+// ResolvePath resolves an FTP path argument against the session's working
+// directory, producing a cleaned absolute virtual path that cannot escape
+// the root.
+func ResolvePath(cwd, arg string) string {
+	if arg == "" {
+		return cleanVirtual(cwd)
+	}
+	if strings.HasPrefix(arg, "/") {
+		return cleanVirtual(arg)
+	}
+	return cleanVirtual(cwd + "/" + arg)
+}
+
+func cleanVirtual(p string) string {
+	segs := strings.Split(p, "/")
+	out := make([]string, 0, len(segs))
+	for _, s := range segs {
+		switch s {
+		case "", ".":
+		case "..":
+			if len(out) > 0 {
+				out = out[:len(out)-1]
+			}
+		default:
+			out = append(out, s)
+		}
+	}
+	return "/" + strings.Join(out, "/")
+}
+
+// FormatPasv renders the 227 reply argument "(h1,h2,h3,h4,p1,p2)" for a
+// passive-mode data endpoint.
+func FormatPasv(ip net.IP, port int) string {
+	v4 := ip.To4()
+	if v4 == nil {
+		v4 = net.IPv4(127, 0, 0, 1).To4()
+	}
+	return fmt.Sprintf("(%d,%d,%d,%d,%d,%d)", v4[0], v4[1], v4[2], v4[3], port/256, port%256)
+}
+
+// ParsePortArg parses the PORT command argument "h1,h2,h3,h4,p1,p2".
+func ParsePortArg(arg string) (string, int, error) {
+	parts := strings.Split(arg, ",")
+	if len(parts) != 6 {
+		return "", 0, fmt.Errorf("ftpproto: bad PORT argument %q", arg)
+	}
+	nums := make([]int, 6)
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 0 || n > 255 {
+			return "", 0, fmt.Errorf("ftpproto: bad PORT octet %q", p)
+		}
+		nums[i] = n
+	}
+	host := fmt.Sprintf("%d.%d.%d.%d", nums[0], nums[1], nums[2], nums[3])
+	return host, nums[4]*256 + nums[5], nil
+}

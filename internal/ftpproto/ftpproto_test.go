@@ -1,0 +1,225 @@
+package ftpproto
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseCommandBasics(t *testing.T) {
+	cmd, n, err := ParseCommand([]byte("USER anonymous\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 16 || cmd.Name != "USER" || cmd.Arg != "anonymous" {
+		t.Errorf("got %+v n=%d", cmd, n)
+	}
+	if cmd.String() != "USER anonymous" {
+		t.Errorf("String = %q", cmd.String())
+	}
+}
+
+func TestParseCommandLowercaseAndBareLF(t *testing.T) {
+	cmd, n, err := ParseCommand([]byte("retr  file.txt\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Name != "RETR" || cmd.Arg != "file.txt" || n != 15 {
+		t.Errorf("got %+v n=%d", cmd, n)
+	}
+}
+
+func TestParseCommandNoArg(t *testing.T) {
+	cmd, _, err := ParseCommand([]byte("QUIT\r\n"))
+	if err != nil || cmd.Name != "QUIT" || cmd.Arg != "" {
+		t.Errorf("got %+v err=%v", cmd, err)
+	}
+	if cmd.String() != "QUIT" {
+		t.Errorf("String = %q", cmd.String())
+	}
+}
+
+func TestParseCommandIncomplete(t *testing.T) {
+	cmd, n, err := ParseCommand([]byte("USER anon"))
+	if cmd != nil || n != 0 || err != nil {
+		t.Errorf("incomplete line parsed: %+v %d %v", cmd, n, err)
+	}
+}
+
+func TestParseCommandTooLong(t *testing.T) {
+	long := []byte("X " + strings.Repeat("a", MaxLineBytes+1))
+	if _, _, err := ParseCommand(long); !errors.Is(err, ErrLineTooLong) {
+		t.Errorf("unterminated long line: %v", err)
+	}
+	long2 := []byte("X " + strings.Repeat("a", MaxLineBytes+1) + "\r\n")
+	if _, _, err := ParseCommand(long2); !errors.Is(err, ErrLineTooLong) {
+		t.Errorf("terminated long line: %v", err)
+	}
+}
+
+func TestParseEmptyLine(t *testing.T) {
+	_, n, err := ParseCommand([]byte("\r\n"))
+	if !errors.Is(err, ErrEmptyLine) || n != 2 {
+		t.Errorf("empty line: n=%d err=%v", n, err)
+	}
+}
+
+func TestReplyEncoding(t *testing.T) {
+	r := NewReply(220, "")
+	if got := string(r.Encode()); got != "220 COPS-FTP server ready.\r\n" {
+		t.Errorf("encode = %q", got)
+	}
+	r2 := NewReply(230, "Welcome, zhuang.")
+	if got := string(r2.Encode()); got != "230 Welcome, zhuang.\r\n" {
+		t.Errorf("override text = %q", got)
+	}
+	multi := &Reply{Code: 211, Text: "Features:", Lines: []string{"PASV", "SIZE"}}
+	got := string(multi.Encode())
+	want := "211-Features:\r\n PASV\r\n SIZE\r\n211 End.\r\n"
+	if got != want {
+		t.Errorf("multiline = %q want %q", got, want)
+	}
+}
+
+func TestCodecDecodeSkipsEmptyLines(t *testing.T) {
+	var c Codec
+	req, n, err := c.Decode([]byte("\r\nUSER x\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req == nil || req.(*Command).Name != "USER" || n != 10 {
+		t.Errorf("decode after empty line: %+v n=%d", req, n)
+	}
+	// Lone empty line: consumed, no request yet.
+	req, n, err = c.Decode([]byte("\r\n"))
+	if err != nil || req != nil || n != 2 {
+		t.Errorf("lone empty line: %+v n=%d err=%v", req, n, err)
+	}
+	// Incomplete: nothing consumed.
+	req, n, err = c.Decode([]byte("USER"))
+	if err != nil || req != nil || n != 0 {
+		t.Errorf("incomplete: %+v n=%d err=%v", req, n, err)
+	}
+}
+
+func TestCodecEncode(t *testing.T) {
+	var c Codec
+	out, err := c.Encode(NewReply(221, ""))
+	if err != nil || string(out) != "221 Goodbye.\r\n" {
+		t.Errorf("encode reply: %q %v", out, err)
+	}
+	raw, err := c.Encode([]byte("data"))
+	if err != nil || string(raw) != "data" {
+		t.Errorf("encode raw: %q %v", raw, err)
+	}
+	if _, err := c.Encode(3.14); err == nil {
+		t.Error("encoded unsupported type")
+	}
+}
+
+func TestUserStore(t *testing.T) {
+	s := NewUserStore(true)
+	s.Add("zhuang", "secret")
+	if !s.Known("anonymous") || !s.Known("ftp") || !s.Known("zhuang") {
+		t.Error("Known wrong")
+	}
+	if s.Known("stranger") {
+		t.Error("unknown user known")
+	}
+	if !s.Authenticate("anonymous", "anything@x") {
+		t.Error("anonymous rejected")
+	}
+	if !s.Authenticate("zhuang", "secret") {
+		t.Error("valid login rejected")
+	}
+	if s.Authenticate("zhuang", "wrong") {
+		t.Error("wrong password accepted")
+	}
+	noAnon := NewUserStore(false)
+	if noAnon.Known("anonymous") || noAnon.Authenticate("anonymous", "x") {
+		t.Error("anonymous allowed when disabled")
+	}
+}
+
+func TestResolvePath(t *testing.T) {
+	cases := []struct{ cwd, arg, want string }{
+		{"/", "", "/"},
+		{"/", "file.txt", "/file.txt"},
+		{"/pub", "file.txt", "/pub/file.txt"},
+		{"/pub", "/abs.txt", "/abs.txt"},
+		{"/pub", "..", "/"},
+		{"/pub", "../../..", "/"},
+		{"/pub/sub", "../other", "/pub/other"},
+		{"/pub", "./a/./b", "/pub/a/b"},
+		{"/a//b", "", "/a/b"},
+	}
+	for _, tc := range cases {
+		if got := ResolvePath(tc.cwd, tc.arg); got != tc.want {
+			t.Errorf("ResolvePath(%q, %q) = %q, want %q", tc.cwd, tc.arg, got, tc.want)
+		}
+	}
+}
+
+func TestFormatPasvAndParsePort(t *testing.T) {
+	got := FormatPasv(net.IPv4(192, 168, 1, 10), 2121)
+	if got != "(192,168,1,10,8,73)" {
+		t.Errorf("FormatPasv = %q", got)
+	}
+	host, port, err := ParsePortArg("192,168,1,10,8,73")
+	if err != nil || host != "192.168.1.10" || port != 2121 {
+		t.Errorf("ParsePortArg = %q %d %v", host, port, err)
+	}
+	// Non-v4 IP falls back to loopback rather than panicking.
+	if got := FormatPasv(net.ParseIP("::1"), 256); !strings.HasPrefix(got, "(127,0,0,1,") {
+		t.Errorf("v6 fallback = %q", got)
+	}
+	for _, bad := range []string{"1,2,3", "1,2,3,4,5,999", "a,b,c,d,e,f", ""} {
+		if _, _, err := ParsePortArg(bad); err == nil {
+			t.Errorf("ParsePortArg(%q) accepted", bad)
+		}
+	}
+}
+
+// Property: PASV formatting and PORT parsing are inverse for any valid
+// endpoint.
+func TestQuickPasvPortRoundTrip(t *testing.T) {
+	f := func(a, b, c, d byte, port uint16) bool {
+		ip := net.IPv4(a, b, c, d)
+		s := FormatPasv(ip, int(port))
+		host, p, err := ParsePortArg(strings.Trim(s, "()"))
+		return err == nil && host == ip.String() && p == int(port)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the parser consumes exactly one line and never panics on
+// arbitrary input.
+func TestQuickParserRobustness(t *testing.T) {
+	f := func(junk []byte) bool {
+		cmd, n, err := ParseCommand(junk)
+		if n < 0 || n > len(junk) {
+			return false
+		}
+		if err == nil && cmd != nil && n == 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkParseCommand(b *testing.B) {
+	raw := []byte("RETR /pub/dists/stable/main/binary-amd64/Packages.gz\r\n")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ParseCommand(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package ftpproto
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseCommand drives the command parser with arbitrary bytes.
+func FuzzParseCommand(f *testing.F) {
+	f.Add([]byte("USER anonymous\r\n"))
+	f.Add([]byte("RETR  a b c\n"))
+	f.Add([]byte("\r\n"))
+	f.Add([]byte(strings.Repeat("X", MaxLineBytes+2)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cmd, n, err := ParseCommand(data)
+		if n < 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		if err == nil && cmd != nil {
+			if cmd.Name == "" {
+				t.Fatal("empty command name accepted")
+			}
+			if cmd.Name != strings.ToUpper(cmd.Name) {
+				t.Fatalf("command name not upper-cased: %q", cmd.Name)
+			}
+		}
+	})
+}
+
+// FuzzResolvePath asserts the virtual-root invariant: resolved paths are
+// always absolute and free of dot segments.
+func FuzzResolvePath(f *testing.F) {
+	f.Add("/pub", "../..//etc")
+	f.Add("/", "")
+	f.Add("/a/b", "./../c")
+	f.Fuzz(func(t *testing.T, cwd, arg string) {
+		out := ResolvePath(cwd, arg)
+		if len(out) == 0 || out[0] != '/' {
+			t.Fatalf("ResolvePath(%q,%q) = %q not absolute", cwd, arg, out)
+		}
+		for _, seg := range strings.Split(out, "/") {
+			if seg == ".." || seg == "." {
+				t.Fatalf("ResolvePath(%q,%q) = %q contains dot segment", cwd, arg, out)
+			}
+		}
+	})
+}

@@ -1,0 +1,104 @@
+package gen
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/options"
+)
+
+func TestGenerateScaffoldContents(t *testing.T) {
+	s, err := GenerateScaffold("example.com/myapp", "nserver", options.COPSHTTP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Module != "example.com/myapp" {
+		t.Errorf("module = %q", s.Module)
+	}
+	for _, name := range []string{"hooks.go", "main.go", "main_test.go", "go.mod"} {
+		if _, ok := s.AppFiles[name]; !ok {
+			t.Errorf("missing app file %q", name)
+		}
+	}
+	hooks := string(s.AppFiles["hooks.go"])
+	for _, want := range []string{
+		"Decode", "Encode", "Handle", "OnConnect", "OnClose",
+		"example.com/myapp/nserver", "TODO",
+	} {
+		if !strings.Contains(hooks, want) {
+			t.Errorf("hooks.go missing %q", want)
+		}
+	}
+	main := string(s.AppFiles["main.go"])
+	if !strings.Contains(main, "NewServer(Hooks{})") {
+		t.Error("main.go missing server assembly")
+	}
+	if strings.Contains(main, "Profile.Report") {
+		t.Error("profiling report emitted without O11")
+	}
+}
+
+func TestScaffoldWithoutCodecAndWithProfiling(t *testing.T) {
+	o := options.Options{DispatcherThreads: 1, Profiling: true}
+	s, err := GenerateScaffold("", "srv", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Module != "app" {
+		t.Errorf("default module = %q", s.Module)
+	}
+	hooks := string(s.AppFiles["hooks.go"])
+	if strings.Contains(hooks, "Decode") || strings.Contains(hooks, "Encode") {
+		t.Error("codec stubs emitted with O3 off")
+	}
+	if !strings.Contains(hooks, "data []byte") {
+		t.Error("raw Handle stub missing")
+	}
+	if !strings.Contains(string(s.AppFiles["main.go"]), "Profile.Report") {
+		t.Error("profiling report missing with O11 on")
+	}
+}
+
+func TestScaffoldRejectsInvalidOptions(t *testing.T) {
+	if _, err := GenerateScaffold("m", "p", options.Options{}); err == nil {
+		t.Error("invalid options accepted")
+	}
+}
+
+// TestScaffoldBuildsOutOfTheBox writes a scaffold to disk and runs its
+// generated smoke test unmodified — the stubs must be a working,
+// self-testing application.
+func TestScaffoldBuildsOutOfTheBox(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaffold build in -short mode")
+	}
+	for name, o := range map[string]options.Options{
+		"codec":  options.COPSHTTP(),
+		"raw":    {DispatcherThreads: 1, Profiling: true},
+		"simple": options.COPSFTP(),
+	} {
+		t.Run(name, func(t *testing.T) {
+			s, err := GenerateScaffold("genapp", "nserver", o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := t.TempDir()
+			if err := s.WriteTo(dir); err != nil {
+				t.Fatal(err)
+			}
+			// The framework lands in a subdirectory, app files at root.
+			if _, err := os.Stat(filepath.Join(dir, "nserver", "framework.go")); err != nil {
+				t.Fatal("framework not written to package dir")
+			}
+			cmd := exec.Command("go", "test", ".")
+			cmd.Dir = dir
+			cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+			if out, err := cmd.CombinedOutput(); err != nil {
+				t.Fatalf("scaffold test failed: %v\n%s", err, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,45 @@
+package httpproto
+
+import (
+	"time"
+)
+
+// HTTP date formats accepted by ParseHTTPDate, in preference order:
+// RFC 1123 GMT (the required emit format), RFC 850, and asctime.
+var httpDateLayouts = []string{
+	"Mon, 02 Jan 2006 15:04:05 GMT",
+	"Monday, 02-Jan-06 15:04:05 GMT",
+	"Mon Jan _2 15:04:05 2006",
+}
+
+// FormatHTTPDate renders t as an RFC 1123 GMT HTTP date.
+func FormatHTTPDate(t time.Time) string {
+	return httpDate(t)
+}
+
+// ParseHTTPDate parses the three date formats HTTP/1.1 requires servers
+// to accept (If-Modified-Since values). ok is false for anything else.
+func ParseHTTPDate(s string) (time.Time, bool) {
+	for _, layout := range httpDateLayouts {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t, true
+		}
+	}
+	return time.Time{}, false
+}
+
+// NotModifiedSince reports whether a resource with modification time
+// modTime need not be re-sent to a client presenting the given
+// If-Modified-Since header value. HTTP dates have one-second resolution,
+// so modTime is truncated before comparison. An unparsable header means
+// the resource must be sent.
+func NotModifiedSince(headerValue string, modTime time.Time) bool {
+	if headerValue == "" {
+		return false
+	}
+	since, ok := ParseHTTPDate(headerValue)
+	if !ok {
+		return false
+	}
+	return !modTime.Truncate(time.Second).After(since)
+}

@@ -1,0 +1,79 @@
+package httpproto
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFormatAndParseHTTPDate(t *testing.T) {
+	t0 := time.Date(2005, 4, 4, 12, 30, 45, 0, time.UTC)
+	s := FormatHTTPDate(t0)
+	if s != "Mon, 04 Apr 2005 12:30:45 GMT" {
+		t.Errorf("format = %q", s)
+	}
+	got, ok := ParseHTTPDate(s)
+	if !ok || !got.Equal(t0) {
+		t.Errorf("round trip: %v %v", got, ok)
+	}
+}
+
+func TestParseHTTPDateAllThreeFormats(t *testing.T) {
+	want := time.Date(1994, 11, 6, 8, 49, 37, 0, time.UTC)
+	for _, s := range []string{
+		"Sun, 06 Nov 1994 08:49:37 GMT",  // RFC 1123
+		"Sunday, 06-Nov-94 08:49:37 GMT", // RFC 850
+		"Sun Nov  6 08:49:37 1994",       // asctime
+	} {
+		got, ok := ParseHTTPDate(s)
+		if !ok {
+			t.Errorf("ParseHTTPDate(%q) failed", s)
+			continue
+		}
+		if !got.Equal(want) {
+			t.Errorf("ParseHTTPDate(%q) = %v, want %v", s, got, want)
+		}
+	}
+	if _, ok := ParseHTTPDate("yesterday-ish"); ok {
+		t.Error("garbage date parsed")
+	}
+	if _, ok := ParseHTTPDate(""); ok {
+		t.Error("empty date parsed")
+	}
+}
+
+func TestNotModifiedSince(t *testing.T) {
+	mod := time.Date(2005, 4, 4, 12, 0, 0, 0, time.UTC)
+	hdr := FormatHTTPDate(mod)
+	if !NotModifiedSince(hdr, mod) {
+		t.Error("equal timestamps should be not-modified")
+	}
+	if !NotModifiedSince(hdr, mod.Add(500*time.Millisecond)) {
+		t.Error("sub-second newer modTime should truncate to not-modified")
+	}
+	if NotModifiedSince(hdr, mod.Add(2*time.Second)) {
+		t.Error("newer file reported not-modified")
+	}
+	if !NotModifiedSince(FormatHTTPDate(mod.Add(time.Hour)), mod) {
+		t.Error("older file should be not-modified against later header")
+	}
+	if NotModifiedSince("", mod) {
+		t.Error("missing header should send the file")
+	}
+	if NotModifiedSince("garbage", mod) {
+		t.Error("bad header should send the file")
+	}
+}
+
+// Property: format/parse round-trips at second resolution for any
+// reasonable time.
+func TestQuickHTTPDateRoundTrip(t *testing.T) {
+	f := func(secs uint32) bool {
+		t0 := time.Unix(int64(secs), 0).UTC()
+		got, ok := ParseHTTPDate(FormatHTTPDate(t0))
+		return ok && got.Equal(t0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

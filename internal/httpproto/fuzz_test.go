@@ -1,0 +1,54 @@
+package httpproto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseRequest drives the incremental parser with arbitrary bytes:
+// it must never panic, never over-consume, and anything it parses must
+// satisfy basic well-formedness.
+func FuzzParseRequest(f *testing.F) {
+	f.Add([]byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n"))
+	f.Add([]byte("POST /a HTTP/1.0\r\nContent-Length: 3\r\n\r\nabc"))
+	f.Add([]byte("GET /%41%zz HTTP/1.1\r\n\r\n"))
+	f.Add([]byte("\r\n\r\n"))
+	f.Add(bytes.Repeat([]byte("A"), MaxHeaderBytes+10))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, n, err := ParseRequest(data)
+		if n < 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		if err == nil && req != nil {
+			if n == 0 {
+				t.Fatal("request parsed but nothing consumed")
+			}
+			if req.Method == "" || req.Path == "" || req.Path[0] != '/' {
+				t.Fatalf("malformed accepted request: %+v", req)
+			}
+			if req.Proto != "HTTP/1.0" && req.Proto != "HTTP/1.1" {
+				t.Fatalf("bad proto accepted: %q", req.Proto)
+			}
+		}
+	})
+}
+
+// FuzzCleanPath asserts the traversal-defence invariant for arbitrary
+// path strings: the result is always absolute and never contains ".."
+// segments.
+func FuzzCleanPath(f *testing.F) {
+	f.Add("/../../etc/passwd")
+	f.Add("//a//../b/./c/")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, p string) {
+		out := CleanPath(p)
+		if len(out) == 0 || out[0] != '/' {
+			t.Fatalf("CleanPath(%q) = %q not absolute", p, out)
+		}
+		for _, seg := range bytes.Split([]byte(out), []byte("/")) {
+			if string(seg) == ".." {
+				t.Fatalf("CleanPath(%q) = %q contains ..", p, out)
+			}
+		}
+	})
+}

@@ -1,0 +1,291 @@
+// Package httpproto is the handcrafted HTTP protocol library of COPS-HTTP:
+// an incremental HTTP/1.0-1.1 request parser, a response encoder, and the
+// small lookup tables (status text, MIME types) a static-content web
+// server needs. It corresponds to the 449 NCSS of "HTTP protocol code" in
+// Table 4 — deliberately independent of both the framework and the server
+// logic, so it plugs into the N-Server pipeline as the Decode Request /
+// Encode Reply hook methods.
+package httpproto
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Limits enforced by the parser.
+const (
+	// MaxHeaderBytes bounds the request line plus all header lines.
+	MaxHeaderBytes = 16 << 10
+	// MaxBodyBytes bounds an announced request body.
+	MaxBodyBytes = 1 << 20
+)
+
+// Parse errors.
+var (
+	ErrHeaderTooLarge = errors.New("httpproto: header block exceeds limit")
+	ErrBadRequestLine = errors.New("httpproto: malformed request line")
+	ErrBadHeader      = errors.New("httpproto: malformed header line")
+	ErrBadVersion     = errors.New("httpproto: unsupported protocol version")
+	ErrBodyTooLarge   = errors.New("httpproto: request body exceeds limit")
+	ErrBadPath        = errors.New("httpproto: malformed request path")
+)
+
+// Request is one parsed HTTP request.
+type Request struct {
+	Method  string
+	Target  string // raw request-target as received
+	Path    string // decoded, cleaned absolute path
+	Query   string // raw query string (after '?'), if any
+	Proto   string // "HTTP/1.0" or "HTTP/1.1"
+	Headers Header
+	Body    []byte
+}
+
+// KeepAlive reports whether the connection persists after this request
+// under the protocol's defaults and Connection header.
+func (r *Request) KeepAlive() bool {
+	conn := strings.ToLower(r.Headers.Get("Connection"))
+	switch r.Proto {
+	case "HTTP/1.1":
+		return conn != "close"
+	default: // HTTP/1.0
+		return conn == "keep-alive"
+	}
+}
+
+// Header is a minimal case-insensitive header map preserving insertion
+// order for encoding.
+type Header struct {
+	keys []string
+	vals map[string]string
+}
+
+// NewHeader returns an empty header map.
+func NewHeader() Header {
+	return Header{vals: make(map[string]string)}
+}
+
+// Set stores a header value, replacing any previous value.
+func (h *Header) Set(key, value string) {
+	if h.vals == nil {
+		h.vals = make(map[string]string)
+	}
+	ck := canonical(key)
+	if _, exists := h.vals[ck]; !exists {
+		h.keys = append(h.keys, ck)
+	}
+	h.vals[ck] = value
+}
+
+// Get returns the value for key ("" when absent).
+func (h *Header) Get(key string) string {
+	if h.vals == nil {
+		return ""
+	}
+	return h.vals[canonical(key)]
+}
+
+// Has reports whether the header is present.
+func (h *Header) Has(key string) bool {
+	if h.vals == nil {
+		return false
+	}
+	_, ok := h.vals[canonical(key)]
+	return ok
+}
+
+// Len returns the number of distinct header keys.
+func (h *Header) Len() int { return len(h.keys) }
+
+// Each calls f for every header in insertion order.
+func (h *Header) Each(f func(key, value string)) {
+	for _, k := range h.keys {
+		f(k, h.vals[k])
+	}
+}
+
+// canonical normalizes a header key to Canonical-Dash-Form.
+func canonical(key string) string {
+	b := []byte(key)
+	upper := true
+	for i, c := range b {
+		switch {
+		case upper && 'a' <= c && c <= 'z':
+			b[i] = c - ('a' - 'A')
+		case !upper && 'A' <= c && c <= 'Z':
+			b[i] = c + ('a' - 'A')
+		}
+		upper = c == '-'
+	}
+	return string(b)
+}
+
+// ParseRequest attempts to parse one complete request from buf. It
+// returns the request and the number of bytes consumed; n == 0 with a nil
+// error means buf does not yet hold a complete request (read more). A
+// non-nil error means the stream is unrecoverable and the connection
+// should close.
+func ParseRequest(buf []byte) (*Request, int, error) {
+	headerEnd := bytes.Index(buf, []byte("\r\n\r\n"))
+	if headerEnd < 0 {
+		if len(buf) > MaxHeaderBytes {
+			return nil, 0, ErrHeaderTooLarge
+		}
+		return nil, 0, nil
+	}
+	if headerEnd > MaxHeaderBytes {
+		return nil, 0, ErrHeaderTooLarge
+	}
+	head := buf[:headerEnd]
+	consumed := headerEnd + 4
+
+	lines := strings.Split(string(head), "\r\n")
+	req, err := parseRequestLine(lines[0])
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, line := range lines[1:] {
+		if err := parseHeaderLine(&req.Headers, line); err != nil {
+			return nil, 0, err
+		}
+	}
+
+	// Optional body, announced by Content-Length.
+	if cl := req.Headers.Get("Content-Length"); cl != "" {
+		n, err := strconv.Atoi(strings.TrimSpace(cl))
+		if err != nil || n < 0 {
+			return nil, 0, fmt.Errorf("%w: bad Content-Length %q", ErrBadHeader, cl)
+		}
+		if n > MaxBodyBytes {
+			return nil, 0, ErrBodyTooLarge
+		}
+		if len(buf) < consumed+n {
+			return nil, 0, nil // body incomplete
+		}
+		req.Body = append([]byte(nil), buf[consumed:consumed+n]...)
+		consumed += n
+	}
+	return req, consumed, nil
+}
+
+func parseRequestLine(line string) (*Request, error) {
+	parts := strings.Split(line, " ")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("%w: %q", ErrBadRequestLine, line)
+	}
+	method, target, proto := parts[0], parts[1], parts[2]
+	if method == "" || !isToken(method) {
+		return nil, fmt.Errorf("%w: bad method %q", ErrBadRequestLine, method)
+	}
+	if proto != "HTTP/1.0" && proto != "HTTP/1.1" {
+		return nil, fmt.Errorf("%w: %q", ErrBadVersion, proto)
+	}
+	if target == "" || target[0] != '/' {
+		return nil, fmt.Errorf("%w: target %q", ErrBadRequestLine, target)
+	}
+	rawPath, query, _ := strings.Cut(target, "?")
+	path, err := decodePath(rawPath)
+	if err != nil {
+		return nil, err
+	}
+	return &Request{
+		Method:  method,
+		Target:  target,
+		Path:    CleanPath(path),
+		Query:   query,
+		Proto:   proto,
+		Headers: NewHeader(),
+	}, nil
+}
+
+func parseHeaderLine(h *Header, line string) error {
+	if line == "" {
+		return nil
+	}
+	key, val, ok := strings.Cut(line, ":")
+	if !ok || key == "" || strings.ContainsAny(key, " \t") {
+		return fmt.Errorf("%w: %q", ErrBadHeader, line)
+	}
+	h.Set(key, strings.TrimSpace(val))
+	return nil
+}
+
+// isToken reports whether s is a valid HTTP token (method name).
+func isToken(s string) bool {
+	for _, c := range []byte(s) {
+		switch {
+		case 'A' <= c && c <= 'Z', 'a' <= c && c <= 'z', '0' <= c && c <= '9':
+		case strings.IndexByte("!#$%&'*+-.^_`|~", c) >= 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// decodePath percent-decodes a request path.
+func decodePath(p string) (string, error) {
+	if !strings.Contains(p, "%") {
+		return p, nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(p); i++ {
+		if p[i] != '%' {
+			b.WriteByte(p[i])
+			continue
+		}
+		if i+2 >= len(p) {
+			return "", fmt.Errorf("%w: truncated escape in %q", ErrBadPath, p)
+		}
+		hi, err1 := unhex(p[i+1])
+		lo, err2 := unhex(p[i+2])
+		if err1 != nil || err2 != nil {
+			return "", fmt.Errorf("%w: bad escape in %q", ErrBadPath, p)
+		}
+		b.WriteByte(hi<<4 | lo)
+		i += 2
+	}
+	return b.String(), nil
+}
+
+func unhex(c byte) (byte, error) {
+	switch {
+	case '0' <= c && c <= '9':
+		return c - '0', nil
+	case 'a' <= c && c <= 'f':
+		return c - 'a' + 10, nil
+	case 'A' <= c && c <= 'F':
+		return c - 'A' + 10, nil
+	}
+	return 0, ErrBadPath
+}
+
+// CleanPath normalizes an absolute request path: it collapses duplicate
+// slashes, resolves "." and "..", and never escapes the root — the
+// document-root traversal defence every static file server needs.
+func CleanPath(p string) string {
+	segs := strings.Split(p, "/")
+	out := make([]string, 0, len(segs))
+	for _, s := range segs {
+		switch s {
+		case "", ".":
+		case "..":
+			if len(out) > 0 {
+				out = out[:len(out)-1]
+			}
+		default:
+			out = append(out, s)
+		}
+	}
+	cleaned := "/" + strings.Join(out, "/")
+	if len(out) > 0 && (strings.HasSuffix(p, "/") || strings.HasSuffix(p, "/.") || strings.HasSuffix(p, "/..")) {
+		// Preserve directory-ness only for real directories requests.
+		if cleaned != "/" {
+			cleaned += "/"
+		}
+	}
+	return cleaned
+}

@@ -1,0 +1,185 @@
+package httpproto
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// Response is one HTTP response to encode.
+type Response struct {
+	Proto   string // defaults to "HTTP/1.1"
+	Status  int
+	Headers Header
+	Body    []byte
+	// Close asks the encoder to add "Connection: close".
+	Close bool
+}
+
+// NewResponse builds a response with the given status and body, with
+// Content-Length and Content-Type preset.
+func NewResponse(status int, contentType string, body []byte) *Response {
+	r := &Response{Status: status, Headers: NewHeader(), Body: body}
+	r.Headers.Set("Content-Type", contentType)
+	return r
+}
+
+// statusText maps the status codes a static web server emits.
+var statusText = map[int]string{
+	200: "OK",
+	204: "No Content",
+	301: "Moved Permanently",
+	304: "Not Modified",
+	400: "Bad Request",
+	403: "Forbidden",
+	404: "Not Found",
+	405: "Method Not Allowed",
+	408: "Request Timeout",
+	413: "Payload Too Large",
+	414: "URI Too Long",
+	500: "Internal Server Error",
+	501: "Not Implemented",
+	503: "Service Unavailable",
+	505: "HTTP Version Not Supported",
+}
+
+// StatusText returns the reason phrase for a status code.
+func StatusText(code int) string {
+	if s, ok := statusText[code]; ok {
+		return s
+	}
+	return "Status " + strconv.Itoa(code)
+}
+
+// httpDate formats a time in RFC 1123 GMT form as HTTP requires.
+func httpDate(t time.Time) string {
+	return t.UTC().Format("Mon, 02 Jan 2006 15:04:05") + " GMT"
+}
+
+// EncodeResponse renders the response head and body. It always emits
+// Content-Length (from the body), Date and Server headers unless already
+// present, plus "Connection: close" when requested.
+func EncodeResponse(r *Response) []byte {
+	proto := r.Proto
+	if proto == "" {
+		proto = "HTTP/1.1"
+	}
+	// Pre-size: head is typically < 256 bytes.
+	out := make([]byte, 0, 256+len(r.Body))
+	out = append(out, fmt.Sprintf("%s %d %s\r\n", proto, r.Status, StatusText(r.Status))...)
+	if !r.Headers.Has("Date") {
+		out = append(out, "Date: "...)
+		out = append(out, httpDate(time.Now())...)
+		out = append(out, "\r\n"...)
+	}
+	if !r.Headers.Has("Server") {
+		out = append(out, "Server: COPS-HTTP/1.0\r\n"...)
+	}
+	if !r.Headers.Has("Content-Length") {
+		out = append(out, "Content-Length: "...)
+		out = append(out, strconv.Itoa(len(r.Body))...)
+		out = append(out, "\r\n"...)
+	}
+	if r.Close && r.Headers.Get("Connection") == "" {
+		out = append(out, "Connection: close\r\n"...)
+	}
+	r.Headers.Each(func(k, v string) {
+		out = append(out, k...)
+		out = append(out, ": "...)
+		out = append(out, v...)
+		out = append(out, "\r\n"...)
+	})
+	out = append(out, "\r\n"...)
+	out = append(out, r.Body...)
+	return out
+}
+
+// ErrorResponse builds a minimal HTML error page response.
+func ErrorResponse(status int, close bool) *Response {
+	body := fmt.Sprintf("<html><head><title>%d %s</title></head><body><h1>%d %s</h1></body></html>\n",
+		status, StatusText(status), status, StatusText(status))
+	r := NewResponse(status, "text/html", []byte(body))
+	r.Close = close
+	return r
+}
+
+// mimeTypes maps file extensions (lowercase, with dot) to content types.
+var mimeTypes = map[string]string{
+	".html": "text/html",
+	".htm":  "text/html",
+	".txt":  "text/plain",
+	".css":  "text/css",
+	".js":   "application/javascript",
+	".json": "application/json",
+	".xml":  "text/xml",
+	".gif":  "image/gif",
+	".jpg":  "image/jpeg",
+	".jpeg": "image/jpeg",
+	".png":  "image/png",
+	".ico":  "image/x-icon",
+	".svg":  "image/svg+xml",
+	".pdf":  "application/pdf",
+	".gz":   "application/gzip",
+	".tar":  "application/x-tar",
+	".zip":  "application/zip",
+	".mp3":  "audio/mpeg",
+	".mp4":  "video/mp4",
+	".wasm": "application/wasm",
+}
+
+// MimeType returns the content type for a file name by extension, with
+// application/octet-stream as the default.
+func MimeType(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		switch name[i] {
+		case '.':
+			ext := lowerASCII(name[i:])
+			if mt, ok := mimeTypes[ext]; ok {
+				return mt
+			}
+			return "application/octet-stream"
+		case '/':
+			return "application/octet-stream"
+		}
+	}
+	return "application/octet-stream"
+}
+
+func lowerASCII(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + ('a' - 'A')
+		}
+	}
+	return string(b)
+}
+
+// Codec adapts the protocol library to the N-Server pipeline: Decode
+// parses one request (the Decode Request hook) and Encode renders a
+// *Response (the Encode Reply hook).
+type Codec struct{}
+
+// Decode implements nserver.Codec.
+func (Codec) Decode(buf []byte) (any, int, error) {
+	req, n, err := ParseRequest(buf)
+	if err != nil {
+		return nil, 0, err
+	}
+	if req == nil {
+		return nil, 0, nil
+	}
+	return req, n, nil
+}
+
+// Encode implements nserver.Codec.
+func (Codec) Encode(reply any) ([]byte, error) {
+	switch v := reply.(type) {
+	case *Response:
+		return EncodeResponse(v), nil
+	case []byte:
+		return v, nil
+	default:
+		return nil, fmt.Errorf("httpproto: cannot encode %T", reply)
+	}
+}

@@ -1,0 +1,183 @@
+// Package logging implements the logging (O12) and debug-mode tracing
+// (O10) support of the N-Server template.
+//
+// Logging is the application-facing capability the template can weave into
+// the generated server. Debug mode is different: "all internal events that
+// are triggered in the server are written into a file. The user can trace
+// this file to get a snapshot of what happened during the time an error
+// condition occurred." Both types use the nil-receiver idiom so that
+// disabled options cost only a nil check on library code paths.
+package logging
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Level classifies log records.
+type Level int
+
+// Log levels, in increasing severity.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "DEBUG"
+	case LevelInfo:
+		return "INFO"
+	case LevelWarn:
+		return "WARN"
+	case LevelError:
+		return "ERROR"
+	}
+	return fmt.Sprintf("LEVEL(%d)", int(l))
+}
+
+// Logger is the leveled application logger of option O12. A nil *Logger
+// discards everything.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	min Level
+	now func() time.Time
+}
+
+// NewLogger writes records at or above min to w.
+func NewLogger(w io.Writer, min Level) *Logger {
+	return &Logger{w: w, min: min, now: time.Now}
+}
+
+// SetClock overrides the timestamp source (tests).
+func (l *Logger) SetClock(now func() time.Time) {
+	if l != nil {
+		l.mu.Lock()
+		l.now = now
+		l.mu.Unlock()
+	}
+}
+
+// Log writes one record if lvl is at or above the logger's minimum.
+func (l *Logger) Log(lvl Level, format string, args ...any) {
+	if l == nil || lvl < l.min {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(l.w, "%s %s %s\n",
+		l.now().Format(time.RFC3339Nano), lvl, fmt.Sprintf(format, args...))
+}
+
+// Debugf logs at LevelDebug.
+func (l *Logger) Debugf(format string, args ...any) { l.Log(LevelDebug, format, args...) }
+
+// Infof logs at LevelInfo.
+func (l *Logger) Infof(format string, args ...any) { l.Log(LevelInfo, format, args...) }
+
+// Warnf logs at LevelWarn.
+func (l *Logger) Warnf(format string, args ...any) { l.Log(LevelWarn, format, args...) }
+
+// Errorf logs at LevelError.
+func (l *Logger) Errorf(format string, args ...any) { l.Log(LevelError, format, args...) }
+
+// TraceRecord is one internal event captured in debug mode.
+type TraceRecord struct {
+	Seq       uint64
+	Time      time.Time
+	Component string
+	Event     string
+}
+
+func (r TraceRecord) String() string {
+	return fmt.Sprintf("#%d %s [%s] %s", r.Seq, r.Time.Format(time.RFC3339Nano), r.Component, r.Event)
+}
+
+// Trace is the debug-mode internal event trace of option O10. Records are
+// kept in a bounded in-memory ring (for post-mortem snapshots) and
+// optionally streamed to a writer. A nil *Trace discards everything.
+type Trace struct {
+	mu    sync.Mutex
+	w     io.Writer // may be nil: ring only
+	ring  []TraceRecord
+	next  int
+	count int
+	seq   uint64
+	now   func() time.Time
+}
+
+// NewTrace creates a trace holding the last ringSize records, streaming to
+// w when w is non-nil.
+func NewTrace(w io.Writer, ringSize int) *Trace {
+	if ringSize <= 0 {
+		ringSize = 1024
+	}
+	return &Trace{w: w, ring: make([]TraceRecord, ringSize), now: time.Now}
+}
+
+// SetClock overrides the timestamp source (tests).
+func (t *Trace) SetClock(now func() time.Time) {
+	if t != nil {
+		t.mu.Lock()
+		t.now = now
+		t.mu.Unlock()
+	}
+}
+
+// Record captures one internal event.
+func (t *Trace) Record(component, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	rec := TraceRecord{
+		Seq:       t.seq,
+		Time:      t.now(),
+		Component: component,
+		Event:     fmt.Sprintf(format, args...),
+	}
+	t.ring[t.next] = rec
+	t.next = (t.next + 1) % len(t.ring)
+	if t.count < len(t.ring) {
+		t.count++
+	}
+	if t.w != nil {
+		fmt.Fprintln(t.w, rec)
+	}
+}
+
+// Snapshot returns the retained records in capture order.
+func (t *Trace) Snapshot() []TraceRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceRecord, 0, t.count)
+	start := t.next - t.count
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < t.count; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// Len returns the number of retained records.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}

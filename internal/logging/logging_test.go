@@ -1,0 +1,150 @@
+package logging
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedClock() func() time.Time {
+	t0 := time.Date(2005, 4, 4, 12, 0, 0, 0, time.UTC)
+	return func() time.Time { return t0 }
+}
+
+func TestNilLoggerAndTraceAreSafe(t *testing.T) {
+	var l *Logger
+	l.Debugf("x")
+	l.Infof("x")
+	l.Warnf("x")
+	l.Errorf("x")
+	l.SetClock(fixedClock())
+	var tr *Trace
+	tr.Record("c", "x")
+	tr.SetClock(fixedClock())
+	if tr.Snapshot() != nil || tr.Len() != 0 {
+		t.Error("nil trace returned records")
+	}
+}
+
+func TestLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo)
+	l.SetClock(fixedClock())
+	l.Debugf("hidden %d", 1)
+	l.Infof("shown %d", 2)
+	l.Warnf("warned")
+	l.Errorf("errored")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Error("debug record emitted below minimum level")
+	}
+	for _, want := range []string{"INFO shown 2", "WARN warned", "ERROR errored"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 3 {
+		t.Errorf("got %d lines", lines)
+	}
+}
+
+func TestLevelStrings(t *testing.T) {
+	for lvl, want := range map[Level]string{
+		LevelDebug: "DEBUG", LevelInfo: "INFO", LevelWarn: "WARN", LevelError: "ERROR",
+	} {
+		if lvl.String() != want {
+			t.Errorf("%d.String() = %q", lvl, lvl.String())
+		}
+	}
+	if Level(9).String() != "LEVEL(9)" {
+		t.Errorf("unknown level = %q", Level(9).String())
+	}
+}
+
+func TestTraceRingRetention(t *testing.T) {
+	tr := NewTrace(nil, 4)
+	tr.SetClock(fixedClock())
+	for i := 0; i < 10; i++ {
+		tr.Record("reactor", "event %d", i)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	recs := tr.Snapshot()
+	if len(recs) != 4 {
+		t.Fatalf("snapshot has %d records", len(recs))
+	}
+	// The ring keeps the last 4 records, in order, with increasing seq.
+	for i, r := range recs {
+		wantEvent := "event " + string(rune('6'+i))
+		if r.Event != wantEvent {
+			t.Errorf("record %d = %q, want %q", i, r.Event, wantEvent)
+		}
+		if i > 0 && recs[i].Seq != recs[i-1].Seq+1 {
+			t.Errorf("non-monotonic seq: %d after %d", recs[i].Seq, recs[i-1].Seq)
+		}
+		if r.Component != "reactor" {
+			t.Errorf("component = %q", r.Component)
+		}
+	}
+}
+
+func TestTraceStreamsToWriter(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTrace(&buf, 8)
+	tr.SetClock(fixedClock())
+	tr.Record("dispatcher", "dispatching %s", "accept")
+	out := buf.String()
+	if !strings.Contains(out, "[dispatcher] dispatching accept") {
+		t.Errorf("stream output = %q", out)
+	}
+	if !strings.HasPrefix(out, "#1 ") {
+		t.Errorf("missing seq prefix: %q", out)
+	}
+}
+
+func TestTraceDefaultRingSize(t *testing.T) {
+	tr := NewTrace(nil, 0)
+	for i := 0; i < 2000; i++ {
+		tr.Record("x", "e")
+	}
+	if tr.Len() != 1024 {
+		t.Errorf("default ring retained %d", tr.Len())
+	}
+}
+
+func TestTracePartialRing(t *testing.T) {
+	tr := NewTrace(nil, 100)
+	tr.Record("a", "first")
+	tr.Record("b", "second")
+	recs := tr.Snapshot()
+	if len(recs) != 2 || recs[0].Event != "first" || recs[1].Event != "second" {
+		t.Errorf("partial ring snapshot wrong: %v", recs)
+	}
+}
+
+func TestConcurrentLoggingAndTracing(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelDebug)
+	tr := NewTrace(nil, 256)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Infof("worker %d op %d", w, i)
+				tr.Record("worker", "op %d.%d", w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := strings.Count(buf.String(), "\n"); got != 800 {
+		t.Errorf("logger wrote %d lines, want 800", got)
+	}
+	if tr.Len() != 256 {
+		t.Errorf("trace retained %d", tr.Len())
+	}
+}

@@ -1,0 +1,234 @@
+// Package mpserver is the comparison baseline of the paper's evaluation:
+// an Apache-1.3-style multiprogramming web server. Apache implements the
+// process-per-connection concurrency model with a bounded worker pool of
+// 150 processes; here each "process" is a goroutine that accepts one
+// connection, serves it completely (blocking reads, blocking file I/O),
+// and only then accepts the next. Connections beyond the pool wait in the
+// kernel listen backlog — the behaviour that produces Apache's throughput
+// advantage under light load and its fairness collapse under very heavy
+// load (Figs. 3 and 4).
+//
+// The same concurrency model is mirrored in the DES world by
+// internal/experiments' Apache model; this package is the live-TCP
+// version used for integration comparison and the examples.
+package mpserver
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/httpproto"
+)
+
+// DefaultWorkers is Apache 1.3's default bounded pool size used in the
+// paper's experiment.
+const DefaultWorkers = 150
+
+// Config configures the baseline server.
+type Config struct {
+	// DocRoot is the directory served. Required.
+	DocRoot string
+	// Workers bounds the simultaneous connections (default 150).
+	Workers int
+	// IndexFile is served for directory requests. Default "index.html".
+	IndexFile string
+	// HandleDelay, when positive, burns CPU-equivalent time per request
+	// (the overload experiment's decode sleep, applied here for an
+	// apples-to-apples comparison).
+	HandleDelay time.Duration
+	// ReadTimeout bounds waiting for the next request on a persistent
+	// connection. Zero means no timeout.
+	ReadTimeout time.Duration
+}
+
+// Server is a running process-per-connection web server.
+type Server struct {
+	docroot     string
+	workers     int
+	indexFile   string
+	handleDelay time.Duration
+	readTimeout time.Duration
+
+	ln       net.Listener
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+	served   atomic.Uint64
+	accepted atomic.Uint64
+}
+
+// New validates cfg and creates the server.
+func New(cfg Config) (*Server, error) {
+	if cfg.DocRoot == "" {
+		return nil, errors.New("mpserver: DocRoot required")
+	}
+	root, err := filepath.Abs(cfg.DocRoot)
+	if err != nil {
+		return nil, err
+	}
+	if fi, err := os.Stat(root); err != nil || !fi.IsDir() {
+		return nil, fmt.Errorf("mpserver: DocRoot %q is not a directory", root)
+	}
+	w := cfg.Workers
+	if w <= 0 {
+		w = DefaultWorkers
+	}
+	idx := cfg.IndexFile
+	if idx == "" {
+		idx = "index.html"
+	}
+	return &Server{
+		docroot:     root,
+		workers:     w,
+		indexFile:   idx,
+		handleDelay: cfg.HandleDelay,
+		readTimeout: cfg.ReadTimeout,
+	}, nil
+}
+
+// Start launches the worker pool accepting from ln.
+func (s *Server) Start(ln net.Listener) {
+	s.ln = ln
+	for i := 0; i < s.workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// ListenAndServe binds addr and starts the pool.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.Start(ln)
+	return nil
+}
+
+// Addr returns the bound address once serving.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Served returns the total requests served.
+func (s *Server) Served() uint64 { return s.served.Load() }
+
+// Accepted returns the total connections accepted.
+func (s *Server) Accepted() uint64 { return s.accepted.Load() }
+
+// Shutdown closes the listener and waits for workers to finish their
+// current connections.
+func (s *Server) Shutdown() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.wg.Wait()
+}
+
+// worker is one Apache "process": accept, serve the whole connection,
+// repeat.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.accepted.Add(1)
+		s.serveConn(conn)
+	}
+}
+
+// serveConn handles one connection's persistent request stream.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	buf := make([]byte, 0, 8<<10)
+	chunk := make([]byte, 8<<10)
+	for {
+		// Parse buffered bytes first; read more only when incomplete.
+		req, n, err := httpproto.ParseRequest(buf)
+		if err != nil {
+			resp := httpproto.ErrorResponse(400, true)
+			conn.Write(httpproto.EncodeResponse(resp))
+			return
+		}
+		if req == nil {
+			if s.readTimeout > 0 {
+				conn.SetReadDeadline(time.Now().Add(s.readTimeout))
+			}
+			rn, rerr := conn.Read(chunk)
+			if rn > 0 {
+				buf = append(buf, chunk[:rn]...)
+			}
+			if rerr != nil {
+				return
+			}
+			continue
+		}
+		buf = buf[n:]
+		if !s.serveRequest(conn, req) {
+			return
+		}
+	}
+}
+
+// serveRequest handles one request; it reports whether the connection
+// persists.
+func (s *Server) serveRequest(conn net.Conn, req *httpproto.Request) bool {
+	if s.handleDelay > 0 {
+		time.Sleep(s.handleDelay)
+	}
+	keep := req.KeepAlive()
+	var resp *httpproto.Response
+	switch {
+	case req.Method != "GET" && req.Method != "HEAD":
+		resp = httpproto.ErrorResponse(405, !keep)
+	default:
+		resp = s.fetch(req)
+		resp.Close = !keep
+	}
+	resp.Proto = req.Proto
+	if _, err := conn.Write(httpproto.EncodeResponse(resp)); err != nil {
+		return false
+	}
+	s.served.Add(1)
+	return keep
+}
+
+// fetch performs the blocking file read of the process model (no cache,
+// no async I/O — the kernel buffer cache plays that role for Apache).
+func (s *Server) fetch(req *httpproto.Request) *httpproto.Response {
+	p := httpproto.CleanPath(req.Path)
+	if strings.HasSuffix(p, "/") {
+		p += s.indexFile
+	}
+	full := filepath.Join(s.docroot, filepath.FromSlash(p))
+	if full != s.docroot && !strings.HasPrefix(full, s.docroot+string(filepath.Separator)) {
+		return httpproto.ErrorResponse(403, false)
+	}
+	if fi, err := os.Stat(full); err == nil && fi.IsDir() {
+		full = filepath.Join(full, s.indexFile)
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		return httpproto.ErrorResponse(404, false)
+	}
+	resp := httpproto.NewResponse(200, httpproto.MimeType(full), data)
+	if req.Method == "HEAD" {
+		resp.Headers.Set("Content-Length", fmt.Sprintf("%d", len(data)))
+		resp.Body = nil
+	}
+	return resp
+}

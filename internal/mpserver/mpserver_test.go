@@ -1,0 +1,240 @@
+package mpserver
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func buildRoot(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "index.html"), []byte("<h1>apache-like</h1>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "f.txt"), []byte("sixteen bytes!!!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func start(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Shutdown)
+	return s
+}
+
+func request(t *testing.T, conn net.Conn, r *bufio.Reader, path string) (int, []byte) {
+	t.Helper()
+	fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: t\r\n\r\n", path)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := strings.SplitN(line, " ", 3)
+	status, _ := strconv.Atoi(parts[1])
+	clen := 0
+	for {
+		h, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		h = strings.TrimSpace(h)
+		if h == "" {
+			break
+		}
+		if k, v, _ := strings.Cut(h, ":"); strings.EqualFold(k, "Content-Length") {
+			clen, _ = strconv.Atoi(strings.TrimSpace(v))
+		}
+	}
+	body := make([]byte, clen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		t.Fatal(err)
+	}
+	return status, body
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("missing docroot accepted")
+	}
+	if _, err := New(Config{DocRoot: "/no/such"}); err == nil {
+		t.Error("bad docroot accepted")
+	}
+	s, err := New(Config{DocRoot: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.workers != DefaultWorkers {
+		t.Errorf("default workers = %d", s.workers)
+	}
+}
+
+func TestServesFilesWithKeepAlive(t *testing.T) {
+	s := start(t, Config{DocRoot: buildRoot(t), Workers: 4})
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	for i := 0; i < 5; i++ {
+		status, body := request(t, conn, r, "/f.txt")
+		if status != 200 || string(body) != "sixteen bytes!!!" {
+			t.Fatalf("iteration %d: %d %q", i, status, body)
+		}
+	}
+	status, body := request(t, conn, r, "/")
+	if status != 200 || string(body) != "<h1>apache-like</h1>" {
+		t.Errorf("index: %d %q", status, body)
+	}
+	status, _ = request(t, conn, r, "/missing")
+	if status != 404 {
+		t.Errorf("missing: %d", status)
+	}
+	if s.Served() != 7 || s.Accepted() != 1 {
+		t.Errorf("served=%d accepted=%d", s.Served(), s.Accepted())
+	}
+}
+
+func TestBoundedPoolQueuesExcessConnections(t *testing.T) {
+	// One worker: a second connection is not served until the first
+	// finishes — the process-per-connection property behind Fig. 4.
+	s := start(t, Config{DocRoot: buildRoot(t), Workers: 1})
+	c1, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	r1 := bufio.NewReader(c1)
+	if status, _ := request(t, c1, r1, "/f.txt"); status != 200 {
+		t.Fatal("first connection broken")
+	}
+	// Second connection connects (kernel backlog) but gets no service
+	// while the single worker is bound to c1.
+	c2, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	fmt.Fprintf(c2, "GET /f.txt HTTP/1.1\r\nHost: t\r\n\r\n")
+	c2.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, err := c2.Read(make([]byte, 1)); err == nil {
+		t.Fatal("second connection served while worker busy")
+	}
+	// Closing c1 frees the worker; c2 is then served.
+	c1.Close()
+	c2.SetReadDeadline(time.Now().Add(5 * time.Second))
+	r2 := bufio.NewReader(c2)
+	line, err := r2.ReadString('\n')
+	if err != nil {
+		t.Fatalf("second connection never served: %v", err)
+	}
+	if !strings.Contains(line, "200") {
+		t.Errorf("second connection status: %q", line)
+	}
+}
+
+func TestBadRequestGets400(t *testing.T) {
+	s := start(t, Config{DocRoot: buildRoot(t), Workers: 2})
+	conn, _ := net.Dial("tcp", s.Addr())
+	defer conn.Close()
+	fmt.Fprint(conn, "NONSENSE\r\n\r\n")
+	r := bufio.NewReader(conn)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(line, "400") {
+		t.Errorf("status = %q", line)
+	}
+}
+
+func TestHandleDelaySlowsService(t *testing.T) {
+	s := start(t, Config{DocRoot: buildRoot(t), Workers: 2, HandleDelay: 30 * time.Millisecond})
+	conn, _ := net.Dial("tcp", s.Addr())
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	startT := time.Now()
+	if status, _ := request(t, conn, r, "/f.txt"); status != 200 {
+		t.Fatal("request failed")
+	}
+	if elapsed := time.Since(startT); elapsed < 25*time.Millisecond {
+		t.Errorf("delay not applied: %v", elapsed)
+	}
+}
+
+func TestConcurrentLoad(t *testing.T) {
+	s := start(t, Config{DocRoot: buildRoot(t), Workers: 8})
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", s.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			for j := 0; j < 10; j++ {
+				fmt.Fprintf(conn, "GET /f.txt HTTP/1.1\r\nHost: t\r\n\r\n")
+				line, err := r.ReadString('\n')
+				if err != nil || !strings.Contains(line, "200") {
+					errs <- fmt.Errorf("req failed: %q %v", line, err)
+					return
+				}
+				// Drain headers+body.
+				for {
+					h, err := r.ReadString('\n')
+					if err != nil {
+						errs <- err
+						return
+					}
+					if strings.TrimSpace(h) == "" {
+						break
+					}
+				}
+				body := make([]byte, 16)
+				if _, err := io.ReadFull(r, body); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if s.Served() != 160 {
+		t.Errorf("served = %d, want 160", s.Served())
+	}
+}
+
+func TestShutdownIdempotent(t *testing.T) {
+	s := start(t, Config{DocRoot: buildRoot(t), Workers: 2})
+	s.Shutdown()
+	s.Shutdown()
+	if _, err := net.Dial("tcp", s.Addr()); err == nil {
+		t.Error("listener open after shutdown")
+	}
+}

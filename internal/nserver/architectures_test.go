@@ -1,0 +1,126 @@
+package nserver
+
+// The paper's related-work section claims the N-Server template subsumes
+// earlier event-driven server architectures: "The Zeus Web server and the
+// Harvest Web cache employ a single-process event-driven (SPED)
+// architecture ... Pai, Druschel, and Zwaenepoel proposed the
+// multi-process event-driven architecture (AMPED) that enhances the SPED
+// by using multiple helper processes to handle blocking I/O operations.
+// Both of these two architectures can be emulated using the N-Server."
+// These tests make that claim executable as option assignments.
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/events"
+	"repro/internal/options"
+)
+
+// spedOptions is the SPED emulation: one dispatcher thread, no separate
+// event-handling pool (handlers run inline in the single event loop), and
+// synchronous completions.
+func spedOptions() options.Options {
+	return options.Options{
+		DispatcherThreads:  1,
+		SeparateThreadPool: false,
+		Codec:              true,
+		Completion:         options.SynchronousCompletion,
+	}
+}
+
+// mpedOptions is the AMPED emulation: the SPED event loop plus helper
+// threads for blocking file I/O, whose results re-enter the loop as
+// completion events.
+func mpedOptions() options.Options {
+	o := spedOptions()
+	o.Completion = options.AsynchronousCompletion
+	o.Cache = options.LRU
+	o.CacheCapacity = 1 << 20
+	o.FileIOThreads = 4 // the helpers
+	return o
+}
+
+func TestSPEDEmulation(t *testing.T) {
+	_, addr := startServer(t, Config{Options: spedOptions(), App: echoApp(), Codec: lineCodec{}})
+	conn := dial(t, addr)
+	r := bufio.NewReader(conn)
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(conn, "sped-%d\n", i)
+		line, err := r.ReadString('\n')
+		if err != nil || line != fmt.Sprintf("echo: sped-%d\n", i) {
+			t.Fatalf("iteration %d: %q %v", i, line, err)
+		}
+	}
+}
+
+func TestSPEDSingleLoopSerializesHandlers(t *testing.T) {
+	// In SPED every handler runs on the one event loop: two concurrent
+	// clients' requests are processed strictly one at a time.
+	inHandler := make(chan struct{}, 4)
+	app := AppFuncs{
+		Request: func(c *Conn, req any) {
+			select {
+			case inHandler <- struct{}{}:
+			default:
+				t.Error("two handlers ran concurrently in SPED mode")
+			}
+			time.Sleep(2 * time.Millisecond)
+			<-inHandler
+			_ = c.Reply("done")
+		},
+	}
+	_, addr := startServer(t, Config{Options: spedOptions(), App: app, Codec: lineCodec{}})
+	c1, c2 := dial(t, addr), dial(t, addr)
+	fmt.Fprint(c1, "a\n")
+	fmt.Fprint(c2, "b\n")
+	for _, c := range []interface{ Read([]byte) (int, error) }{c1, c2} {
+		if _, err := bufio.NewReader(c).ReadString('\n'); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMPEDEmulation(t *testing.T) {
+	dir := t.TempDir()
+	body := []byte("amped helper payload")
+	if err := os.WriteFile(filepath.Join(dir, "f.txt"), body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	app := AppFuncs{
+		Request: func(c *Conn, req any) {
+			// The event loop issues the blocking read to a helper and
+			// continues; the completion re-enters as an event.
+			_, _ = c.Server().AIO().ReadFile(filepath.Join(dir, req.(string)), c, 0,
+				func(tok events.Token, data []byte, err error) {
+					conn := tok.State.(*Conn)
+					if err != nil {
+						_ = conn.Reply("ERR")
+						return
+					}
+					_ = conn.Reply("OK " + string(data))
+				})
+		},
+	}
+	s, addr := startServer(t, Config{Options: mpedOptions(), App: app, Codec: lineCodec{}})
+	conn := dial(t, addr)
+	r := bufio.NewReader(conn)
+	for i := 0; i < 3; i++ {
+		fmt.Fprint(conn, "f.txt\n")
+		line, err := r.ReadString('\n')
+		if err != nil || line != "OK "+string(body)+"\n" {
+			t.Fatalf("iteration %d: %q %v", i, line, err)
+		}
+	}
+	// Helpers exist; the reactive pool does not (O2 off).
+	if s.reactive != nil {
+		t.Error("MPED emulation should have no separate event-handling pool")
+	}
+	if s.AIO() == nil {
+		t.Error("MPED emulation needs the helper pool")
+	}
+}

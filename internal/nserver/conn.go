@@ -1,0 +1,223 @@
+package nserver
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/events"
+	"repro/internal/reactor"
+)
+
+// ErrConnClosed is returned by Send/Reply on a closed connection.
+var ErrConnClosed = errors.New("nserver: connection closed")
+
+// readChunkSize is the buffer size of the framework's Read Request step.
+const readChunkSize = 32 << 10
+
+// Conn is the Communicator Component of the generated framework: the
+// per-connection object binding the transport to the five-step pipeline.
+// Its generated code varies with options O3 (codec buffer and decode
+// loop), O7 (activity timestamps for the idle reaper), O8 (the priority
+// field) and O11 (byte counters) — the crosscutting Table 2 documents.
+type Conn struct {
+	srv    *Server
+	conn   net.Conn
+	handle reactor.Handle
+
+	// prio is the O8 scheduling priority applied to this connection's
+	// events.
+	prio atomic.Int32
+
+	// lastActive is the unix-nano timestamp of the last read or write,
+	// sampled by the idle reaper (O7).
+	lastActive atomic.Int64
+
+	// pipeMu serializes the per-connection pipeline: decode and handler
+	// invocations for one connection never run concurrently.
+	pipeMu sync.Mutex
+	inbuf  []byte
+
+	writeMu sync.Mutex
+	closed  atomic.Bool
+	// closeErr records the first close cause for OnClose.
+	closeErr  error
+	closeOnce sync.Once
+
+	// userData carries application state (e.g. the FTP session).
+	userData atomic.Value
+}
+
+// Server returns the owning server (for access to AIO, cache, timers).
+func (c *Conn) Server() *Server { return c.srv }
+
+// Handle returns the connection's reactor handle.
+func (c *Conn) Handle() reactor.Handle { return c.handle }
+
+// RemoteAddr returns the peer address.
+func (c *Conn) RemoteAddr() net.Addr { return c.conn.RemoteAddr() }
+
+// LocalAddr returns the local address.
+func (c *Conn) LocalAddr() net.Addr { return c.conn.LocalAddr() }
+
+// Priority returns the connection's current scheduling priority (O8).
+func (c *Conn) Priority() events.Priority { return events.Priority(c.prio.Load()) }
+
+// SetPriority changes the connection's scheduling priority; subsequent
+// events for this connection are queued at the new level.
+func (c *Conn) SetPriority(p events.Priority) { c.prio.Store(int32(p)) }
+
+// SetUserData attaches application state to the connection.
+func (c *Conn) SetUserData(v any) { c.userData.Store(v) }
+
+// UserData returns the state attached with SetUserData (nil if unset).
+func (c *Conn) UserData() any { return c.userData.Load() }
+
+// IdleFor returns how long the connection has been inactive.
+func (c *Conn) IdleFor() time.Duration {
+	return time.Duration(time.Now().UnixNano() - c.lastActive.Load())
+}
+
+// Closed reports whether the connection has been torn down.
+func (c *Conn) Closed() bool { return c.closed.Load() }
+
+func (c *Conn) touch() { c.lastActive.Store(time.Now().UnixNano()) }
+
+// Send transmits raw bytes (the Send Reply step without encoding).
+func (c *Conn) Send(data []byte) error {
+	if c.closed.Load() {
+		return ErrConnClosed
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	n, err := c.conn.Write(data)
+	c.srv.profile.BytesSent(n)
+	c.touch()
+	if err != nil {
+		c.teardown(err)
+		return err
+	}
+	return nil
+}
+
+// Reply encodes a reply with the server's codec (Encode Reply step) and
+// sends it. On a server without a codec, reply must be a []byte.
+func (c *Conn) Reply(reply any) error {
+	data, err := c.srv.encode(reply)
+	if err != nil {
+		return err
+	}
+	return c.Send(data)
+}
+
+// Close tears the connection down cleanly.
+func (c *Conn) Close() error {
+	c.teardown(nil)
+	return nil
+}
+
+// teardown closes the transport once, deregisters the handle and emits the
+// close event so OnClose runs on the processing path.
+func (c *Conn) teardown(cause error) {
+	c.closeOnce.Do(func() {
+		c.closed.Store(true)
+		c.closeErr = cause
+		c.conn.Close()
+		_ = c.srv.reactor.Source().Emit(reactor.Ready{
+			Type:   reactor.CloseReady,
+			Handle: c.handle,
+			Data:   cause,
+			Prio:   c.Priority(),
+		})
+	})
+}
+
+// readLoop is the framework's Read Request step: it moves raw bytes from
+// the transport into ReadReady events on the Event Source. (In the
+// paper's Java NIO implementation the dispatcher polls read-readiness; Go
+// exposes no portable readiness API, so a per-connection reader goroutine
+// performs the blocking read and feeds the same event path. The bytes
+// enter the pipeline identically.)
+func (c *Conn) readLoop() {
+	buf := make([]byte, readChunkSize)
+	for {
+		n, err := c.conn.Read(buf)
+		if n > 0 {
+			c.srv.profile.BytesRead(n)
+			c.touch()
+			chunk := make([]byte, n)
+			copy(chunk, buf[:n])
+			if eerr := c.srv.reactor.Source().Emit(reactor.Ready{
+				Type:   reactor.ReadReady,
+				Handle: c.handle,
+				Data:   chunk,
+				Prio:   c.Priority(),
+			}); eerr != nil {
+				c.teardown(eerr)
+				return
+			}
+		}
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) || c.closed.Load() {
+				c.teardown(nil)
+			} else {
+				c.teardown(err)
+			}
+			return
+		}
+	}
+}
+
+// handleReady is the Communicator's event handler, dispatched by the
+// reactor for this connection's handle. ReadReady chunks run the Decode
+// Request and Handle Request steps; CloseReady finalizes the connection.
+func (c *Conn) handleReady(rd reactor.Ready) {
+	switch rd.Type {
+	case reactor.ReadReady:
+		c.processChunk(rd.Data.([]byte))
+	case reactor.CloseReady:
+		c.finalize()
+	}
+}
+
+// processChunk appends a raw chunk and extracts requests. With a codec the
+// Decode Request step loops over complete requests (HTTP pipelining, FTP
+// command batches); without one the chunk itself is the request (Fig. 2).
+func (c *Conn) processChunk(chunk []byte) {
+	c.pipeMu.Lock()
+	defer c.pipeMu.Unlock()
+	if c.closed.Load() {
+		return
+	}
+	if c.srv.codec == nil {
+		c.srv.handleRequest(c, chunk)
+		return
+	}
+	c.inbuf = append(c.inbuf, chunk...)
+	for {
+		req, n, err := c.srv.codec.Decode(c.inbuf)
+		if n > 0 {
+			c.inbuf = c.inbuf[n:]
+			c.srv.handleRequest(c, req)
+		}
+		if err != nil {
+			c.srv.trace.Record("communicator", "decode error on %d: %v", c.handle, err)
+			c.teardown(err)
+			return
+		}
+		if n == 0 || len(c.inbuf) == 0 {
+			return
+		}
+	}
+}
+
+// finalize runs the OnClose hook exactly once, after deregistering the
+// handle (the framework's Communicator teardown).
+func (c *Conn) finalize() {
+	c.srv.detach(c)
+	c.srv.profile.ConnectionClosed()
+	c.srv.app.OnClose(c, c.closeErr)
+}

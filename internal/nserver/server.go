@@ -1,0 +1,445 @@
+package nserver
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/acceptor"
+	"repro/internal/aio"
+	"repro/internal/cache"
+	"repro/internal/eventproc"
+	"repro/internal/events"
+	"repro/internal/logging"
+	"repro/internal/options"
+	"repro/internal/profiling"
+	"repro/internal/reactor"
+)
+
+// Config assembles a server from a validated option set plus the
+// application hooks.
+type Config struct {
+	// Options is the Table 1 option assignment. Required and validated.
+	Options options.Options
+	// App supplies the application hook methods. Required.
+	App App
+	// Codec supplies Decode/Encode when Options.Codec is true. Required
+	// iff Options.Codec.
+	Codec Codec
+	// Priority assigns initial connection priorities when event
+	// scheduling (O8) is on. Nil means all connections at priority 0.
+	Priority PriorityFunc
+	// CustomCachePolicy is the victim-selection hook when Options.Cache
+	// is options.CustomPolicy.
+	CustomCachePolicy cache.VictimFunc
+	// LogWriter receives application log records when Options.Logging;
+	// nil falls back to a discard logger even when logging is on.
+	Logger *logging.Logger
+	// TraceSink receives the debug trace in Debug mode; nil keeps the
+	// in-memory ring only.
+	Trace *logging.Trace
+	// GatePollInterval tunes how often a postponed acceptor re-checks
+	// the overload gate (tests and simulations shrink it). Zero: 1ms.
+	GatePollInterval time.Duration
+}
+
+// Server is the assembled N-Server instance.
+type Server struct {
+	opts     options.Options
+	app      App
+	codec    Codec
+	priority PriorityFunc
+
+	reactor  *reactor.Reactor
+	timers   *reactor.TimerSource
+	reactive *eventproc.Processor
+	fileio   *aio.Service
+	fcache   *cache.Cache
+	overload *eventproc.Overload
+	acceptor *acceptor.Acceptor
+	profile  *profiling.Profile
+	logger   *logging.Logger
+	trace    *logging.Trace
+
+	mu    sync.Mutex
+	conns map[reactor.Handle]*Conn
+
+	gatePoll   time.Duration
+	reaperDone chan struct{}
+	started    atomic.Bool
+	stopped    atomic.Bool
+	acceptWG   sync.WaitGroup
+}
+
+// New validates the configuration and assembles (but does not start) a
+// server — the library analogue of template instantiation: every
+// component below exists or not according to the option set, mirroring
+// the Exists column of Table 2.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Options.Validate(); err != nil {
+		return nil, fmt.Errorf("nserver: invalid options: %w", err)
+	}
+	if cfg.App == nil {
+		return nil, errors.New("nserver: App hooks required")
+	}
+	if cfg.Options.Codec && cfg.Codec == nil {
+		return nil, errors.New("nserver: O3 selects encoding/decoding but no Codec supplied")
+	}
+	if !cfg.Options.Codec && cfg.Codec != nil {
+		return nil, errors.New("nserver: Codec supplied but O3 disables encoding/decoding")
+	}
+	o := cfg.Options
+
+	s := &Server{
+		opts:     o,
+		app:      cfg.App,
+		codec:    cfg.Codec,
+		priority: cfg.Priority,
+		logger:   cfg.Logger,
+		conns:    make(map[reactor.Handle]*Conn),
+		gatePoll: cfg.GatePollInterval,
+	}
+
+	// O11: profiling counters exist only when selected.
+	if o.Profiling {
+		s.profile = profiling.New()
+	}
+	// O10: the debug trace exists only in debug mode.
+	if o.Mode == options.Debug {
+		s.trace = cfg.Trace
+		if s.trace == nil {
+			s.trace = logging.NewTrace(nil, 4096)
+		}
+	}
+
+	// Event source chain: timers always; per-event tracing in debug mode.
+	var src reactor.Source = reactor.NewBasicSource("events")
+	if o.Mode == options.Debug {
+		src = reactor.NewTraceSource(src, s.trace)
+	}
+	s.timers = reactor.NewTimerSource(src)
+
+	// O2/O5/O8: the reactive Event Processor with its queue discipline.
+	if o.SeparateThreadPool {
+		queue, err := events.NewQueue(o.EventScheduling, o.Quotas)
+		if err != nil {
+			return nil, err
+		}
+		proc, err := eventproc.New(eventproc.Config{
+			Name:       "reactive",
+			Queue:      queue,
+			Workers:    o.EventThreads,
+			Allocation: o.Allocation,
+			MinWorkers: o.MinEventThreads,
+			MaxWorkers: o.MaxEventThreads,
+			Profile:    s.profile,
+			Trace:      s.trace,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.reactive = proc
+	}
+
+	r, err := reactor.New(reactor.Config{
+		Source:            s.timers,
+		DispatcherThreads: o.DispatcherThreads,
+		Processor:         s.reactive,
+		Profile:           s.profile,
+		Trace:             s.trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.reactor = r
+
+	// O6: the Cache class exists only when a policy is selected; the
+	// file-I/O Event Processor emulates non-blocking disk access.
+	if o.Cache != options.NoCache {
+		fc, err := cache.New(o.CacheCapacity, o.Cache, cache.Config{
+			Threshold: o.CacheThreshold,
+			Custom:    cfg.CustomCachePolicy,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.fcache = fc
+	}
+	var sink aio.Sink
+	if o.Completion == options.AsynchronousCompletion {
+		if s.reactive != nil {
+			sink = s.reactive.Submit
+		} else {
+			// Without a separate pool, completions re-enter through the
+			// event source and are dispatched inline.
+			sink = func(ev events.Event) error {
+				comp := ev.(*events.Completion)
+				return s.reactor.Source().Emit(reactor.Ready{
+					Type: reactor.CompletionReady,
+					Data: comp,
+					Prio: comp.Prio,
+				})
+			}
+		}
+	}
+	ioWorkers := o.FileIOThreads
+	if ioWorkers <= 0 {
+		ioWorkers = 2
+	}
+	svc, err := aio.New(aio.Config{
+		Workers: ioWorkers,
+		Mode:    o.Completion,
+		Sink:    sink,
+		Cache:   s.fcache,
+		Profile: s.profile,
+		Trace:   s.trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.fileio = svc
+
+	// Inline completion dispatch (only reachable when O2 is off).
+	s.reactor.RegisterType(reactor.CompletionReady, reactor.HandlerFunc(func(rd reactor.Ready) {
+		if comp, ok := rd.Data.(*events.Completion); ok {
+			comp.Process()
+		}
+	}))
+
+	// O9: the overload controller exists only when selected. It watches
+	// the reactive event queue (CPU bottleneck) and the file-I/O queue
+	// (disk bottleneck) — "overload situations that can be caused by
+	// multiple bottlenecks, such as CPU and disk".
+	if o.OverloadControl {
+		s.overload = eventproc.NewOverload(s.profile, s.trace)
+		if s.reactive != nil {
+			if err := s.overload.Watch("reactive", s.reactive, o.HighWatermark, o.LowWatermark); err != nil {
+				return nil, err
+			}
+		}
+		if err := s.overload.Watch("file-io", s.fileio, o.HighWatermark, o.LowWatermark); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Options returns the option assignment the server was built with.
+func (s *Server) Options() options.Options { return s.opts }
+
+// Profile returns the profiling counters (nil unless O11 is on).
+func (s *Server) Profile() *profiling.Profile { return s.profile }
+
+// Trace returns the debug trace (nil unless O10 is Debug).
+func (s *Server) Trace() *logging.Trace { return s.trace }
+
+// Logger returns the application logger (nil unless supplied).
+func (s *Server) Logger() *logging.Logger {
+	if !s.opts.Logging {
+		return nil
+	}
+	return s.logger
+}
+
+// Cache returns the file cache (nil unless O6 selects a policy).
+func (s *Server) Cache() *cache.Cache { return s.fcache }
+
+// AIO returns the emulated asynchronous file I/O service.
+func (s *Server) AIO() *aio.Service { return s.fileio }
+
+// Timers returns the timer event source for application timers.
+func (s *Server) Timers() *reactor.TimerSource { return s.timers }
+
+// Overload returns the overload controller (nil unless O9 is on).
+func (s *Server) Overload() *eventproc.Overload { return s.overload }
+
+// ActiveConns returns the number of live connections.
+func (s *Server) ActiveConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// Addr returns the listening address (nil before Start).
+func (s *Server) Addr() net.Addr {
+	if s.acceptor == nil {
+		return nil
+	}
+	return s.acceptor.Addr()
+}
+
+// Start begins serving connections accepted from ln. It returns
+// immediately; use Shutdown to stop. Start may be called once.
+func (s *Server) Start(ln net.Listener) error {
+	if !s.started.CompareAndSwap(false, true) {
+		return errors.New("nserver: already started")
+	}
+	var gate acceptor.Gate
+	if s.overload != nil {
+		gate = s.overload
+	}
+	acc, err := acceptor.New(acceptor.Config{
+		Listener:         ln,
+		Reactor:          s.reactor,
+		Gate:             gate,
+		MaxConns:         s.opts.MaxConnections,
+		GatePollInterval: s.gatePoll,
+		Profile:          s.profile,
+		Trace:            s.trace,
+	})
+	if err != nil {
+		return err
+	}
+	s.acceptor = acc
+	// The Acceptor Event Handler: wrap each accepted transport in a
+	// Communicator and start its pipeline.
+	s.reactor.Register(acc.Handle(), reactor.HandlerFunc(func(rd reactor.Ready) {
+		if rd.Type == reactor.AcceptReady {
+			s.attach(rd.Data.(net.Conn))
+		}
+	}))
+	s.fileio.Start()
+	s.reactor.Run()
+	s.acceptWG.Add(1)
+	go func() {
+		defer s.acceptWG.Done()
+		acc.Run()
+	}()
+	// O7: the idle reaper exists only when selected.
+	if s.opts.ShutdownLongIdle {
+		s.reaperDone = make(chan struct{})
+		go s.reap()
+	}
+	s.trace.Record("server", "serving on %s", ln.Addr())
+	return nil
+}
+
+// ListenAndServe binds addr on TCP and starts the server.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Start(ln)
+}
+
+// Shutdown stops accepting, closes every connection, drains the event
+// machinery and stops the pools. Idempotent.
+func (s *Server) Shutdown() {
+	if !s.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	if s.acceptor != nil {
+		_ = s.acceptor.Close()
+		s.acceptWG.Wait()
+	}
+	if s.reaperDone != nil {
+		close(s.reaperDone)
+	}
+	s.mu.Lock()
+	conns := make([]*Conn, 0, len(s.conns))
+	for _, c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.teardown(nil)
+	}
+	// Give teardown events a chance to be queued, then stop dispatch.
+	s.fileio.Stop()
+	s.reactor.Stop()
+	s.trace.Record("server", "shutdown complete")
+}
+
+// attach wraps an accepted transport in a Communicator, registers its
+// handler and starts the Read Request loop.
+func (s *Server) attach(nc net.Conn) {
+	c := &Conn{
+		srv:    s,
+		conn:   nc,
+		handle: s.reactor.NewHandle(),
+	}
+	c.touch()
+	if s.priority != nil {
+		c.SetPriority(s.priority(c))
+	}
+	s.mu.Lock()
+	s.conns[c.handle] = c
+	s.mu.Unlock()
+	s.reactor.Register(c.handle, reactor.HandlerFunc(c.handleReady))
+	s.trace.Record("server", "communicator attached for %s (handle %d, prio %d)",
+		nc.RemoteAddr(), c.handle, c.Priority())
+	s.app.OnConnect(c)
+	go c.readLoop()
+}
+
+// detach removes a finished connection.
+func (s *Server) detach(c *Conn) {
+	s.mu.Lock()
+	delete(s.conns, c.handle)
+	s.mu.Unlock()
+	s.reactor.Deregister(c.handle)
+	if s.acceptor != nil {
+		s.acceptor.ConnClosed()
+	}
+}
+
+// handleRequest runs the application's Handle Request hook with panic
+// isolation and per-request profiling.
+func (s *Server) handleRequest(c *Conn, req any) {
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			s.trace.Record("server", "handler panic on %d: %v", c.handle, r)
+			c.teardown(fmt.Errorf("nserver: handler panic: %v", r))
+		}
+	}()
+	s.app.Handle(c, req)
+	s.profile.RequestServed(time.Since(start))
+}
+
+// encode runs the Encode Reply step.
+func (s *Server) encode(reply any) ([]byte, error) {
+	if s.codec != nil {
+		return s.codec.Encode(reply)
+	}
+	data, ok := reply.([]byte)
+	if !ok {
+		return nil, fmt.Errorf("nserver: no codec configured; Reply requires []byte, got %T", reply)
+	}
+	return data, nil
+}
+
+// reap is the idle reaper of option O7: it terminates connections whose
+// inactivity exceeds the configured idle timeout.
+func (s *Server) reap() {
+	interval := s.opts.IdleTimeout / 4
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.reaperDone:
+			return
+		case <-ticker.C:
+		}
+		s.mu.Lock()
+		victims := make([]*Conn, 0)
+		for _, c := range s.conns {
+			if c.IdleFor() > s.opts.IdleTimeout {
+				victims = append(victims, c)
+			}
+		}
+		s.mu.Unlock()
+		for _, c := range victims {
+			s.trace.Record("server", "idle shutdown of handle %d after %v", c.handle, c.IdleFor())
+			s.profile.IdleShutdown()
+			c.teardown(nil)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package options
+
+// This file encodes Table 2 of the paper: the matrix showing, for every
+// class of the generated framework, which template options affect it. An
+// Exists mark ("O" in the paper) means the option decides whether the class
+// is generated at all; a Depends mark ("+") means the generated code of the
+// class varies with the option's value. internal/gen consumes this matrix
+// to decide what to emit, and cmd/experiments re-prints it as Table 2.
+
+// Mark is one cell of the crosscut matrix.
+type Mark int
+
+const (
+	// None: the class is independent of the option.
+	None Mark = iota
+	// Depends ("+"): the code generated for the class depends on the
+	// option's value.
+	Depends
+	// Exists ("O"): the option determines whether the class exists in the
+	// generated framework at all.
+	Exists
+)
+
+func (m Mark) String() string {
+	switch m {
+	case Depends:
+		return "+"
+	case Exists:
+		return "O"
+	}
+	return ""
+}
+
+// Class names one of the framework classes of Table 2, in table order.
+type Class string
+
+// The generated framework classes, in the row order of Table 2.
+const (
+	ClassEvent                Class = "Event"
+	ClassCompletionEvent      Class = "Completion Event"
+	ClassFileOpenEvent        Class = "File Open Event"
+	ClassFileReadEvent        Class = "File Read Event"
+	ClassHandle               Class = "Handle"
+	ClassFileHandle           Class = "File Handle"
+	ClassReadRequestHandler   Class = "Read Request Event Handler"
+	ClassSendReplyHandler     Class = "Send Reply Event Handler"
+	ClassDecodeRequestHandler Class = "Decode Request Event Handler"
+	ClassEncodeReplyHandler   Class = "Encode Reply Event Handler"
+	ClassComputeHandler       Class = "Compute Request Event Handler"
+	ClassEventProcessor       Class = "Event Processor"
+	ClassProcessorController  Class = "Processor Controller"
+	ClassEventDispatcher      Class = "Event Dispatcher"
+	ClassCache                Class = "Cache"
+	ClassReactor              Class = "Reactor"
+	ClassCommunicator         Class = "Communicator Component"
+	ClassServerComponent      Class = "Server Component"
+	ClassClientComponent      Class = "Client Component"
+	ClassServerHandler        Class = "Server Event Handler"
+	ClassConnectorHandler     Class = "Connector Event Handler"
+	ClassAcceptorHandler      Class = "Acceptor Event Handler"
+	ClassContainerComponent   Class = "Container Component"
+	ClassApplicationHandler   Class = "Application Event Handler"
+	ClassClientConfiguration  Class = "Client Configuration"
+	ClassServerConfiguration  Class = "Server Configuration"
+	ClassServer               Class = "Server"
+)
+
+// Classes returns the framework classes in the row order of Table 2.
+func Classes() []Class {
+	return []Class{
+		ClassEvent, ClassCompletionEvent, ClassFileOpenEvent,
+		ClassFileReadEvent, ClassHandle, ClassFileHandle,
+		ClassReadRequestHandler, ClassSendReplyHandler,
+		ClassDecodeRequestHandler, ClassEncodeReplyHandler,
+		ClassComputeHandler, ClassEventProcessor,
+		ClassProcessorController, ClassEventDispatcher, ClassCache,
+		ClassReactor, ClassCommunicator, ClassServerComponent,
+		ClassClientComponent, ClassServerHandler, ClassConnectorHandler,
+		ClassAcceptorHandler, ClassContainerComponent,
+		ClassApplicationHandler, ClassClientConfiguration,
+		ClassServerConfiguration, ClassServer,
+	}
+}
+
+// crosscut holds the non-empty cells of Table 2.
+var crosscut = map[Class]map[OptionID]Mark{
+	ClassEvent:           {O4CompletionEvents: Depends, O8EventScheduling: Depends},
+	ClassCompletionEvent: {O4CompletionEvents: Exists},
+	ClassFileOpenEvent:   {O4CompletionEvents: Exists, O6FileCache: Depends},
+	ClassFileReadEvent:   {O4CompletionEvents: Exists, O6FileCache: Depends},
+	ClassHandle:          {O1DispatcherThreads: Depends},
+	ClassFileHandle:      {O4CompletionEvents: Exists, O6FileCache: Depends},
+	ClassReadRequestHandler: {
+		O7ShutdownLongIdle: Depends, O10Mode: Depends,
+		O11Profiling: Depends, O12Logging: Depends,
+	},
+	ClassSendReplyHandler: {
+		O7ShutdownLongIdle: Depends, O10Mode: Depends,
+		O11Profiling: Depends, O12Logging: Depends,
+	},
+	ClassDecodeRequestHandler: {
+		O3Codec: Exists, O7ShutdownLongIdle: Depends,
+		O8EventScheduling: Depends, O10Mode: Depends, O12Logging: Depends,
+	},
+	ClassEncodeReplyHandler: {
+		O3Codec: Exists, O7ShutdownLongIdle: Depends,
+		O8EventScheduling: Depends, O10Mode: Depends, O12Logging: Depends,
+	},
+	ClassComputeHandler: {
+		O3Codec: Depends, O4CompletionEvents: Depends,
+		O7ShutdownLongIdle: Depends, O8EventScheduling: Depends,
+		O10Mode: Depends, O12Logging: Depends,
+	},
+	ClassEventProcessor: {
+		O5ThreadAllocation: Depends, O8EventScheduling: Depends,
+		O9OverloadControl: Depends, O10Mode: Depends,
+	},
+	ClassProcessorController: {O5ThreadAllocation: Exists},
+	ClassEventDispatcher: {
+		O2SeparateThreadPool: Depends, O4CompletionEvents: Depends,
+		O9OverloadControl: Depends, O10Mode: Depends, O11Profiling: Depends,
+	},
+	ClassCache: {O6FileCache: Exists, O11Profiling: Depends},
+	ClassReactor: {
+		O1DispatcherThreads: Depends, O2SeparateThreadPool: Depends,
+		O4CompletionEvents: Depends, O5ThreadAllocation: Depends,
+		O6FileCache: Depends, O8EventScheduling: Depends,
+		O9OverloadControl: Depends, O10Mode: Depends,
+		O11Profiling: Depends, O12Logging: Depends,
+	},
+	ClassCommunicator: {
+		O3Codec: Depends, O7ShutdownLongIdle: Depends,
+		O8EventScheduling: Depends, O11Profiling: Depends,
+	},
+	ClassServerComponent: {
+		O3Codec: Depends, O7ShutdownLongIdle: Depends,
+		O10Mode: Depends, O12Logging: Depends,
+	},
+	ClassClientComponent: {
+		O3Codec: Depends, O7ShutdownLongIdle: Depends,
+		O10Mode: Depends, O12Logging: Depends,
+	},
+	ClassServerHandler: {
+		O7ShutdownLongIdle: Depends, O10Mode: Depends, O11Profiling: Depends,
+	},
+	ClassConnectorHandler: {
+		O3Codec: Depends, O10Mode: Depends,
+		O11Profiling: Depends, O12Logging: Depends,
+	},
+	ClassAcceptorHandler: {
+		O3Codec: Depends, O9OverloadControl: Depends, O10Mode: Depends,
+		O11Profiling: Depends, O12Logging: Depends,
+	},
+	ClassContainerComponent: {
+		O7ShutdownLongIdle: Depends, O10Mode: Depends,
+		O11Profiling: Depends, O12Logging: Depends,
+	},
+	ClassApplicationHandler: {
+		O7ShutdownLongIdle: Depends, O10Mode: Depends, O11Profiling: Depends,
+	},
+	ClassClientConfiguration: {O3Codec: Depends, O10Mode: Depends},
+	ClassServerConfiguration: {O10Mode: Depends},
+	ClassServer:              {O3Codec: Depends},
+}
+
+// CrosscutMark returns the Table 2 cell for (class, option).
+func CrosscutMark(c Class, id OptionID) Mark {
+	return crosscut[c][id]
+}
+
+// OptionsAffecting returns the options that affect class c, in O1..O12
+// order.
+func OptionsAffecting(c Class) []OptionID {
+	var ids []OptionID
+	for _, id := range AllOptionIDs() {
+		if crosscut[c][id] != None {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// ClassesAffectedBy returns the classes whose generated code depends on
+// option id, in Table 2 row order.
+func ClassesAffectedBy(id OptionID) []Class {
+	var cs []Class
+	for _, c := range Classes() {
+		if crosscut[c][id] != None {
+			cs = append(cs, c)
+		}
+	}
+	return cs
+}
+
+// ClassGenerated reports whether class c exists in a framework generated
+// with option assignment o, applying the Exists cells of Table 2: the
+// Completion Event, File Open/Read Event and File Handle classes exist only
+// with asynchronous completions; the codec handlers only when O3 is Yes;
+// the Processor Controller only for dynamic allocation; the Cache only when
+// O6 selects a policy.
+func ClassGenerated(c Class, o *Options) bool {
+	switch c {
+	case ClassCompletionEvent, ClassFileOpenEvent, ClassFileReadEvent, ClassFileHandle:
+		return o.Completion == AsynchronousCompletion
+	case ClassDecodeRequestHandler, ClassEncodeReplyHandler:
+		return o.Codec
+	case ClassProcessorController:
+		return o.Allocation == DynamicAllocation
+	case ClassCache:
+		return o.Cache != NoCache
+	}
+	return true
+}

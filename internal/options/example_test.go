@@ -1,0 +1,54 @@
+package options_test
+
+import (
+	"fmt"
+
+	"repro/internal/options"
+)
+
+// ExampleOptions_Validate shows template-option validation against the
+// legal values of Table 1.
+func ExampleOptions_Validate() {
+	o := options.COPSHTTP()
+	fmt.Println("preset valid:", o.Validate() == nil)
+
+	o.DispatcherThreads = 3 // O1 allows only 1 or 2N
+	fmt.Println("odd dispatchers:", o.Validate())
+	// Output:
+	// preset valid: true
+	// odd dispatchers: O1: dispatcher threads must be 1 or a positive even number 2N (got 3)
+}
+
+// ExampleOptions_Value prints a Table 1 column.
+func ExampleOptions_Value() {
+	o := options.COPSFTP()
+	fmt.Println("O4 =", o.Value(options.O4CompletionEvents))
+	fmt.Println("O5 =", o.Value(options.O5ThreadAllocation))
+	fmt.Println("O6 =", o.Value(options.O6FileCache))
+	// Output:
+	// O4 = Synchronous
+	// O5 = Dynamic
+	// O6 = No
+}
+
+// ExampleCrosscutMark reads one cell of Table 2.
+func ExampleCrosscutMark() {
+	fmt.Println("Cache x O6:      ", options.CrosscutMark(options.ClassCache, options.O6FileCache))
+	fmt.Println("Reactor x O1:    ", options.CrosscutMark(options.ClassReactor, options.O1DispatcherThreads))
+	fmt.Println("Event x O1 empty:", options.CrosscutMark(options.ClassEvent, options.O1DispatcherThreads) == options.None)
+	// Output:
+	// Cache x O6:       O
+	// Reactor x O1:     +
+	// Event x O1 empty: true
+}
+
+// ExampleOptions_WithScheduling builds the paper's second-experiment
+// configuration.
+func ExampleOptions_WithScheduling() {
+	o := options.COPSHTTP().WithScheduling(1, 8)
+	fmt.Println("O8 =", o.Value(options.O8EventScheduling))
+	fmt.Println("quotas =", o.Quotas)
+	// Output:
+	// O8 = Yes
+	// quotas = [1 8]
+}

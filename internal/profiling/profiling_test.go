@@ -1,0 +1,105 @@
+package profiling
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilProfileIsSafeNoop(t *testing.T) {
+	var p *Profile
+	if p.Enabled() {
+		t.Error("nil profile enabled")
+	}
+	p.ConnectionAccepted()
+	p.ConnectionClosed()
+	p.ConnectionRefused()
+	p.RequestServed(time.Second)
+	p.BytesRead(10)
+	p.BytesSent(10)
+	p.EventDispatched()
+	p.EventProcessed()
+	p.CacheHit()
+	p.CacheMiss()
+	p.IdleShutdown()
+	if s := p.Snapshot(); s != (Snapshot{}) {
+		t.Errorf("nil snapshot = %+v", s)
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	p := New()
+	if !p.Enabled() {
+		t.Fatal("profile not enabled")
+	}
+	p.ConnectionAccepted()
+	p.ConnectionAccepted()
+	p.ConnectionClosed()
+	p.ConnectionRefused()
+	p.RequestServed(100 * time.Millisecond)
+	p.RequestServed(300 * time.Millisecond)
+	p.BytesRead(128)
+	p.BytesRead(-5) // negative ignored
+	p.BytesSent(1024)
+	p.EventDispatched()
+	p.EventProcessed()
+	p.CacheHit()
+	p.CacheHit()
+	p.CacheHit()
+	p.CacheMiss()
+	p.IdleShutdown()
+
+	s := p.Snapshot()
+	if s.ConnectionsAccepted != 2 || s.ConnectionsClosed != 1 || s.ConnectionsRefused != 1 {
+		t.Errorf("connection counters: %+v", s)
+	}
+	if s.RequestsServed != 2 || s.MeanServiceTime != 200*time.Millisecond {
+		t.Errorf("request counters: served=%d mean=%v", s.RequestsServed, s.MeanServiceTime)
+	}
+	if s.BytesRead != 128 || s.BytesSent != 1024 {
+		t.Errorf("byte counters: %+v", s)
+	}
+	if s.CacheHits != 3 || s.CacheMisses != 1 {
+		t.Errorf("cache counters: %+v", s)
+	}
+	if got := s.CacheHitRate(); got != 0.75 {
+		t.Errorf("CacheHitRate = %f", got)
+	}
+	if s.IdleShutdowns != 1 {
+		t.Errorf("idle shutdowns: %+v", s)
+	}
+	if !strings.Contains(s.String(), "cache=0.750") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestEmptyCacheRate(t *testing.T) {
+	if (Snapshot{}).CacheHitRate() != 0 {
+		t.Error("empty cache rate should be 0")
+	}
+}
+
+func TestConcurrentCounting(t *testing.T) {
+	p := New()
+	const workers, each = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				p.ConnectionAccepted()
+				p.BytesSent(3)
+			}
+		}()
+	}
+	wg.Wait()
+	s := p.Snapshot()
+	if s.ConnectionsAccepted != workers*each {
+		t.Errorf("accepted = %d", s.ConnectionsAccepted)
+	}
+	if s.BytesSent != workers*each*3 {
+		t.Errorf("sent = %d", s.BytesSent)
+	}
+}

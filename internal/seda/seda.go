@@ -1,0 +1,205 @@
+// Package seda implements a small staged event-driven architecture
+// (Welsh, Culler, Brewer; SOSP 2001) — the related-work baseline the
+// paper compares the N-Server against. "In SEDA, an application is
+// modeled as a finite state machine and each FSM stage is embodied as a
+// self-contained component, which consists of an event handler, an
+// incoming event queue, and a pool of threads."
+//
+// The package exists to make the paper's criticism executable: when an
+// application is modeled with more stages than processors, events cross
+// one queue and one thread pool per stage, paying switching and queueing
+// costs the N-Server's two-processor layout avoids (see
+// BenchmarkSEDAVersusNServer and the AblationStages benchmark). SEDA's
+// per-stage admission control — its headline resource-management feature
+// — is included as a bounded-queue option.
+package seda
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Handler processes one event in a stage; emit forwards derived events to
+// the next stage (ignored in the last stage unless a sink is installed).
+type Handler func(ev any, emit func(any))
+
+// StageSpec declares one stage of a pipeline.
+type StageSpec struct {
+	// Name labels the stage.
+	Name string
+	// Workers is the stage's thread pool size (default 1).
+	Workers int
+	// Handler is the stage's event handler. Required.
+	Handler Handler
+	// MaxQueue, when > 0, bounds the incoming event queue: submissions
+	// beyond it are rejected (SEDA's per-stage admission control).
+	MaxQueue int
+}
+
+// Errors returned by Submit.
+var (
+	ErrStopped  = errors.New("seda: pipeline stopped")
+	ErrRejected = errors.New("seda: stage queue full (admission control)")
+)
+
+// Stage is one running stage.
+type Stage struct {
+	name     string
+	handler  Handler
+	maxQueue int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []any
+	closed bool
+
+	next     *Stage
+	sink     func(any)
+	wg       sync.WaitGroup
+	rejected atomic.Uint64
+	served   atomic.Uint64
+}
+
+// Name returns the stage label.
+func (s *Stage) Name() string { return s.name }
+
+// QueueLen returns the incoming queue backlog.
+func (s *Stage) QueueLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.buf)
+}
+
+// Served returns events completed by this stage.
+func (s *Stage) Served() uint64 { return s.served.Load() }
+
+// Rejected returns events refused by admission control.
+func (s *Stage) Rejected() uint64 { return s.rejected.Load() }
+
+// submit enqueues an event at this stage.
+func (s *Stage) submit(ev any) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrStopped
+	}
+	if s.maxQueue > 0 && len(s.buf) >= s.maxQueue {
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		return ErrRejected
+	}
+	s.buf = append(s.buf, ev)
+	s.cond.Signal()
+	s.mu.Unlock()
+	return nil
+}
+
+// work is one thread of the stage's pool.
+func (s *Stage) work() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.buf) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.buf) == 0 && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		ev := s.buf[0]
+		s.buf = s.buf[1:]
+		s.mu.Unlock()
+		s.process(ev)
+	}
+}
+
+func (s *Stage) process(ev any) {
+	defer func() { recover() }()
+	s.handler(ev, s.forward)
+	s.served.Add(1)
+}
+
+// forward hands an event to the next stage (or the pipeline sink at the
+// last stage). SEDA drops at full downstream queues; the drop is counted
+// there.
+func (s *Stage) forward(ev any) {
+	if s.next != nil {
+		_ = s.next.submit(ev)
+		return
+	}
+	if s.sink != nil {
+		s.sink(ev)
+	}
+}
+
+// Pipeline is a chain of stages.
+type Pipeline struct {
+	stages  []*Stage
+	stopped atomic.Bool
+}
+
+// NewPipeline builds and starts a pipeline from the specs, in order.
+// Sink, when non-nil, receives events emitted by the last stage.
+func NewPipeline(specs []StageSpec, sink func(any)) (*Pipeline, error) {
+	if len(specs) == 0 {
+		return nil, errors.New("seda: at least one stage required")
+	}
+	p := &Pipeline{}
+	for i, spec := range specs {
+		if spec.Handler == nil {
+			return nil, fmt.Errorf("seda: stage %d (%q) has no handler", i, spec.Name)
+		}
+		st := &Stage{name: spec.Name, handler: spec.Handler, maxQueue: spec.MaxQueue}
+		st.cond = sync.NewCond(&st.mu)
+		p.stages = append(p.stages, st)
+	}
+	for i, st := range p.stages {
+		if i+1 < len(p.stages) {
+			st.next = p.stages[i+1]
+		} else {
+			st.sink = sink
+		}
+	}
+	for i, spec := range specs {
+		workers := spec.Workers
+		if workers <= 0 {
+			workers = 1
+		}
+		for w := 0; w < workers; w++ {
+			p.stages[i].wg.Add(1)
+			go p.stages[i].work()
+		}
+	}
+	return p, nil
+}
+
+// Stages returns the running stages in order.
+func (p *Pipeline) Stages() []*Stage { return p.stages }
+
+// Submit enqueues an event at the first stage.
+func (p *Pipeline) Submit(ev any) error {
+	if p.stopped.Load() {
+		return ErrStopped
+	}
+	return p.stages[0].submit(ev)
+}
+
+// Stop drains each stage in order and joins all pools. After Stop, every
+// event admitted before the call has either completed or been dropped by
+// a downstream admission bound.
+func (p *Pipeline) Stop() {
+	if !p.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	// Close stages front to back so upstream drains before downstream
+	// stops accepting.
+	for _, st := range p.stages {
+		st.mu.Lock()
+		st.closed = true
+		st.mu.Unlock()
+		st.cond.Broadcast()
+		st.wg.Wait()
+	}
+}

@@ -1,0 +1,239 @@
+// Package simnet models the paper's experimental network on the DES
+// kernel: a shared bandwidth-limited link (the switched Ethernet whose
+// effective bandwidth was "slightly higher than 100 MBits/sec"), a listen
+// endpoint with a bounded accept backlog, and TCP connection
+// establishment with SYN drops and exponential-backoff retransmission
+// (capped at the 60-second maximum retransmission timeout of the paper's
+// Solaris clients). These are exactly the mechanisms behind Fig. 3's
+// saturation and Fig. 4's fairness collapse: when Apache's 150 workers
+// are all busy and the backlog is full, new SYNs are dropped and unlucky
+// clients wait out long backoffs.
+package simnet
+
+import (
+	"time"
+
+	"repro/internal/des"
+)
+
+// Config parameterizes the simulated network.
+type Config struct {
+	// Kernel drives virtual time. Required.
+	Kernel *des.Kernel
+	// Bandwidth is the shared link capacity in bytes per second.
+	// Default 12.5e6 (100 Mbit/s).
+	Bandwidth float64
+	// RTT is the network round-trip time. Default 2ms.
+	RTT time.Duration
+	// InitialRTO is the first SYN retransmission timeout. Default 1s.
+	InitialRTO time.Duration
+	// MaxRTO caps the exponential backoff. Default 60s (Solaris).
+	MaxRTO time.Duration
+}
+
+// Net is one simulated network segment.
+type Net struct {
+	k          *des.Kernel
+	link       *des.Station
+	bandwidth  float64
+	rtt        time.Duration
+	initialRTO time.Duration
+	maxRTO     time.Duration
+
+	synDrops uint64
+	bytes    uint64
+}
+
+// New creates a network from cfg, applying defaults.
+func New(cfg Config) *Net {
+	bw := cfg.Bandwidth
+	if bw <= 0 {
+		bw = 12.5e6
+	}
+	rtt := cfg.RTT
+	if rtt <= 0 {
+		rtt = 2 * time.Millisecond
+	}
+	irto := cfg.InitialRTO
+	if irto <= 0 {
+		irto = time.Second
+	}
+	mrto := cfg.MaxRTO
+	if mrto <= 0 {
+		mrto = 60 * time.Second
+	}
+	return &Net{
+		k:          cfg.Kernel,
+		link:       des.NewStation(cfg.Kernel, 1, nil),
+		bandwidth:  bw,
+		rtt:        rtt,
+		initialRTO: irto,
+		maxRTO:     mrto,
+	}
+}
+
+// Kernel returns the driving DES kernel.
+func (n *Net) Kernel() *des.Kernel { return n.k }
+
+// RTT returns the configured round-trip time.
+func (n *Net) RTT() time.Duration { return n.rtt }
+
+// SynDrops returns how many connection attempts were dropped at a full
+// backlog.
+func (n *Net) SynDrops() uint64 { return n.synDrops }
+
+// BytesTransferred returns the total payload bytes moved over the link.
+func (n *Net) BytesTransferred() uint64 { return n.bytes }
+
+// Transfer occupies the shared link for size bytes, then calls done after
+// one propagation delay (RTT/2). Transfers queue FIFO at the link, which
+// is what makes the link the saturation bottleneck.
+func (n *Net) Transfer(size int64, done func()) {
+	if size < 0 {
+		size = 0
+	}
+	n.bytes += uint64(size)
+	hold := time.Duration(float64(size) / n.bandwidth * float64(time.Second))
+	n.link.Submit(des.Job{Service: hold, Done: func() {
+		n.k.After(n.rtt/2, done)
+	}})
+}
+
+// LinkQueueLen returns the number of transfers waiting for the link.
+func (n *Net) LinkQueueLen() int { return n.link.QueueLen() }
+
+// Conn is one established simulated connection.
+type Conn struct {
+	ID uint64
+	// DialedAt and EstablishedAt bound the connection setup (SYN
+	// retransmissions plus accept-queue wait), the quantity Fig. 6's
+	// "combined response time" includes.
+	DialedAt      time.Duration
+	EstablishedAt time.Duration
+	// Attempts counts SYN transmissions (1 = no drops).
+	Attempts int
+}
+
+// SetupTime returns how long establishment took.
+func (c *Conn) SetupTime() time.Duration { return c.EstablishedAt - c.DialedAt }
+
+// Listener is a listening endpoint with a bounded backlog. The server
+// model consumes connections with Accept; clients initiate with Dial.
+type Listener struct {
+	n       *Net
+	backlog []*pendingConn
+	cap     int
+	waiters []func(*Conn)
+	nextID  uint64
+	// Gate, when non-nil, postpones Accept deliveries while it returns
+	// false — the hook the overload-controlled COPS model uses. Pending
+	// connections stay in the backlog (they are established from the
+	// client's TCP viewpoint but not yet served).
+	Gate func() bool
+}
+
+type pendingConn struct {
+	dialedAt time.Duration
+	attempts int
+	accepted func(*Conn)
+}
+
+// NewListener creates a listener with the given backlog capacity
+// (default 128).
+func (n *Net) NewListener(backlog int) *Listener {
+	if backlog <= 0 {
+		backlog = 128
+	}
+	return &Listener{n: n, cap: backlog}
+}
+
+// BacklogLen returns the current backlog occupancy.
+func (l *Listener) BacklogLen() int { return len(l.backlog) }
+
+// Dial initiates a connection. accepted runs when the server's Accept
+// dequeues it; SYN drops at a full backlog are retransmitted with
+// exponential backoff, so accepted may run much later under overload —
+// or never, if the simulation ends first.
+func (l *Listener) Dial(accepted func(*Conn)) {
+	p := &pendingConn{dialedAt: l.n.k.Now(), accepted: accepted}
+	l.sendSYN(p, l.n.initialRTO)
+}
+
+// sendSYN delivers one SYN after half an RTT; a full backlog drops it and
+// schedules a retransmission.
+func (l *Listener) sendSYN(p *pendingConn, rto time.Duration) {
+	l.n.k.After(l.n.rtt/2, func() {
+		p.attempts++
+		// A waiting acceptor takes the connection immediately.
+		if len(l.waiters) > 0 && (l.Gate == nil || l.Gate()) {
+			w := l.waiters[0]
+			l.waiters = l.waiters[1:]
+			l.deliver(p, w)
+			return
+		}
+		if len(l.backlog) < l.cap {
+			l.backlog = append(l.backlog, p)
+			return
+		}
+		// SYN drop: exponential backoff, capped.
+		l.n.synDrops++
+		next := rto * 2
+		if next > l.n.maxRTO {
+			next = l.n.maxRTO
+		}
+		l.n.k.After(rto, func() { l.sendSYN(p, next) })
+	})
+}
+
+// Accept asks for the next connection: the head of the backlog if any,
+// otherwise fn is queued until a connection arrives. The overload gate is
+// consulted before delivering from the backlog.
+func (l *Listener) Accept(fn func(*Conn)) {
+	if len(l.backlog) > 0 && (l.Gate == nil || l.Gate()) {
+		p := l.backlog[0]
+		l.backlog = l.backlog[1:]
+		l.deliver(p, fn)
+		return
+	}
+	l.waiters = append(l.waiters, fn)
+}
+
+// Poke re-evaluates the gate: servers call it after queue levels drop so
+// waiting acceptors can drain the backlog.
+func (l *Listener) Poke() {
+	for len(l.backlog) > 0 && len(l.waiters) > 0 && (l.Gate == nil || l.Gate()) {
+		p := l.backlog[0]
+		l.backlog = l.backlog[1:]
+		w := l.waiters[0]
+		l.waiters = l.waiters[1:]
+		l.deliver(p, w)
+	}
+}
+
+func (l *Listener) deliver(p *pendingConn, fn func(*Conn)) {
+	l.nextID++
+	c := &Conn{
+		ID:            l.nextID,
+		DialedAt:      p.dialedAt,
+		EstablishedAt: l.n.k.Now(),
+		Attempts:      p.attempts,
+	}
+	fn(c)
+	if p.accepted != nil {
+		// The client learns after half an RTT.
+		l.n.k.After(l.n.rtt/2, func() { p.accepted(c) })
+	}
+}
+
+// Backoff returns the SYN retransmission schedule (for tests and docs):
+// initialRTO, 2x, 4x, ... capped at MaxRTO.
+func (n *Net) Backoff(attempt int) time.Duration {
+	d := n.initialRTO
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= n.maxRTO {
+			return n.maxRTO
+		}
+	}
+	return d
+}

@@ -1,0 +1,268 @@
+package simnet
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/des"
+)
+
+func newNet(k *des.Kernel) *Net {
+	return New(Config{
+		Kernel:     k,
+		Bandwidth:  1e6, // 1 MB/s for easy arithmetic
+		RTT:        2 * time.Millisecond,
+		InitialRTO: time.Second,
+		MaxRTO:     60 * time.Second,
+	})
+}
+
+func TestDefaults(t *testing.T) {
+	k := des.NewKernel()
+	n := New(Config{Kernel: k})
+	if n.bandwidth != 12.5e6 || n.rtt != 2*time.Millisecond ||
+		n.initialRTO != time.Second || n.maxRTO != 60*time.Second {
+		t.Errorf("defaults wrong: %+v", n)
+	}
+	if n.Kernel() != k || n.RTT() != 2*time.Millisecond {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestTransferTiming(t *testing.T) {
+	k := des.NewKernel()
+	n := newNet(k)
+	var doneAt time.Duration
+	// 10 KB at 1 MB/s = 10ms link time + 1ms propagation.
+	n.Transfer(10_000, func() { doneAt = k.Now() })
+	k.Run()
+	if doneAt != 11*time.Millisecond {
+		t.Errorf("transfer completed at %v, want 11ms", doneAt)
+	}
+	if n.BytesTransferred() != 10_000 {
+		t.Errorf("bytes = %d", n.BytesTransferred())
+	}
+}
+
+func TestTransfersSerializeOnLink(t *testing.T) {
+	k := des.NewKernel()
+	n := newNet(k)
+	var first, second time.Duration
+	n.Transfer(10_000, func() { first = k.Now() })
+	n.Transfer(10_000, func() { second = k.Now() })
+	if n.LinkQueueLen() != 1 {
+		t.Errorf("link queue = %d", n.LinkQueueLen())
+	}
+	k.Run()
+	if first != 11*time.Millisecond || second != 21*time.Millisecond {
+		t.Errorf("completions at %v, %v", first, second)
+	}
+}
+
+func TestNegativeSizeClamped(t *testing.T) {
+	k := des.NewKernel()
+	n := newNet(k)
+	done := false
+	n.Transfer(-5, func() { done = true })
+	k.Run()
+	if !done || n.BytesTransferred() != 0 {
+		t.Errorf("negative transfer: done=%v bytes=%d", done, n.BytesTransferred())
+	}
+}
+
+func TestDialAcceptHandshake(t *testing.T) {
+	k := des.NewKernel()
+	n := newNet(k)
+	l := n.NewListener(8)
+	var serverGot, clientGot *Conn
+	l.Accept(func(c *Conn) { serverGot = c })
+	l.Dial(func(c *Conn) { clientGot = c })
+	k.Run()
+	if serverGot == nil || clientGot == nil || serverGot != clientGot {
+		t.Fatalf("handshake broken: %v %v", serverGot, clientGot)
+	}
+	if serverGot.Attempts != 1 {
+		t.Errorf("attempts = %d", serverGot.Attempts)
+	}
+	// SYN takes RTT/2 = 1ms; accept is immediate (waiter pending).
+	if serverGot.SetupTime() != time.Millisecond {
+		t.Errorf("setup = %v", serverGot.SetupTime())
+	}
+}
+
+func TestBacklogHoldsConnectionsUntilAccept(t *testing.T) {
+	k := des.NewKernel()
+	n := newNet(k)
+	l := n.NewListener(8)
+	established := 0
+	for i := 0; i < 3; i++ {
+		l.Dial(func(*Conn) { established++ })
+	}
+	k.Run()
+	if l.BacklogLen() != 3 || established != 0 {
+		t.Fatalf("backlog=%d established=%d", l.BacklogLen(), established)
+	}
+	l.Accept(func(*Conn) {})
+	k.Run()
+	if l.BacklogLen() != 2 || established != 1 {
+		t.Errorf("after accept: backlog=%d established=%d", l.BacklogLen(), established)
+	}
+}
+
+func TestSynDropAndBackoff(t *testing.T) {
+	k := des.NewKernel()
+	n := newNet(k)
+	l := n.NewListener(1)
+	// Fill the backlog.
+	l.Dial(nil)
+	var established time.Duration
+	var attempts int
+	l.Dial(func(c *Conn) { established = k.Now(); attempts = c.Attempts })
+	k.RunUntil(500 * time.Millisecond)
+	if n.SynDrops() != 1 {
+		t.Fatalf("SynDrops = %d", n.SynDrops())
+	}
+	// Accept both; the second's SYN retransmits at +1s.
+	l.Accept(func(*Conn) {})
+	l.Accept(func(*Conn) {})
+	k.Run()
+	if attempts != 2 {
+		t.Errorf("attempts = %d", attempts)
+	}
+	// Established at ~1s (first retransmission) + propagation.
+	if established < time.Second || established > 1100*time.Millisecond {
+		t.Errorf("established at %v", established)
+	}
+}
+
+func TestBackoffScheduleCapped(t *testing.T) {
+	k := des.NewKernel()
+	n := newNet(k)
+	want := []time.Duration{
+		time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second,
+		16 * time.Second, 32 * time.Second, 60 * time.Second, 60 * time.Second,
+	}
+	for i, w := range want {
+		if got := n.Backoff(i + 1); got != w {
+			t.Errorf("Backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestRepeatedDropsFollowBackoff(t *testing.T) {
+	k := des.NewKernel()
+	n := newNet(k)
+	l := n.NewListener(1)
+	l.Dial(nil) // occupies the backlog forever
+	done := false
+	l.Dial(func(*Conn) { done = true })
+	// Never accepted: drops at ~1ms, retries at 1s, 3s, 7s, 15s, ...
+	k.RunUntil(40 * time.Second)
+	if done {
+		t.Fatal("connection established without accept")
+	}
+	// Attempts at t≈0,1,3,7,15,31 → 6 SYNs, 6 drops.
+	if n.SynDrops() != 6 {
+		t.Errorf("SynDrops = %d, want 6", n.SynDrops())
+	}
+}
+
+func TestGatePostponesBacklogDraining(t *testing.T) {
+	k := des.NewKernel()
+	n := newNet(k)
+	l := n.NewListener(8)
+	open := false
+	l.Gate = func() bool { return open }
+	served := 0
+	l.Dial(nil)
+	k.Run()
+	if l.BacklogLen() != 1 {
+		t.Fatal("dial not in backlog")
+	}
+	l.Accept(func(*Conn) { served++ })
+	k.Run()
+	if served != 0 {
+		t.Fatal("accept delivered while gate closed")
+	}
+	open = true
+	l.Poke()
+	k.Run()
+	if served != 1 {
+		t.Errorf("served = %d after gate opened", served)
+	}
+}
+
+func TestGateBlocksWaiterDelivery(t *testing.T) {
+	k := des.NewKernel()
+	n := newNet(k)
+	l := n.NewListener(8)
+	open := false
+	l.Gate = func() bool { return open }
+	served := 0
+	l.Accept(func(*Conn) { served++ }) // waiter queued first
+	l.Dial(nil)
+	k.Run()
+	if served != 0 || l.BacklogLen() != 1 {
+		t.Fatalf("gated SYN delivered to waiter: served=%d backlog=%d", served, l.BacklogLen())
+	}
+	open = true
+	l.Poke()
+	k.Run()
+	if served != 1 {
+		t.Errorf("served = %d", served)
+	}
+}
+
+// Property: with a large enough backlog and an always-accepting server,
+// every dialed connection is established exactly once, regardless of the
+// dial pattern.
+func TestQuickAllConnectionsEstablished(t *testing.T) {
+	f := func(delays []uint8) bool {
+		k := des.NewKernel()
+		n := newNet(k)
+		l := n.NewListener(len(delays) + 1)
+		established := 0
+		var acceptLoop func()
+		acceptLoop = func() {
+			l.Accept(func(*Conn) {
+				established++
+				acceptLoop()
+			})
+		}
+		acceptLoop()
+		for _, d := range delays {
+			k.After(time.Duration(d)*time.Millisecond, func() {
+				l.Dial(func(*Conn) {})
+			})
+		}
+		k.Run()
+		return established == len(delays) && n.SynDrops() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: link bandwidth conservation — total virtual time to move B
+// bytes serially is at least B/bandwidth.
+func TestQuickBandwidthConservation(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		k := des.NewKernel()
+		n := newNet(k)
+		var total int64
+		for _, s := range sizes {
+			n.Transfer(int64(s), nil)
+			total += int64(s)
+		}
+		k.Run()
+		minTime := time.Duration(float64(total) / 1e6 * float64(time.Second))
+		// Each hold truncates sub-nanosecond remainders; allow 1us slack
+		// per transfer.
+		slack := time.Duration(len(sizes)) * time.Microsecond
+		return k.Now() >= minTime-slack
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,32 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// ExampleJainIndex computes the Fig. 4 fairness metric: k of N clients
+// served equally yields k/N.
+func ExampleJainIndex() {
+	equal := stats.JainIndex([]float64{10, 10, 10, 10})
+	fmt.Printf("equal: %.2f\n", equal)
+
+	// 2 of 4 clients starved (Apache under very heavy load).
+	unfair := stats.JainIndex([]float64{10, 10, 0, 0})
+	fmt.Printf("2-of-4: %.2f\n", unfair)
+	// Output:
+	// equal: 1.00
+	// 2-of-4: 0.50
+}
+
+// ExampleSeries accumulates response-time observations.
+func ExampleSeries() {
+	var s stats.Series
+	for _, v := range []float64{0.1, 0.2, 0.3, 0.4} {
+		s.Add(v)
+	}
+	fmt.Printf("mean=%.2f p50=%.2f max=%.2f\n", s.Mean(), s.Percentile(0.5), s.Max())
+	// Output:
+	// mean=0.25 p50=0.20 max=0.40
+}

@@ -1,0 +1,137 @@
+// Package stats provides the evaluation metrics of the paper: the Jain
+// fairness index of Fig. 4, and the throughput / response-time series of
+// Figs. 3, 5 and 6.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// JainIndex computes the fairness index of Jain, Chiu and Hawe:
+//
+//	f(x) = (sum x_i)^2 / (N * sum x_i^2)
+//
+// It is 1 when all x_i are equal and k/N when k values are equal and the
+// rest are zero. An empty or all-zero input yields 0.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// JainIndexInts is JainIndex over integer counts (responses per client).
+func JainIndexInts(xs []int) float64 {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return JainIndex(fs)
+}
+
+// Series accumulates scalar observations (response times, sizes).
+type Series struct {
+	vals   []float64
+	sum    float64
+	sorted bool
+}
+
+// Add appends one observation.
+func (s *Series) Add(v float64) {
+	s.vals = append(s.vals, v)
+	s.sum += v
+	s.sorted = false
+}
+
+// AddDuration appends a duration observation in seconds.
+func (s *Series) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
+
+// Count returns the number of observations.
+func (s *Series) Count() int { return len(s.vals) }
+
+// Sum returns the observation total.
+func (s *Series) Sum() float64 { return s.sum }
+
+// Mean returns the average (0 when empty).
+func (s *Series) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.vals))
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) by nearest-rank
+// (0 when empty).
+func (s *Series) Percentile(p float64) float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+	if p <= 0 {
+		return s.vals[0]
+	}
+	if p >= 1 {
+		return s.vals[len(s.vals)-1]
+	}
+	rank := int(math.Ceil(p*float64(len(s.vals)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s.vals[rank]
+}
+
+// Max returns the largest observation (0 when empty).
+func (s *Series) Max() float64 { return s.Percentile(1) }
+
+// Min returns the smallest observation (0 when empty).
+func (s *Series) Min() float64 { return s.Percentile(0) }
+
+// StdDev returns the population standard deviation (0 when empty).
+func (s *Series) StdDev() float64 {
+	n := len(s.vals)
+	if n == 0 {
+		return 0
+	}
+	mean := s.Mean()
+	var sq float64
+	for _, v := range s.vals {
+		d := v - mean
+		sq += d * d
+	}
+	return math.Sqrt(sq / float64(n))
+}
+
+// Throughput converts a completed-operation count over a virtual duration
+// into operations per second.
+func Throughput(completed uint64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(completed) / elapsed.Seconds()
+}
+
+// FormatRate prints a rate with sensible precision for tables.
+func FormatRate(v float64) string {
+	switch {
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

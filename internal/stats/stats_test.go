@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestJainIndexEqualAllocation(t *testing.T) {
+	if got := JainIndex([]float64{5, 5, 5, 5}); !almostEqual(got, 1) {
+		t.Errorf("equal allocation = %f", got)
+	}
+}
+
+func TestJainIndexKOfN(t *testing.T) {
+	// k clients served equally, the rest starved: index = k/N.
+	xs := make([]float64, 10)
+	for i := 0; i < 4; i++ {
+		xs[i] = 7
+	}
+	if got := JainIndex(xs); !almostEqual(got, 0.4) {
+		t.Errorf("4-of-10 = %f, want 0.4", got)
+	}
+}
+
+func TestJainIndexDegenerate(t *testing.T) {
+	if JainIndex(nil) != 0 {
+		t.Error("empty should be 0")
+	}
+	if JainIndex([]float64{0, 0}) != 0 {
+		t.Error("all-zero should be 0")
+	}
+	if got := JainIndexInts([]int{1, 1}); !almostEqual(got, 1) {
+		t.Errorf("ints = %f", got)
+	}
+}
+
+// Property: the Jain index is bounded by [1/N, 1] for any non-degenerate
+// allocation, and scale-invariant.
+func TestQuickJainBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		nonzero := false
+		for i, r := range raw {
+			xs[i] = float64(r)
+			if r != 0 {
+				nonzero = true
+			}
+		}
+		got := JainIndex(xs)
+		if !nonzero {
+			return got == 0
+		}
+		n := float64(len(xs))
+		if got < 1/n-1e-9 || got > 1+1e-9 {
+			return false
+		}
+		// Scale invariance.
+		scaled := make([]float64, len(xs))
+		for i := range xs {
+			scaled[i] = xs[i] * 3.5
+		}
+		return almostEqual(got, JainIndex(scaled))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Percentile(0.5) != 0 || s.Count() != 0 || s.StdDev() != 0 {
+		t.Error("empty series not zero")
+	}
+	for _, v := range []float64{4, 2, 8, 6} {
+		s.Add(v)
+	}
+	if s.Count() != 4 || !almostEqual(s.Sum(), 20) || !almostEqual(s.Mean(), 5) {
+		t.Errorf("count=%d sum=%f mean=%f", s.Count(), s.Sum(), s.Mean())
+	}
+	if got := s.Min(); !almostEqual(got, 2) {
+		t.Errorf("min = %f", got)
+	}
+	if got := s.Max(); !almostEqual(got, 8) {
+		t.Errorf("max = %f", got)
+	}
+	if got := s.Percentile(0.5); !almostEqual(got, 4) {
+		t.Errorf("p50 = %f", got)
+	}
+	if got := s.Percentile(0.75); !almostEqual(got, 6) {
+		t.Errorf("p75 = %f", got)
+	}
+	if got := s.StdDev(); !almostEqual(got, math.Sqrt(5)) {
+		t.Errorf("stddev = %f", got)
+	}
+}
+
+func TestSeriesAddAfterPercentile(t *testing.T) {
+	var s Series
+	s.Add(3)
+	s.Add(1)
+	if s.Percentile(0.5) != 1 {
+		t.Errorf("p50 = %f", s.Percentile(0.5))
+	}
+	s.Add(0.5) // must re-sort lazily
+	if got := s.Min(); !almostEqual(got, 0.5) {
+		t.Errorf("min after add = %f", got)
+	}
+}
+
+func TestSeriesDurations(t *testing.T) {
+	var s Series
+	s.AddDuration(250 * time.Millisecond)
+	s.AddDuration(750 * time.Millisecond)
+	if !almostEqual(s.Mean(), 0.5) {
+		t.Errorf("mean = %f", s.Mean())
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(500, 5*time.Second); !almostEqual(got, 100) {
+		t.Errorf("throughput = %f", got)
+	}
+	if Throughput(500, 0) != 0 {
+		t.Error("zero elapsed should be 0")
+	}
+}
+
+func TestFormatRate(t *testing.T) {
+	cases := map[float64]string{
+		763.2:   "763",
+		42.34:   "42.3",
+		3.14159: "3.14",
+	}
+	for v, want := range cases {
+		if got := FormatRate(v); got != want {
+			t.Errorf("FormatRate(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []uint16, pa, pb uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Series
+		for _, r := range raw {
+			s.Add(float64(r))
+		}
+		p1 := float64(pa%101) / 100
+		p2 := float64(pb%101) / 100
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		v1, v2 := s.Percentile(p1), s.Percentile(p2)
+		return v1 <= v2 && v1 >= s.Min() && v2 <= s.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,232 @@
+// Package workload generates the SpecWeb99-like static file set and
+// client behaviour of the paper's evaluation: "The file size and access
+// frequency distribution follows the SpecWeb99 benchmark. A file set of
+// size 204.8 MB is created ... with an average file size of 16 KB", and
+// clients "establish a connection to the Web server, issue 5 HTTP
+// requests ... then terminate the connection", pausing 20ms after each
+// page.
+//
+// The SpecWeb99 file mix has four size classes per directory — class 0:
+// 0.1-0.9 KB, class 1: 1-9 KB, class 2: 10-90 KB, class 3: 100-900 KB,
+// nine files each — accessed with probabilities 35%, 50%, 14% and 1%.
+// Directory popularity follows a Zipf distribution.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+)
+
+// SpecWeb99 class definitions.
+var (
+	classBase  = [4]int64{100, 1 << 10, 10 << 10, 100 << 10}
+	classProb  = [4]float64{0.35, 0.50, 0.14, 0.01}
+	filesPerCl = 9
+)
+
+// FileSpec describes one file of the generated set.
+type FileSpec struct {
+	Path string // virtual path, e.g. "/dir0007/class2_5"
+	Size int64
+}
+
+// FileSet is a generated SpecWeb99-like file population.
+type FileSet struct {
+	Files []FileSpec
+	Dirs  int
+	total int64
+}
+
+// DirBytes is the on-disk size of one SpecWeb99-like directory
+// (~5 MB: 9 files of each class).
+func DirBytes() int64 {
+	var sum int64
+	for _, base := range classBase {
+		for i := 1; i <= filesPerCl; i++ {
+			sum += int64(i) * base
+		}
+	}
+	return sum
+}
+
+// DirsForTotal returns the directory count whose set size is closest to
+// totalBytes (the paper's 204.8 MB set needs 41 directories).
+func DirsForTotal(totalBytes int64) int {
+	per := DirBytes()
+	n := int((totalBytes + per/2) / per)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// GenerateFileSet creates the virtual file population for dirs
+// directories.
+func GenerateFileSet(dirs int) *FileSet {
+	if dirs < 1 {
+		dirs = 1
+	}
+	fs := &FileSet{Dirs: dirs}
+	for d := 0; d < dirs; d++ {
+		for class := 0; class < 4; class++ {
+			for i := 1; i <= filesPerCl; i++ {
+				size := int64(i) * classBase[class]
+				fs.Files = append(fs.Files, FileSpec{
+					Path: fmt.Sprintf("/dir%04d/class%d_%d", d, class, i),
+					Size: size,
+				})
+				fs.total += size
+			}
+		}
+	}
+	return fs
+}
+
+// TotalBytes returns the set's aggregate size.
+func (fs *FileSet) TotalBytes() int64 { return fs.total }
+
+// MeanAccessSize returns the expected transfer size under the SpecWeb99
+// access distribution (~15-16 KB).
+func (fs *FileSet) MeanAccessSize() float64 {
+	var mean float64
+	for class := 0; class < 4; class++ {
+		var classMean float64
+		for i := 1; i <= filesPerCl; i++ {
+			classMean += float64(int64(i) * classBase[class])
+		}
+		classMean /= float64(filesPerCl)
+		mean += classProb[class] * classMean
+	}
+	return mean
+}
+
+// Materialize writes the file set under root for live-TCP experiments.
+// File contents are a repeating pattern of the path (so responses are
+// verifiable).
+func (fs *FileSet) Materialize(root string) error {
+	for _, f := range fs.Files {
+		full := filepath.Join(root, filepath.FromSlash(f.Path))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			return err
+		}
+		data := make([]byte, f.Size)
+		pat := []byte(f.Path + "\n")
+		for i := range data {
+			data[i] = pat[i%len(pat)]
+		}
+		if err := os.WriteFile(full, data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sampler draws file accesses under the SpecWeb99 distribution:
+// Zipf-popular directories, the 35/50/14/1 class mix, and uniform file
+// choice within a class. Deterministic for a given seed.
+type Sampler struct {
+	fs      *FileSet
+	rng     *rand.Rand
+	dirCDF  []float64
+	classCD [4]float64
+}
+
+// NewSampler creates a sampler over fs with the given seed.
+func NewSampler(fs *FileSet, seed int64) *Sampler {
+	s := &Sampler{fs: fs, rng: rand.New(rand.NewSource(seed))}
+	// Zipf(1.0) directory popularity.
+	weights := make([]float64, fs.Dirs)
+	var sum float64
+	for i := range weights {
+		weights[i] = 1 / float64(i+1)
+		sum += weights[i]
+	}
+	s.dirCDF = make([]float64, fs.Dirs)
+	var acc float64
+	for i, w := range weights {
+		acc += w / sum
+		s.dirCDF[i] = acc
+	}
+	var cacc float64
+	for c, p := range classProb {
+		cacc += p
+		s.classCD[c] = cacc
+	}
+	return s
+}
+
+// Pick draws one file access.
+func (s *Sampler) Pick() FileSpec {
+	dir := s.searchCDF(s.dirCDF, s.rng.Float64())
+	u := s.rng.Float64()
+	class := 3
+	for c := 0; c < 4; c++ {
+		if u <= s.classCD[c] {
+			class = c
+			break
+		}
+	}
+	file := s.rng.Intn(filesPerCl)
+	idx := dir*4*filesPerCl + class*filesPerCl + file
+	return s.fs.Files[idx]
+}
+
+func (s *Sampler) searchCDF(cdf []float64, u float64) int {
+	lo, hi := 0, len(cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// EstimateMean empirically estimates the mean access size over n draws
+// (used to sanity-check calibration).
+func (s *Sampler) EstimateMean(n int) float64 {
+	var sum int64
+	for i := 0; i < n; i++ {
+		sum += s.Pick().Size
+	}
+	return float64(sum) / float64(n)
+}
+
+// Client behaviour constants from the paper's workload description.
+const (
+	// RequestsPerConn is the number of HTTP requests per persistent
+	// connection (simulating HTTP/1.1 persistence).
+	RequestsPerConn = 5
+	// ThinkTimeMs is the pause after receiving each page, simulating the
+	// wide-area transfer delay.
+	ThinkTimeMs = 20
+)
+
+// ZipfCheck returns the fraction of accesses landing in the most popular
+// directory over n draws (diagnostics; should be ~1/H(dirs)).
+func (s *Sampler) ZipfCheck(n int) float64 {
+	hits := 0
+	for i := 0; i < n; i++ {
+		if f := s.Pick(); len(f.Path) >= 8 && f.Path[:8] == "/dir0000" {
+			hits++
+		}
+	}
+	return float64(hits) / float64(n)
+}
+
+// HarmonicApprox returns H(n), for documentation of the Zipf share.
+func HarmonicApprox(n int) float64 {
+	if n < 100 {
+		h := 0.0
+		for i := 1; i <= n; i++ {
+			h += 1 / float64(i)
+		}
+		return h
+	}
+	return math.Log(float64(n)) + 0.5772156649 + 1/(2*float64(n))
+}

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDirBytes(t *testing.T) {
+	// 9 files per class: class sums are 45*base.
+	want := int64(45*100 + 45*1024 + 45*10240 + 45*102400)
+	if got := DirBytes(); got != want {
+		t.Errorf("DirBytes = %d, want %d", got, want)
+	}
+}
+
+// paperSetBytes is the paper's 204.8 MB file set size.
+const paperSetBytes = int64(2048) * 100 << 10
+
+func TestDirsForTotal(t *testing.T) {
+	// The paper's 204.8 MB set.
+	dirs := DirsForTotal(paperSetBytes)
+	if dirs < 40 || dirs < 1 {
+		t.Errorf("dirs = %d", dirs)
+	}
+	fs := GenerateFileSet(dirs)
+	total := fs.TotalBytes()
+	target := int64(paperSetBytes)
+	if diff := total - target; diff > DirBytes() || diff < -DirBytes() {
+		t.Errorf("set size %d too far from %d", total, target)
+	}
+	if DirsForTotal(0) != 1 {
+		t.Error("minimum dirs should be 1")
+	}
+}
+
+func TestGenerateFileSetStructure(t *testing.T) {
+	fs := GenerateFileSet(3)
+	if len(fs.Files) != 3*36 {
+		t.Fatalf("files = %d, want 108", len(fs.Files))
+	}
+	// Spot-check the layout and sizes.
+	if fs.Files[0].Path != "/dir0000/class0_1" || fs.Files[0].Size != 100 {
+		t.Errorf("first file %+v", fs.Files[0])
+	}
+	last := fs.Files[len(fs.Files)-1]
+	if last.Path != "/dir0002/class3_9" || last.Size != 9*102400 {
+		t.Errorf("last file %+v", last)
+	}
+	if GenerateFileSet(0).Dirs != 1 {
+		t.Error("zero dirs should clamp to 1")
+	}
+}
+
+func TestMeanAccessSizeNearPaper(t *testing.T) {
+	fs := GenerateFileSet(41)
+	mean := fs.MeanAccessSize()
+	// The paper reports an average file size of 16 KB; the SpecWeb99 mix
+	// gives ~14.8 KB analytic mean.
+	if mean < 13_000 || mean > 17_500 {
+		t.Errorf("analytic mean = %.0f bytes, outside SpecWeb99 range", mean)
+	}
+	s := NewSampler(fs, 1)
+	emp := s.EstimateMean(200_000)
+	if emp < mean*0.9 || emp > mean*1.1 {
+		t.Errorf("empirical mean %.0f deviates from analytic %.0f", emp, mean)
+	}
+}
+
+func TestSamplerDeterministic(t *testing.T) {
+	fs := GenerateFileSet(10)
+	a, b := NewSampler(fs, 42), NewSampler(fs, 42)
+	for i := 0; i < 100; i++ {
+		if a.Pick() != b.Pick() {
+			t.Fatalf("samplers diverged at draw %d", i)
+		}
+	}
+	c := NewSampler(fs, 43)
+	same := true
+	for i := 0; i < 100; i++ {
+		if a.Pick() != c.Pick() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestSamplerClassMix(t *testing.T) {
+	fs := GenerateFileSet(10)
+	s := NewSampler(fs, 7)
+	counts := map[byte]int{}
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		f := s.Pick()
+		// Path is /dirXXXX/classC_I; class digit is at a fixed offset.
+		counts[f.Path[14]]++
+	}
+	check := func(class byte, want float64) {
+		got := float64(counts[class]) / n
+		if got < want*0.9 || got > want*1.1 {
+			t.Errorf("class %c frequency %.3f, want ~%.2f", class, got, want)
+		}
+	}
+	check('0', 0.35)
+	check('1', 0.50)
+	check('2', 0.14)
+	check('3', 0.01)
+}
+
+func TestSamplerZipfDirectories(t *testing.T) {
+	fs := GenerateFileSet(41)
+	s := NewSampler(fs, 9)
+	share := s.ZipfCheck(100_000)
+	want := 1 / HarmonicApprox(41) // most popular directory's share
+	if share < want*0.85 || share > want*1.15 {
+		t.Errorf("dir0 share %.4f, want ~%.4f", share, want)
+	}
+}
+
+func TestHarmonicApprox(t *testing.T) {
+	// Exact small-n values.
+	if h := HarmonicApprox(1); h != 1 {
+		t.Errorf("H(1) = %f", h)
+	}
+	if h := HarmonicApprox(4); h < 2.08 || h > 2.09 {
+		t.Errorf("H(4) = %f", h)
+	}
+	// Approximation for large n: H(1000) ~ 7.485.
+	if h := HarmonicApprox(1000); h < 7.48 || h > 7.49 {
+		t.Errorf("H(1000) = %f", h)
+	}
+}
+
+func TestMaterialize(t *testing.T) {
+	fs := GenerateFileSet(1)
+	root := t.TempDir()
+	if err := fs.Materialize(root); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []FileSpec{fs.Files[0], fs.Files[len(fs.Files)-1]} {
+		full := filepath.Join(root, filepath.FromSlash(f.Path))
+		fi, err := os.Stat(full)
+		if err != nil {
+			t.Fatalf("missing %s: %v", f.Path, err)
+		}
+		if fi.Size() != f.Size {
+			t.Errorf("%s size %d, want %d", f.Path, fi.Size(), f.Size)
+		}
+	}
+	// Content embeds the path for verifiability.
+	data, err := os.ReadFile(filepath.Join(root, "dir0000", "class1_1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data[:17]) != "/dir0000/class1_1" {
+		t.Errorf("content prefix %q", data[:17])
+	}
+}
+
+func TestClientConstants(t *testing.T) {
+	if RequestsPerConn != 5 || ThinkTimeMs != 20 {
+		t.Error("paper workload constants changed")
+	}
+}
