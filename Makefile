@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments examples cover clean
+.PHONY: all build vet test race bench bench-allocs experiments examples cover clean
 
 all: build vet test
 
@@ -13,7 +13,7 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+test: vet
 	$(GO) test ./...
 
 race:
@@ -22,6 +22,13 @@ race:
 # One benchmark per table/figure plus ablations and micro-benches.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# The hot-path regression snapshot: the alloc-pinned test plus the
+# zero-copy and sharding benchmarks, recorded as JSON.
+bench-allocs:
+	$(GO) test -run TestHotPathAllocs -bench 'BenchmarkHTTPEncode|BenchmarkCacheParallelGet' -benchmem . \
+		| $(GO) run ./cmd/benchjson > BENCH_PR1.json
+	@cat BENCH_PR1.json
 
 # Regenerate every table and figure at full virtual length.
 experiments:

@@ -13,13 +13,17 @@ package repro
 import (
 	"bufio"
 	"fmt"
+	"io"
+	"math/rand"
 	"net"
+	"runtime/metrics"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/aio"
 	"repro/internal/cache"
+	"repro/internal/httpproto"
 	"repro/internal/eventproc"
 	"repro/internal/events"
 	"repro/internal/experiments"
@@ -475,6 +479,107 @@ func BenchmarkSEDAVersusNServer(b *testing.B) {
 		}
 		wg.Wait()
 	})
+}
+
+// ---------------------------------------------------------------------
+// Hot-path benchmarks (the PR 1 zero-copy and sharding work; the JSON
+// snapshot in BENCH_PR1.json is produced from these by `make bench-allocs`)
+// ---------------------------------------------------------------------
+
+// BenchmarkHTTPEncode compares the seed's combined head+body encode (one
+// allocation and one memcpy of the whole response per call) against the
+// pooled writev-style send, at the SpecWeb99-like 16 KB mean file size.
+func BenchmarkHTTPEncode(b *testing.B) {
+	body := make([]byte, 16<<10)
+	resp := httpproto.NewResponse(200, "text/html", body)
+	b.Run("combined", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(body)))
+		for i := 0; i < b.N; i++ {
+			wire := httpproto.EncodeResponse(resp)
+			if _, err := io.Discard.Write(wire); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("writev-pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(body)))
+		for i := 0; i < b.N; i++ {
+			if _, err := httpproto.WriteResponse(io.Discard, resp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCacheParallelGet measures the file cache under a parallel Zipf
+// stream for the single-lock layout versus the sharded layout — the
+// contention the dispatcher and Event Processor threads put on the cache
+// during a cached-file serve storm. The "get" variant is the pure cache-hit
+// path (all resident); the "churn" variant overflows capacity under LFU so
+// every miss pays the policy's O(n) victim scan, which sharding divides by
+// the shard count. Each run also reports the process-wide mutex wait
+// attributable to it (mutex_wait_ns/op) — on runners with few cores, wall
+// clock alone shows only the shard-hash overhead while the scan division
+// and the lock-wait split are the quantities the sharding exists to buy.
+func BenchmarkCacheParallelGet(b *testing.B) {
+	const keys = 512
+	doc := make([]byte, 16<<10)
+	paths := make([]string, keys)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/docs/dir%d/class%d.html", i/8, i%8)
+	}
+	mutexWait := []metrics.Sample{{Name: "/sync/mutex/wait/total:seconds"}}
+	run := func(b *testing.B, c *cache.Cache, onMiss func(path string)) {
+		b.Helper()
+		b.ReportAllocs()
+		metrics.Read(mutexWait)
+		waitBefore := mutexWait[0].Value.Float64()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			rng := rand.New(rand.NewSource(1))
+			zipf := rand.NewZipf(rng, 1.2, 1, keys-1)
+			for pb.Next() {
+				path := paths[zipf.Uint64()]
+				if _, ok := c.Get(path); !ok {
+					if onMiss == nil {
+						b.Fatal("hot document evicted")
+					}
+					onMiss(path)
+				}
+			}
+		})
+		b.StopTimer()
+		metrics.Read(mutexWait)
+		waitNS := (mutexWait[0].Value.Float64() - waitBefore) * 1e9
+		b.ReportMetric(waitNS/float64(b.N), "mutex_wait_ns/op")
+	}
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("get/shards-%d", shards), func(b *testing.B) {
+			// 64 MB holds the whole 8 MB working set: every Get hits.
+			c, err := cache.New(64<<20, options.LRU, cache.Config{Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, p := range paths {
+				c.Put(p, doc)
+			}
+			run(b, c, nil)
+		})
+		b.Run(fmt.Sprintf("churn/shards-%d", shards), func(b *testing.B) {
+			// 2 MB holds an eighth of the working set: the Zipf tail
+			// misses, and each miss triggers LFU's full victim scan.
+			c, err := cache.New(2<<20, options.LFU, cache.Config{Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, p := range paths {
+				c.Put(p, doc)
+			}
+			run(b, c, func(path string) { c.Put(path, doc) })
+		})
+	}
 }
 
 // BenchmarkLiveEchoThroughput is the end-to-end sanity benchmark: full

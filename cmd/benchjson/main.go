@@ -1,0 +1,98 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// snapshot. The Makefile's bench-allocs target pipes the hot-path
+// benchmarks through it to produce BENCH_PR1.json, so perf regressions
+// diff as structured data instead of free text.
+//
+//	go test -run TestHotPathAllocs -bench '...' -benchmem . | go run ./cmd/benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line: the name, the iteration count, and every
+// "value unit" metric pair that followed it (ns/op, B/op, allocs/op,
+// MB/s and any b.ReportMetric custom units).
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the whole snapshot: the run environment lines go test prints
+// (goos, goarch, pkg, cpu) plus every benchmark result in order.
+type Report struct {
+	Env     map[string]string `json:"env"`
+	Results []Result          `json:"results"`
+}
+
+func main() {
+	report := Report{Env: map[string]string{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseBench(line); ok {
+				report.Results = append(report.Results, r)
+			}
+		case isEnvLine(line):
+			k, v, _ := strings.Cut(line, ":")
+			report.Env[k] = strings.TrimSpace(v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(report.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// isEnvLine reports whether line is one of go test's run-environment
+// headers.
+func isEnvLine(line string) bool {
+	for _, p := range []string{"goos:", "goarch:", "pkg:", "cpu:"} {
+		if strings.HasPrefix(line, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// parseBench parses "BenchmarkName-8  1234  56.7 ns/op  8 B/op ..." into a
+// Result. Lines that do not follow the shape (e.g. a failed benchmark)
+// are skipped.
+func parseBench(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}

@@ -1,0 +1,58 @@
+package repro
+
+// TestHotPathAllocs pins the allocation budget of the COPS-HTTP cached-file
+// serve path: cache hit, pooled Response, cached date formatting and the
+// writev-style head/body send. The budget is the regression fence for the
+// buffer-pooling work — if a change reintroduces a per-request copy or a
+// fmt call on this path, this test fails before any benchmark has to be
+// read.
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/httpproto"
+	"repro/internal/options"
+)
+
+// hotPathAllocBudget is the ceiling for one cached-file serve iteration.
+// The expected steady state is 1-2 allocations: the net.Buffers slice
+// header escaping into WriteTo, plus occasional sync.Pool refills.
+const hotPathAllocBudget = 4
+
+func TestHotPathAllocs(t *testing.T) {
+	const doc = "/docs/dir1/class2_5.html"
+	fc, err := cache.New(20<<20, options.LRU, cache.Config{Shards: cache.DefaultShards(20 << 20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc.Put(doc, make([]byte, 16<<10))
+	mtime := time.Now().Add(-time.Hour)
+
+	serve := func() {
+		data, ok := fc.Get(doc)
+		if !ok {
+			t.Fatal("cache lost the hot document")
+		}
+		resp := httpproto.AcquireResponse()
+		resp.Status = 200
+		resp.Headers.Set("Content-Type", httpproto.MimeType(doc))
+		resp.Headers.Set("Last-Modified", httpproto.FormatHTTPDateCached(mtime))
+		resp.Body = data
+		if _, err := httpproto.WriteResponse(io.Discard, resp); err != nil {
+			t.Fatal(err)
+		}
+		httpproto.ReleaseResponse(resp)
+	}
+	// Warm the pools (buffer, Response, date caches) before measuring.
+	for i := 0; i < 16; i++ {
+		serve()
+	}
+	allocs := testing.AllocsPerRun(1000, serve)
+	if allocs > hotPathAllocBudget {
+		t.Fatalf("cached-file serve path: %.1f allocs/op, budget %d", allocs, hotPathAllocBudget)
+	}
+	t.Logf("cached-file serve path: %.1f allocs/op (budget %d)", allocs, hotPathAllocBudget)
+}

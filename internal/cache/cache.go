@@ -5,13 +5,24 @@
 // the paper provides — LRU, LFU, LRU-MIN, LRU-Threshold and Hyper-G — or
 // supplied as a user hook method (the Custom policy). The cache also
 // gathers the hit-rate statistics that the profiling option (O11) reports.
+//
+// The cache is split into a power-of-two number of shards keyed by a
+// hash of the document path. Each shard owns its mutex, its slice
+// of the byte capacity and its own policy state, so concurrent workers on
+// different shards never contend and the O(n) victim scans of the
+// scanning policies (LFU, LRU-MIN, Hyper-G) shrink by the shard count.
+// With one shard (the default) the behaviour is exactly the classic
+// single-lock cache; DefaultShards picks a count for server-scale caches.
 package cache
 
 import (
 	"container/list"
 	"errors"
 	"fmt"
+	"hash/maphash"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/options"
 )
@@ -25,9 +36,10 @@ type Stat struct {
 }
 
 // VictimFunc is the hook method a user supplies for the Custom policy. It
-// receives the resident entries (in least-recently-used-first order) and
-// returns the key to evict. Returning a key not in candidates is treated
-// as a policy error and falls back to LRU for that eviction.
+// receives the resident entries of the shard being evicted (in
+// least-recently-used-first order) and returns the key to evict. Returning
+// a key not in candidates is treated as a policy error and falls back to
+// LRU for that eviction.
 type VictimFunc func(candidates []Stat) string
 
 // Config carries the policy parameters of option O6.
@@ -37,6 +49,11 @@ type Config struct {
 	Threshold int64
 	// Custom is the victim-selection hook for the Custom policy.
 	Custom VictimFunc
+	// Shards is the number of independent cache shards; it is rounded up
+	// to a power of two and capped so every shard keeps a positive byte
+	// capacity. Zero means 1 (the classic single-lock cache). Servers use
+	// DefaultShards to scale with the processor count.
+	Shards int
 }
 
 // Stats is a snapshot of the cache counters sampled by profiling (O11).
@@ -69,22 +86,36 @@ type entry struct {
 	size    int64
 	freq    uint64
 	lastUse uint64
-	elem    *list.Element // position in the recency list
+	elem    *list.Element // position in the shard's recency list
 }
 
-// Cache is a size-bounded in-memory file cache with a pluggable
-// replacement policy. It is safe for concurrent use.
-type Cache struct {
+// shard is one independently locked slice of the cache: its own byte
+// capacity, residency map, recency list and logical clock.
+type shard struct {
 	mu       sync.Mutex
-	policy   options.CachePolicy
-	cfg      Config
 	capacity int64
 	used     int64
 	clock    uint64
 	entries  map[string]*entry
 	// recency holds *entry values, least recently used at the front.
 	recency *list.List
-	stats   Stats
+}
+
+// Cache is a size-bounded in-memory file cache with a pluggable
+// replacement policy. It is safe for concurrent use; the counter stats are
+// plain atomics, so hammering Get from many goroutines serializes only on
+// the shard owning the key.
+type Cache struct {
+	policy   options.CachePolicy
+	cfg      Config
+	capacity int64
+	shards   []*shard
+	mask     uint32
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	rejects   atomic.Uint64
 }
 
 // Errors returned by New.
@@ -93,7 +124,25 @@ var (
 	ErrPolicy    = errors.New("cache: unsupported replacement policy")
 	ErrThreshold = errors.New("cache: LRU-Threshold requires a positive threshold")
 	ErrNoHook    = errors.New("cache: Custom policy requires a victim hook")
+	ErrShards    = errors.New("cache: shard count must be non-negative")
 )
+
+// DefaultShards returns the shard count heuristic for a server cache: one
+// shard per processor rounded down to a power of two, halved until every
+// shard holds at least 1 MiB so sharding never shrinks the largest
+// cacheable document below a realistic file size. Unit-scale caches (under
+// 2 MiB) therefore stay single-shard.
+func DefaultShards(capacity int64) int {
+	n := 1
+	for n*2 <= runtime.GOMAXPROCS(0) {
+		n *= 2
+	}
+	const minShardBytes = 1 << 20
+	for n > 1 && capacity/int64(n) < minShardBytes {
+		n /= 2
+	}
+	return n
+}
 
 // New creates a cache of the given byte capacity using the given
 // replacement policy. The NoCache policy is rejected: callers should skip
@@ -116,13 +165,46 @@ func New(capacity int64, policy options.CachePolicy, cfg Config) (*Cache, error)
 	default:
 		return nil, fmt.Errorf("%w: %v", ErrPolicy, policy)
 	}
-	return &Cache{
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("%w (got %d)", ErrShards, cfg.Shards)
+	}
+	n := cfg.Shards
+	if n == 0 {
+		n = 1
+	}
+	// Round up to a power of two, then cap so each shard keeps at least
+	// one byte of capacity.
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	n = p
+	for n > 1 && capacity/int64(n) < 1 {
+		n /= 2
+	}
+	c := &Cache{
 		policy:   policy,
 		cfg:      cfg,
 		capacity: capacity,
-		entries:  make(map[string]*entry),
-		recency:  list.New(),
-	}, nil
+		shards:   make([]*shard, n),
+		mask:     uint32(n - 1),
+	}
+	// Byte capacity is conserved: the shares sum exactly to capacity, the
+	// first (capacity mod n) shards taking the remainder.
+	base := capacity / int64(n)
+	rem := capacity % int64(n)
+	for i := range c.shards {
+		cap := base
+		if int64(i) < rem {
+			cap++
+		}
+		c.shards[i] = &shard{
+			capacity: cap,
+			entries:  make(map[string]*entry),
+			recency:  list.New(),
+		}
+	}
+	return c, nil
 }
 
 // Policy returns the replacement policy selected at construction.
@@ -131,135 +213,178 @@ func (c *Cache) Policy() options.CachePolicy { return c.policy }
 // Capacity returns the configured byte capacity.
 func (c *Cache) Capacity() int64 { return c.capacity }
 
+// Shards returns the number of independent shards.
+func (c *Cache) Shards() int { return len(c.shards) }
+
+// shardSeed keys the shard hash for the life of the process. Placement
+// only has to be stable within one run, so the per-process seed is fine
+// and lets shardFor use the runtime's hardware-accelerated string hash,
+// which is several times faster than a byte-wise FNV on typical document
+// paths.
+var shardSeed = maphash.MakeSeed()
+
+// shardFor hashes key and selects its shard.
+func (c *Cache) shardFor(key string) *shard {
+	if c.mask == 0 {
+		return c.shards[0]
+	}
+	return c.shards[uint32(maphash.String(shardSeed, key))&c.mask]
+}
+
 // Get returns the cached bytes for key. The returned slice is shared; the
 // caller must not modify it.
 func (c *Cache) Get(key string) ([]byte, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.entries[key]
+	s := c.shardFor(key)
+	s.mu.Lock()
+	e, ok := s.entries[key]
 	if !ok {
-		c.stats.Misses++
+		s.mu.Unlock()
+		c.misses.Add(1)
 		return nil, false
 	}
-	c.stats.Hits++
-	c.touch(e)
-	return e.data, true
+	s.touch(e)
+	data := e.data
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return data, true
 }
 
 // Contains reports residency without updating policy metadata or counters.
 func (c *Cache) Contains(key string) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	_, ok := c.entries[key]
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[key]
 	return ok
 }
 
 // Put inserts or replaces the document for key. It returns false when the
-// admission rule refuses the document (larger than the whole cache, or
-// above the LRU-Threshold limit).
+// admission rule refuses the document: larger than its shard's capacity
+// (the whole cache when unsharded), or above the LRU-Threshold limit.
 func (c *Cache) Put(key string, data []byte) bool {
 	size := int64(len(data))
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if size > c.capacity || (c.policy == options.LRUThreshold && size > c.cfg.Threshold) {
-		c.stats.Rejects++
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if size > s.capacity || (c.policy == options.LRUThreshold && size > c.cfg.Threshold) {
+		s.mu.Unlock()
+		c.rejects.Add(1)
 		return false
 	}
-	if old, ok := c.entries[key]; ok {
-		c.used -= old.size
+	if old, ok := s.entries[key]; ok {
+		s.used -= old.size
 		old.data = data
 		old.size = size
-		c.used += size
-		c.touch(old)
-		c.evictToFitLocked(nil)
+		s.used += size
+		s.touch(old)
+		c.evictToFitLocked(s, nil)
+		s.mu.Unlock()
 		return true
 	}
 	e := &entry{key: key, data: data, size: size, freq: 1}
-	c.clock++
-	e.lastUse = c.clock
-	c.evictToFitLocked(e)
-	e.elem = c.recency.PushBack(e)
-	c.entries[key] = e
-	c.used += size
+	s.clock++
+	e.lastUse = s.clock
+	c.evictToFitLocked(s, e)
+	e.elem = s.recency.PushBack(e)
+	s.entries[key] = e
+	s.used += size
+	s.mu.Unlock()
 	return true
 }
 
 // Remove drops key from the cache if resident.
 func (c *Cache) Remove(key string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if e, ok := c.entries[key]; ok {
-		c.removeLocked(e)
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[key]; ok {
+		s.removeLocked(e)
 	}
 }
 
 // Len returns the number of resident entries.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Size returns the resident byte total.
 func (c *Cache) Size() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.used
+	var used int64
+	for _, s := range c.shards {
+		s.mu.Lock()
+		used += s.used
+		s.mu.Unlock()
+	}
+	return used
 }
 
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.stats
-	s.Bytes = c.used
-	s.Entries = len(c.entries)
-	return s
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Rejects:   c.rejects.Load(),
+	}
+	for _, s := range c.shards {
+		s.mu.Lock()
+		st.Bytes += s.used
+		st.Entries += len(s.entries)
+		s.mu.Unlock()
+	}
+	return st
 }
 
 // ResetStats zeroes the counters (used between experiment runs).
 func (c *Cache) ResetStats() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.stats = Stats{}
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evictions.Store(0)
+	c.rejects.Store(0)
 }
 
-func (c *Cache) touch(e *entry) {
+func (s *shard) touch(e *entry) {
 	e.freq++
-	c.clock++
-	e.lastUse = c.clock
-	c.recency.MoveToBack(e.elem)
+	s.clock++
+	e.lastUse = s.clock
+	s.recency.MoveToBack(e.elem)
 }
 
-func (c *Cache) removeLocked(e *entry) {
-	c.recency.Remove(e.elem)
-	delete(c.entries, e.key)
-	c.used -= e.size
+func (s *shard) removeLocked(e *entry) {
+	s.recency.Remove(e.elem)
+	delete(s.entries, e.key)
+	s.used -= e.size
 }
 
 // evictToFitLocked evicts entries until incoming (which may be nil when
-// re-fitting after an in-place replacement) fits within capacity.
-func (c *Cache) evictToFitLocked(incoming *entry) {
-	need := c.used
+// re-fitting after an in-place replacement) fits within the shard's
+// capacity. The caller holds s.mu.
+func (c *Cache) evictToFitLocked(s *shard, incoming *entry) {
+	need := s.used
 	if incoming != nil {
 		need += incoming.size
 	}
-	for need > c.capacity && len(c.entries) > 0 {
-		v := c.victimLocked(incoming)
+	for need > s.capacity && len(s.entries) > 0 {
+		v := c.victimLocked(s, incoming)
 		need -= v.size
-		c.removeLocked(v)
-		c.stats.Evictions++
+		s.removeLocked(v)
+		c.evictions.Add(1)
 	}
 }
 
-// victimLocked selects the entry to evict under the configured policy.
-// len(c.entries) > 0 is a precondition.
-func (c *Cache) victimLocked(incoming *entry) *entry {
+// victimLocked selects the shard entry to evict under the configured
+// policy. len(s.entries) > 0 is a precondition.
+func (c *Cache) victimLocked(s *shard, incoming *entry) *entry {
 	switch c.policy {
 	case options.LRU, options.LRUThreshold:
-		return c.recency.Front().Value.(*entry)
+		return s.recency.Front().Value.(*entry)
 	case options.LFU:
-		return c.scanVictim(func(best, cand *entry) bool {
+		return s.scanVictim(func(best, cand *entry) bool {
 			if cand.freq != best.freq {
 				return cand.freq < best.freq
 			}
@@ -267,7 +392,7 @@ func (c *Cache) victimLocked(incoming *entry) *entry {
 		})
 	case options.HyperG:
 		// Least frequency, then least recency, then largest size.
-		return c.scanVictim(func(best, cand *entry) bool {
+		return s.scanVictim(func(best, cand *entry) bool {
 			if cand.freq != best.freq {
 				return cand.freq < best.freq
 			}
@@ -277,18 +402,19 @@ func (c *Cache) victimLocked(incoming *entry) *entry {
 			return cand.size > best.size
 		})
 	case options.LRUMin:
-		return c.lruMinVictim(incoming)
+		return s.lruMinVictim(incoming)
 	case options.CustomPolicy:
-		return c.customVictim()
+		return s.customVictim(c.cfg.Custom)
 	}
-	return c.recency.Front().Value.(*entry)
+	return s.recency.Front().Value.(*entry)
 }
 
 // scanVictim returns the entry minimizing the better ordering over the
-// recency list (LRU-first scan, so ties naturally prefer older entries).
-func (c *Cache) scanVictim(better func(best, cand *entry) bool) *entry {
+// shard's recency list (LRU-first scan, so ties naturally prefer older
+// entries).
+func (s *shard) scanVictim(better func(best, cand *entry) bool) *entry {
 	var best *entry
-	for el := c.recency.Front(); el != nil; el = el.Next() {
+	for el := s.recency.Front(); el != nil; el = el.Next() {
 		e := el.Value.(*entry)
 		if best == nil || better(best, e) {
 			best = e
@@ -301,33 +427,33 @@ func (c *Cache) scanVictim(better func(best, cand *entry) bool) *entry {
 // document of size S, evict in LRU order among entries of size >= S; if
 // none qualify, halve the size bound and repeat. Large documents are thus
 // sacrificed before small ones.
-func (c *Cache) lruMinVictim(incoming *entry) *entry {
-	bound := c.capacity
+func (s *shard) lruMinVictim(incoming *entry) *entry {
+	bound := s.capacity
 	if incoming != nil {
 		bound = incoming.size
 	}
 	for ; bound >= 1; bound /= 2 {
-		for el := c.recency.Front(); el != nil; el = el.Next() {
+		for el := s.recency.Front(); el != nil; el = el.Next() {
 			if e := el.Value.(*entry); e.size >= bound {
 				return e
 			}
 		}
 	}
-	return c.recency.Front().Value.(*entry)
+	return s.recency.Front().Value.(*entry)
 }
 
-func (c *Cache) customVictim() *entry {
-	candidates := make([]Stat, 0, len(c.entries))
-	for el := c.recency.Front(); el != nil; el = el.Next() {
+func (s *shard) customVictim(hook VictimFunc) *entry {
+	candidates := make([]Stat, 0, len(s.entries))
+	for el := s.recency.Front(); el != nil; el = el.Next() {
 		e := el.Value.(*entry)
 		candidates = append(candidates, Stat{
 			Key: e.key, Size: e.size, Frequency: e.freq, LastUse: e.lastUse,
 		})
 	}
-	key := c.cfg.Custom(candidates)
-	if e, ok := c.entries[key]; ok {
+	key := hook(candidates)
+	if e, ok := s.entries[key]; ok {
 		return e
 	}
 	// Hook returned an unknown key: fall back to LRU for this eviction.
-	return c.recency.Front().Value.(*entry)
+	return s.recency.Front().Value.(*entry)
 }

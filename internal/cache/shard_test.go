@@ -1,0 +1,420 @@
+package cache
+
+// Property tests for the sharded cache rework. The pre-shard cache was a
+// single mutex around one map, one recency list and one logical clock;
+// refCache below reimplements exactly those semantics as an independent
+// model. The quick properties then assert that a 1-shard Cache is
+// observationally equivalent to the model under every policy (the rework
+// must not have changed replacement behaviour), and that sharding
+// conserves the byte capacity and keeps every shard within its slice.
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/options"
+)
+
+// ---------------------------------------------------------------------
+// Reference model: the seed's single-lock cache semantics.
+// ---------------------------------------------------------------------
+
+type refEntry struct {
+	key     string
+	size    int64
+	freq    uint64
+	lastUse uint64
+}
+
+type refCache struct {
+	policy    options.CachePolicy
+	capacity  int64
+	threshold int64
+	custom    VictimFunc
+	used      int64
+	clock     uint64
+	entries   map[string]*refEntry
+	order     []*refEntry // least recently used first
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	rejects   uint64
+}
+
+func newRefCache(capacity int64, policy options.CachePolicy, cfg Config) *refCache {
+	return &refCache{
+		policy:    policy,
+		capacity:  capacity,
+		threshold: cfg.Threshold,
+		custom:    cfg.Custom,
+		entries:   make(map[string]*refEntry),
+	}
+}
+
+func (r *refCache) touch(e *refEntry) {
+	e.freq++
+	r.clock++
+	e.lastUse = r.clock
+	for i, o := range r.order {
+		if o == e {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	r.order = append(r.order, e)
+}
+
+func (r *refCache) get(key string) bool {
+	e, ok := r.entries[key]
+	if !ok {
+		r.misses++
+		return false
+	}
+	r.touch(e)
+	r.hits++
+	return true
+}
+
+func (r *refCache) remove(e *refEntry) {
+	for i, o := range r.order {
+		if o == e {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	delete(r.entries, e.key)
+	r.used -= e.size
+}
+
+func (r *refCache) put(key string, size int64) bool {
+	if size > r.capacity || (r.policy == options.LRUThreshold && size > r.threshold) {
+		r.rejects++
+		return false
+	}
+	if old, ok := r.entries[key]; ok {
+		r.used -= old.size
+		old.size = size
+		r.used += size
+		r.touch(old)
+		r.evictToFit(nil)
+		return true
+	}
+	e := &refEntry{key: key, size: size, freq: 1}
+	r.clock++
+	e.lastUse = r.clock
+	r.evictToFit(e)
+	r.order = append(r.order, e)
+	r.entries[key] = e
+	r.used += size
+	return true
+}
+
+func (r *refCache) evictToFit(incoming *refEntry) {
+	need := r.used
+	if incoming != nil {
+		need += incoming.size
+	}
+	for need > r.capacity && len(r.entries) > 0 {
+		v := r.victim(incoming)
+		need -= v.size
+		r.remove(v)
+		r.evictions++
+	}
+}
+
+func (r *refCache) scan(better func(best, cand *refEntry) bool) *refEntry {
+	var best *refEntry
+	for _, e := range r.order {
+		if best == nil || better(best, e) {
+			best = e
+		}
+	}
+	return best
+}
+
+func (r *refCache) victim(incoming *refEntry) *refEntry {
+	switch r.policy {
+	case options.LRU, options.LRUThreshold:
+		return r.order[0]
+	case options.LFU:
+		return r.scan(func(best, cand *refEntry) bool {
+			if cand.freq != best.freq {
+				return cand.freq < best.freq
+			}
+			return cand.lastUse < best.lastUse
+		})
+	case options.HyperG:
+		return r.scan(func(best, cand *refEntry) bool {
+			if cand.freq != best.freq {
+				return cand.freq < best.freq
+			}
+			if cand.lastUse != best.lastUse {
+				return cand.lastUse < best.lastUse
+			}
+			return cand.size > best.size
+		})
+	case options.LRUMin:
+		bound := r.capacity
+		if incoming != nil {
+			bound = incoming.size
+		}
+		for ; bound >= 1; bound /= 2 {
+			for _, e := range r.order {
+				if e.size >= bound {
+					return e
+				}
+			}
+		}
+		return r.order[0]
+	case options.CustomPolicy:
+		candidates := make([]Stat, 0, len(r.order))
+		for _, e := range r.order {
+			candidates = append(candidates, Stat{
+				Key: e.key, Size: e.size, Frequency: e.freq, LastUse: e.lastUse,
+			})
+		}
+		if e, ok := r.entries[r.custom(candidates)]; ok {
+			return e
+		}
+		return r.order[0]
+	}
+	return r.order[0]
+}
+
+// ---------------------------------------------------------------------
+// Equivalence property
+// ---------------------------------------------------------------------
+
+// biggestFirst is the deterministic Custom hook both sides share.
+func biggestFirst(candidates []Stat) string {
+	best := candidates[0]
+	for _, c := range candidates[1:] {
+		if c.Size > best.Size || (c.Size == best.Size && c.Key < best.Key) {
+			best = c
+		}
+	}
+	return best.Key
+}
+
+// equivPolicies lists every policy with the config it needs.
+func equivPolicies() []struct {
+	policy options.CachePolicy
+	cfg    Config
+} {
+	return []struct {
+		policy options.CachePolicy
+		cfg    Config
+	}{
+		{options.LRU, Config{}},
+		{options.LFU, Config{}},
+		{options.LRUMin, Config{}},
+		{options.LRUThreshold, Config{Threshold: 40}},
+		{options.HyperG, Config{}},
+		{options.CustomPolicy, Config{Custom: biggestFirst}},
+	}
+}
+
+// TestQuickShardEquivalence drives random op sequences against a 1-shard
+// Cache and the reference model and requires identical observations:
+// every Get hit/miss, residency, byte totals and the counter stats.
+func TestQuickShardEquivalence(t *testing.T) {
+	for _, pc := range equivPolicies() {
+		pc := pc
+		t.Run(pc.policy.String(), func(t *testing.T) {
+			property := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				cfg := pc.cfg
+				cfg.Shards = 1
+				const capacity = 256
+				c, err := New(capacity, pc.policy, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref := newRefCache(capacity, pc.policy, pc.cfg)
+				for op := 0; op < 400; op++ {
+					key := fmt.Sprintf("/doc%d", rng.Intn(16))
+					switch rng.Intn(4) {
+					case 0, 1: // Get twice as often as Put, like a real serve mix
+						_, got := c.Get(key)
+						want := ref.get(key)
+						if got != want {
+							t.Logf("seed %d op %d: Get(%q) = %v, reference %v", seed, op, key, got, want)
+							return false
+						}
+					case 2:
+						size := int64(1 + rng.Intn(64))
+						got := c.Put(key, make([]byte, size))
+						want := ref.put(key, size)
+						if got != want {
+							t.Logf("seed %d op %d: Put(%q, %d) = %v, reference %v", seed, op, key, size, got, want)
+							return false
+						}
+					case 3:
+						if c.Contains(key) != ref.entries[key].isResident() {
+							t.Logf("seed %d op %d: Contains(%q) mismatch", seed, op, key)
+							return false
+						}
+					}
+					st := c.Stats()
+					if c.Len() != len(ref.entries) || c.Size() != ref.used ||
+						st.Hits != ref.hits || st.Misses != ref.misses ||
+						st.Evictions != ref.evictions || st.Rejects != ref.rejects {
+						t.Logf("seed %d op %d: state diverged: cache %v vs reference entries=%d used=%d hits=%d misses=%d evictions=%d rejects=%d",
+							seed, op, st, len(ref.entries), ref.used, ref.hits, ref.misses, ref.evictions, ref.rejects)
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(property, &quick.Config{MaxCount: 25}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// isResident lets the nil-map-lookup result double as a residency bool.
+func (e *refEntry) isResident() bool { return e != nil }
+
+// ---------------------------------------------------------------------
+// Conservation properties of the sharded layout
+// ---------------------------------------------------------------------
+
+// TestQuickShardConservation checks the sharded invariants for arbitrary
+// capacities and shard counts: shard byte capacities sum exactly to the
+// configured capacity, every shard stays within its slice, keys route
+// stably, and Size/Len agree with a direct walk of the shards.
+func TestQuickShardConservation(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := int64(64 + rng.Intn(4096))
+		shards := 1 << rng.Intn(5) // 1..16
+		c, err := New(capacity, options.LRU, Config{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Shards() != shards {
+			t.Logf("seed %d: Shards() = %d, want %d", seed, c.Shards(), shards)
+			return false
+		}
+		var total int64
+		for _, s := range c.shards {
+			total += s.capacity
+		}
+		if total != capacity {
+			t.Logf("seed %d: shard capacities sum to %d, want %d", seed, total, capacity)
+			return false
+		}
+		for op := 0; op < 300; op++ {
+			key := fmt.Sprintf("/f/%d", rng.Intn(64))
+			switch rng.Intn(3) {
+			case 0:
+				c.Put(key, make([]byte, 1+rng.Intn(128)))
+			case 1:
+				if _, ok := c.Get(key); ok != c.Contains(key) {
+					t.Logf("seed %d: Get/Contains disagree for %q", seed, key)
+					return false
+				}
+			case 2:
+				c.Remove(key)
+			}
+		}
+		var used int64
+		entries := 0
+		for _, s := range c.shards {
+			if s.used > s.capacity {
+				t.Logf("seed %d: shard over capacity: used %d > %d", seed, s.used, s.capacity)
+				return false
+			}
+			used += s.used
+			entries += len(s.entries)
+			for key := range s.entries {
+				if c.shardFor(key) != s {
+					t.Logf("seed %d: key %q resident in the wrong shard", seed, key)
+					return false
+				}
+			}
+		}
+		return c.Size() == used && c.Len() == entries && used <= capacity
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShardRoundingAndDefaults pins the constructor's shard arithmetic.
+func TestShardRoundingAndDefaults(t *testing.T) {
+	// Non-power-of-two rounds up.
+	c, err := New(1<<20, options.LRU, Config{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Shards() != 4 {
+		t.Fatalf("Shards: got %d, want 4", c.Shards())
+	}
+	// Tiny capacity caps the count so every shard keeps a positive slice.
+	c, err = New(2, options.LRU, Config{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Shards() != 2 {
+		t.Fatalf("Shards with capacity 2: got %d, want 2", c.Shards())
+	}
+	if _, err := New(100, options.LRU, Config{Shards: -1}); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+	// The server heuristic keeps unit-scale caches single-shard.
+	if n := DefaultShards(1 << 20); n != 1 {
+		t.Fatalf("DefaultShards(1MiB) = %d, want 1", n)
+	}
+	if n := DefaultShards(20 << 20); runtime.GOMAXPROCS(0) >= 2 && n < 2 {
+		t.Fatalf("DefaultShards(20MiB) = %d on %d procs, want >= 2", n, runtime.GOMAXPROCS(0))
+	}
+}
+
+// ---------------------------------------------------------------------
+// Race hammer (meaningful under -race)
+// ---------------------------------------------------------------------
+
+// TestShardedConcurrentHammer drives every public method from
+// GOMAXPROCS goroutines against a multi-shard cache.
+func TestShardedConcurrentHammer(t *testing.T) {
+	c, err := New(1<<20, options.LRU, Config{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 3000; i++ {
+				key := fmt.Sprintf("/f/%d", rng.Intn(256))
+				switch rng.Intn(5) {
+				case 0:
+					c.Put(key, make([]byte, 1+rng.Intn(4096)))
+				case 1:
+					c.Remove(key)
+				case 2:
+					c.Contains(key)
+				case 3:
+					c.Stats()
+				default:
+					if data, ok := c.Get(key); ok {
+						_ = data[0] // reads must be safe against concurrent eviction
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Size() > c.Capacity() {
+		t.Fatalf("cache over capacity after hammer: %d > %d", c.Size(), c.Capacity())
+	}
+}

@@ -17,11 +17,13 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/logging"
 	"repro/internal/profiling"
 )
@@ -210,19 +212,14 @@ func (b *Balancer) forward(client net.Conn) {
 
 	done := make(chan struct{}, 2)
 	splice := func(dst, src net.Conn, count func(int)) {
-		buf := make([]byte, 32<<10)
-		for {
-			n, rerr := src.Read(buf)
-			if n > 0 {
-				count(n)
-				if _, werr := dst.Write(buf[:n]); werr != nil {
-					break
-				}
-			}
-			if rerr != nil {
-				break
-			}
-		}
+		// io.CopyBuffer with a pooled 32 KiB buffer instead of a
+		// per-transfer allocation; on TCP-to-TCP forwards the ReaderFrom
+		// fast path moves the bytes in the kernel and skips the buffer
+		// entirely.
+		lease := bufpool.Get(32 << 10)
+		n, _ := io.CopyBuffer(dst, src, lease.Bytes())
+		lease.Release()
+		count(int(n))
 		// Half-close so the peer's pending read completes.
 		if tc, ok := dst.(*net.TCPConn); ok {
 			tc.CloseWrite()

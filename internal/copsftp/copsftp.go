@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/events"
 	"repro/internal/ftpproto"
 	"repro/internal/logging"
@@ -433,7 +434,12 @@ func (s *Server) cmdStor(c *nserver.Conn, sess *session, arg string) {
 			return err
 		}
 		defer f.Close()
-		buf := make([]byte, 32<<10)
+		// A pooled 32 KiB copy buffer instead of a per-transfer allocation.
+		// The manual loop (rather than io.CopyBuffer) preserves the FTP
+		// semantics that a read error just marks the end of the upload.
+		lease := bufpool.Get(32 << 10)
+		defer lease.Release()
+		buf := lease.Bytes()
 		for {
 			n, rerr := dc.Read(buf)
 			if n > 0 {

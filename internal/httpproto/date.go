@@ -1,6 +1,7 @@
 package httpproto
 
 import (
+	"sync/atomic"
 	"time"
 )
 
@@ -15,6 +16,47 @@ var httpDateLayouts = []string{
 // FormatHTTPDate renders t as an RFC 1123 GMT HTTP date.
 func FormatHTTPDate(t time.Time) string {
 	return httpDate(t)
+}
+
+// cachedDate is one formatted HTTP date, keyed by its absolute second.
+// HTTP dates have one-second resolution, so any two times within the same
+// second render identically.
+type cachedDate struct {
+	unix int64
+	str  string
+}
+
+// dateNow caches the Date: header value; lastMod caches the most recent
+// Last-Modified rendering (server traffic concentrates on a few hot files,
+// so a single entry removes nearly every format call).
+var (
+	dateNow atomic.Pointer[cachedDate]
+	lastMod atomic.Pointer[cachedDate]
+)
+
+// HTTPDateNow returns the RFC 1123 rendering of the current time. The
+// string is reformatted at most about once per wall-clock second; between
+// refreshes every response on the hot path shares one cached value instead
+// of paying a time.Format per response.
+func HTTPDateNow() string {
+	now := time.Now()
+	return cachedFormat(&dateNow, now.Unix(), now)
+}
+
+// FormatHTTPDateCached is FormatHTTPDate behind a single-entry cache, for
+// repeated renderings of the same modification time (the Last-Modified of
+// a hot cached file).
+func FormatHTTPDateCached(t time.Time) string {
+	return cachedFormat(&lastMod, t.Unix(), t)
+}
+
+func cachedFormat(slot *atomic.Pointer[cachedDate], sec int64, t time.Time) string {
+	if c := slot.Load(); c != nil && c.unix == sec {
+		return c.str
+	}
+	c := &cachedDate{unix: sec, str: httpDate(t)}
+	slot.Store(c)
+	return c.str
 }
 
 // ParseHTTPDate parses the three date formats HTTP/1.1 requires servers

@@ -107,8 +107,31 @@ func (h *Header) Each(f func(key, value string)) {
 	}
 }
 
-// canonical normalizes a header key to Canonical-Dash-Form.
+// Reset empties the header for reuse, keeping the allocated map and key
+// slice (the Response pool relies on this to make header writes free in
+// steady state).
+func (h *Header) Reset() {
+	h.keys = h.keys[:0]
+	clear(h.vals)
+}
+
+// canonical normalizes a header key to Canonical-Dash-Form. Keys that are
+// already canonical — every key the server itself sets — are returned
+// unchanged without allocating.
 func canonical(key string) string {
+	upper := true
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (upper && 'a' <= c && c <= 'z') || (!upper && 'A' <= c && c <= 'Z') {
+			return canonicalize(key)
+		}
+		upper = c == '-'
+	}
+	return key
+}
+
+// canonicalize is the allocating slow path of canonical.
+func canonicalize(key string) string {
 	b := []byte(key)
 	upper := true
 	for i, c := range b {

@@ -2,8 +2,13 @@ package httpproto
 
 import (
 	"fmt"
+	"io"
+	"net"
 	"strconv"
+	"sync"
 	"time"
+
+	"repro/internal/bufpool"
 )
 
 // Response is one HTTP response to encode.
@@ -56,49 +61,140 @@ func httpDate(t time.Time) string {
 	return t.UTC().Format("Mon, 02 Jan 2006 15:04:05") + " GMT"
 }
 
-// EncodeResponse renders the response head and body. It always emits
-// Content-Length (from the body), Date and Server headers unless already
-// present, plus "Connection: close" when requested.
-func EncodeResponse(r *Response) []byte {
+// AppendResponseHead renders the response head (status line, automatic and
+// explicit headers, final CRLF — everything up to but excluding the body)
+// onto dst and returns the extended slice. It always emits Content-Length
+// (from the body), Date and Server headers unless already present, plus
+// "Connection: close" when requested. The Date value comes from the
+// once-per-second cache, and all numbers are appended with strconv, so a
+// head render performs no allocation beyond dst growth.
+func AppendResponseHead(dst []byte, r *Response) []byte {
 	proto := r.Proto
 	if proto == "" {
 		proto = "HTTP/1.1"
 	}
-	// Pre-size: head is typically < 256 bytes.
-	out := make([]byte, 0, 256+len(r.Body))
-	out = append(out, fmt.Sprintf("%s %d %s\r\n", proto, r.Status, StatusText(r.Status))...)
+	dst = append(dst, proto...)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, int64(r.Status), 10)
+	dst = append(dst, ' ')
+	dst = append(dst, StatusText(r.Status)...)
+	dst = append(dst, '\r', '\n')
 	if !r.Headers.Has("Date") {
-		out = append(out, "Date: "...)
-		out = append(out, httpDate(time.Now())...)
-		out = append(out, "\r\n"...)
+		dst = append(dst, "Date: "...)
+		dst = append(dst, HTTPDateNow()...)
+		dst = append(dst, '\r', '\n')
 	}
 	if !r.Headers.Has("Server") {
-		out = append(out, "Server: COPS-HTTP/1.0\r\n"...)
+		dst = append(dst, "Server: COPS-HTTP/1.0\r\n"...)
 	}
 	if !r.Headers.Has("Content-Length") {
-		out = append(out, "Content-Length: "...)
-		out = append(out, strconv.Itoa(len(r.Body))...)
-		out = append(out, "\r\n"...)
+		dst = append(dst, "Content-Length: "...)
+		dst = strconv.AppendInt(dst, int64(len(r.Body)), 10)
+		dst = append(dst, '\r', '\n')
 	}
 	if r.Close && r.Headers.Get("Connection") == "" {
-		out = append(out, "Connection: close\r\n"...)
+		dst = append(dst, "Connection: close\r\n"...)
 	}
 	r.Headers.Each(func(k, v string) {
-		out = append(out, k...)
-		out = append(out, ": "...)
-		out = append(out, v...)
-		out = append(out, "\r\n"...)
+		dst = append(dst, k...)
+		dst = append(dst, ':', ' ')
+		dst = append(dst, v...)
+		dst = append(dst, '\r', '\n')
 	})
-	out = append(out, "\r\n"...)
-	out = append(out, r.Body...)
-	return out
+	return append(dst, '\r', '\n')
 }
 
-// ErrorResponse builds a minimal HTML error page response.
+// EncodeResponse renders the response head and body into one slice. The
+// hot serve path uses WriteResponse (which never combines head and body);
+// EncodeResponse remains for callers that need the full wire image.
+func EncodeResponse(r *Response) []byte {
+	// Pre-size: head is typically < 256 bytes.
+	out := make([]byte, 0, 256+len(r.Body))
+	out = AppendResponseHead(out, r)
+	return append(out, r.Body...)
+}
+
+// headSizeHint sizes the pooled head buffer; a static-server head is well
+// under this, so the lease always comes from the smallest pool class.
+const headSizeHint = 512
+
+// WriteResponse renders the head into a pooled buffer and writes head and
+// body to w as separate segments via net.Buffers — a single writev(2) on a
+// TCP connection — so the body (the 16 KB-mean cached file) is never
+// memcpy'd into a combined response slice.
+func WriteResponse(w io.Writer, r *Response) (int64, error) {
+	lease := bufpool.Get(headSizeHint)
+	head := AppendResponseHead(lease.Bytes()[:0], r)
+	var bufs net.Buffers
+	if len(r.Body) > 0 {
+		bufs = net.Buffers{head, r.Body}
+	} else {
+		bufs = net.Buffers{head}
+	}
+	n, err := bufs.WriteTo(w)
+	lease.Release()
+	return n, err
+}
+
+// responsePool recycles Response values (with their Header storage) across
+// requests on the serve hot path.
+var responsePool = sync.Pool{
+	New: func() any { return &Response{Headers: NewHeader()} },
+}
+
+// AcquireResponse returns an empty pooled Response ready for use. Callers
+// that hand it to ReleaseResponse after the reply is written complete the
+// serve path without allocating the Response or its header map.
+func AcquireResponse() *Response {
+	return responsePool.Get().(*Response)
+}
+
+// ReleaseResponse clears r and returns it to the pool. The caller must not
+// touch r (or slices obtained from it) afterwards, and must not release
+// responses it could not have exclusively owned.
+func ReleaseResponse(r *Response) {
+	r.Proto = ""
+	r.Status = 0
+	r.Body = nil
+	r.Close = false
+	r.Headers.Reset()
+	responsePool.Put(r)
+}
+
+// errorPages holds the prebuilt HTML bodies for every known status so the
+// error path performs no formatting.
+var errorPages = func() map[int][]byte {
+	pages := make(map[int][]byte, len(statusText))
+	for status := range statusText {
+		pages[status] = buildErrorPage(status)
+	}
+	return pages
+}()
+
+// buildErrorPage renders the minimal error document for a status code.
+func buildErrorPage(status int) []byte {
+	text := StatusText(status)
+	b := make([]byte, 0, 96)
+	b = append(b, "<html><head><title>"...)
+	b = strconv.AppendInt(b, int64(status), 10)
+	b = append(b, ' ')
+	b = append(b, text...)
+	b = append(b, "</title></head><body><h1>"...)
+	b = strconv.AppendInt(b, int64(status), 10)
+	b = append(b, ' ')
+	b = append(b, text...)
+	b = append(b, "</h1></body></html>\n"...)
+	return b
+}
+
+// ErrorResponse builds a minimal HTML error page response. The body is a
+// shared prebuilt page; callers must treat it as read-only.
 func ErrorResponse(status int, close bool) *Response {
-	body := fmt.Sprintf("<html><head><title>%d %s</title></head><body><h1>%d %s</h1></body></html>\n",
-		status, StatusText(status), status, StatusText(status))
-	r := NewResponse(status, "text/html", []byte(body))
+	body, ok := errorPages[status]
+	if !ok {
+		body = buildErrorPage(status)
+	}
+	r := NewResponse(status, "text/html", body)
 	r.Close = close
 	return r
 }
@@ -146,6 +242,18 @@ func MimeType(name string) string {
 }
 
 func lowerASCII(s string) string {
+	// Already-lowercase extensions (the common case) pass through without
+	// allocating.
+	upper := false
+	for i := 0; i < len(s); i++ {
+		if 'A' <= s[i] && s[i] <= 'Z' {
+			upper = true
+			break
+		}
+	}
+	if !upper {
+		return s
+	}
 	b := []byte(s)
 	for i, c := range b {
 		if 'A' <= c && c <= 'Z' {
@@ -181,5 +289,20 @@ func (Codec) Encode(reply any) ([]byte, error) {
 		return v, nil
 	default:
 		return nil, fmt.Errorf("httpproto: cannot encode %T", reply)
+	}
+}
+
+// AppendHead implements nserver.BufferEncoder: the head is rendered onto
+// dst (typically a pooled buffer) and the body is returned as-is, so the
+// framework can send both with one writev instead of combining them.
+func (Codec) AppendHead(dst []byte, reply any) (head, body []byte, err error) {
+	switch v := reply.(type) {
+	case *Response:
+		return AppendResponseHead(dst, v), v.Body, nil
+	case []byte:
+		// Raw replies have no head; send the bytes as the body segment.
+		return dst, v, nil
+	default:
+		return nil, nil, fmt.Errorf("httpproto: cannot encode %T", reply)
 	}
 }

@@ -1,0 +1,134 @@
+package httpproto
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWriteResponseMatchesEncode pins the zero-copy writer to the combined
+// encoder: same response, byte-identical wire image.
+func TestWriteResponseMatchesEncode(t *testing.T) {
+	r := NewResponse(200, "text/html", []byte("<p>zero copy</p>"))
+	r.Headers.Set("Last-Modified", FormatHTTPDate(time.Unix(1_000_000, 0)))
+	r.Headers.Set("Date", FormatHTTPDate(time.Unix(2_000_000, 0))) // pin Date
+	combined := EncodeResponse(r)
+	var buf bytes.Buffer
+	n, err := WriteResponse(&buf, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(n) != len(combined) {
+		t.Errorf("WriteResponse n = %d, want %d", n, len(combined))
+	}
+	if !bytes.Equal(buf.Bytes(), combined) {
+		t.Errorf("wire images differ:\n%q\nvs\n%q", buf.Bytes(), combined)
+	}
+}
+
+func TestWriteResponseNoBody(t *testing.T) {
+	r := &Response{Status: 304, Headers: NewHeader()}
+	var buf bytes.Buffer
+	if _, err := WriteResponse(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "HTTP/1.1 304 Not Modified\r\n") {
+		t.Errorf("bad status line: %q", out)
+	}
+	if !strings.HasSuffix(out, "\r\n\r\n") {
+		t.Errorf("missing head terminator: %q", out)
+	}
+	if !strings.Contains(out, "Content-Length: 0\r\n") {
+		t.Errorf("missing zero Content-Length: %q", out)
+	}
+}
+
+func TestAppendResponseHeadReusesDst(t *testing.T) {
+	r := NewResponse(404, "text/plain", []byte("gone"))
+	dst := make([]byte, 0, 512)
+	head := AppendResponseHead(dst, r)
+	if &head[0] != &dst[:1][0] {
+		t.Error("head render reallocated despite sufficient capacity")
+	}
+}
+
+func TestHTTPDateNowIsCurrentAndCached(t *testing.T) {
+	a := HTTPDateNow()
+	if _, ok := ParseHTTPDate(a); !ok {
+		t.Fatalf("HTTPDateNow returned unparsable date %q", a)
+	}
+	b := HTTPDateNow()
+	if a != b {
+		// Could legitimately differ across a second boundary; re-check.
+		c := HTTPDateNow()
+		if b != c {
+			t.Errorf("cached date unstable: %q %q %q", a, b, c)
+		}
+	}
+	parsed, _ := ParseHTTPDate(a)
+	if d := time.Since(parsed); d < -2*time.Second || d > 2*time.Second {
+		t.Errorf("cached date %q is %v from now", a, d)
+	}
+}
+
+func TestFormatHTTPDateCached(t *testing.T) {
+	for _, tm := range []time.Time{
+		time.Unix(1_000_000, 0),
+		time.Unix(1_000_001, 0),
+		time.Unix(1_000_000, 0), // back to the first second: must reformat
+	} {
+		if got, want := FormatHTTPDateCached(tm), FormatHTTPDate(tm); got != want {
+			t.Errorf("FormatHTTPDateCached(%v) = %q, want %q", tm, got, want)
+		}
+	}
+}
+
+func TestResponsePoolRoundTrip(t *testing.T) {
+	r := AcquireResponse()
+	r.Status = 200
+	r.Proto = "HTTP/1.0"
+	r.Close = true
+	r.Body = []byte("x")
+	r.Headers.Set("Content-Type", "text/plain")
+	ReleaseResponse(r)
+	r2 := AcquireResponse()
+	defer ReleaseResponse(r2)
+	if r2.Status != 0 || r2.Proto != "" || r2.Close || r2.Body != nil {
+		t.Errorf("pooled response not cleared: %+v", r2)
+	}
+	if r2.Headers.Len() != 0 || r2.Headers.Has("Content-Type") {
+		t.Error("pooled response header not cleared")
+	}
+}
+
+func TestErrorResponseBodyUnchanged(t *testing.T) {
+	r := ErrorResponse(404, true)
+	want := "<html><head><title>404 Not Found</title></head><body><h1>404 Not Found</h1></body></html>\n"
+	if string(r.Body) != want {
+		t.Errorf("error body = %q", r.Body)
+	}
+	// Unknown statuses still render.
+	if u := ErrorResponse(299, false); !strings.Contains(string(u.Body), "299 Status 299") {
+		t.Errorf("unknown status body = %q", u.Body)
+	}
+}
+
+func TestCanonicalFastPathNoAlloc(t *testing.T) {
+	h := NewHeader()
+	allocs := testing.AllocsPerRun(200, func() {
+		h.Set("Content-Type", "text/html")
+		if h.Get("Content-Type") != "text/html" {
+			t.Error("lookup failed")
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("canonical-key Set/Get allocates %.1f/op", allocs)
+	}
+	// Non-canonical keys still normalize.
+	h.Set("x-custom-key", "v")
+	if h.Get("X-Custom-Key") != "v" {
+		t.Error("slow-path canonicalization broken")
+	}
+}

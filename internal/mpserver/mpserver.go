@@ -19,11 +19,13 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/httpproto"
 )
 
@@ -151,17 +153,23 @@ func (s *Server) worker() {
 	}
 }
 
-// serveConn handles one connection's persistent request stream.
+// serveConn handles one connection's persistent request stream. Its parse
+// buffer and read scratch are leased from the buffer pool for the life of
+// the connection instead of being allocated per accept.
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
-	buf := make([]byte, 0, 8<<10)
-	chunk := make([]byte, 8<<10)
+	bufLease := bufpool.Get(8 << 10)
+	chunkLease := bufpool.Get(8 << 10)
+	defer bufLease.Release()
+	defer chunkLease.Release()
+	buf := bufLease.Bytes()[:0]
+	chunk := chunkLease.Bytes()
 	for {
 		// Parse buffered bytes first; read more only when incomplete.
 		req, n, err := httpproto.ParseRequest(buf)
 		if err != nil {
 			resp := httpproto.ErrorResponse(400, true)
-			conn.Write(httpproto.EncodeResponse(resp))
+			httpproto.WriteResponse(conn, resp)
 			return
 		}
 		if req == nil {
@@ -200,7 +208,9 @@ func (s *Server) serveRequest(conn net.Conn, req *httpproto.Request) bool {
 		resp.Close = !keep
 	}
 	resp.Proto = req.Proto
-	if _, err := conn.Write(httpproto.EncodeResponse(resp)); err != nil {
+	// Head and body go out as one writev; the file bytes are never copied
+	// into a combined response slice.
+	if _, err := httpproto.WriteResponse(conn, resp); err != nil {
 		return false
 	}
 	s.served.Add(1)
@@ -227,7 +237,7 @@ func (s *Server) fetch(req *httpproto.Request) *httpproto.Response {
 	}
 	resp := httpproto.NewResponse(200, httpproto.MimeType(full), data)
 	if req.Method == "HEAD" {
-		resp.Headers.Set("Content-Length", fmt.Sprintf("%d", len(data)))
+		resp.Headers.Set("Content-Length", strconv.Itoa(len(data)))
 		resp.Body = nil
 	}
 	return resp

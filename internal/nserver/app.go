@@ -38,6 +38,17 @@ type Codec interface {
 	Encode(reply any) ([]byte, error)
 }
 
+// BufferEncoder is an optional extension of Codec for zero-copy replies.
+// When the configured codec implements it, the Send Reply step renders the
+// reply head into a pooled buffer with AppendHead and transmits head and
+// body as separate segments (one writev on TCP) instead of combining them
+// through Encode. body is sent as-is and must remain valid until Reply
+// returns; dst is framework-owned pooled memory that the implementation
+// must only append to.
+type BufferEncoder interface {
+	AppendHead(dst []byte, reply any) (head, body []byte, err error)
+}
+
 // App supplies the Handle Request step and the connection lifecycle hooks.
 // All methods are invoked on Event Processor workers (or dispatcher
 // threads when O2 is No); the framework serializes calls per connection,

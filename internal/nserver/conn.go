@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/events"
 	"repro/internal/reactor"
 )
@@ -103,14 +104,62 @@ func (c *Conn) Send(data []byte) error {
 	return nil
 }
 
+// replyHeadSize sizes the pooled buffer leased for zero-copy reply heads.
+const replyHeadSize = 512
+
 // Reply encodes a reply with the server's codec (Encode Reply step) and
-// sends it. On a server without a codec, reply must be a []byte.
+// sends it. On a server without a codec, reply must be a []byte. Codecs
+// implementing BufferEncoder take the zero-copy path: the head is rendered
+// into a pooled buffer and head and body go out as one writev, so the body
+// is never copied into a combined response slice.
 func (c *Conn) Reply(reply any) error {
+	if be, ok := c.srv.codec.(BufferEncoder); ok {
+		lease := bufpool.Get(replyHeadSize)
+		head, body, err := be.AppendHead(lease.Bytes()[:0], reply)
+		if err != nil {
+			lease.Release()
+			return err
+		}
+		err = c.sendBuffers(head, body)
+		lease.Release()
+		return err
+	}
 	data, err := c.srv.encode(reply)
 	if err != nil {
 		return err
 	}
 	return c.Send(data)
+}
+
+// sendBuffers transmits head and body as separate segments (writev on a
+// TCP transport) under the write lock, with the same accounting and
+// teardown semantics as Send.
+func (c *Conn) sendBuffers(head, body []byte) error {
+	if c.closed.Load() {
+		return ErrConnClosed
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	var segs [2][]byte
+	bufs := net.Buffers(segs[:0])
+	if len(head) > 0 {
+		bufs = append(bufs, head)
+	}
+	if len(body) > 0 {
+		bufs = append(bufs, body)
+	}
+	if len(bufs) == 0 {
+		c.touch()
+		return nil
+	}
+	n, err := bufs.WriteTo(c.conn)
+	c.srv.profile.BytesSent(int(n))
+	c.touch()
+	if err != nil {
+		c.teardown(err)
+		return err
+	}
+	return nil
 }
 
 // Close tears the connection down cleanly.
@@ -141,24 +190,30 @@ func (c *Conn) teardown(cause error) {
 // exposes no portable readiness API, so a per-connection reader goroutine
 // performs the blocking read and feeds the same event path. The bytes
 // enter the pipeline identically.)
+// Each iteration leases a chunk buffer from the pool and hands the lease
+// to the ReadReady event; handleReady releases it once the Decode Request
+// step has consumed the bytes. This removes the per-read allocate-and-copy
+// the seed paid for every chunk.
 func (c *Conn) readLoop() {
-	buf := make([]byte, readChunkSize)
 	for {
-		n, err := c.conn.Read(buf)
+		lease := bufpool.Get(readChunkSize)
+		n, err := c.conn.Read(lease.Bytes())
 		if n > 0 {
+			lease.SetLen(n)
 			c.srv.profile.BytesRead(n)
 			c.touch()
-			chunk := make([]byte, n)
-			copy(chunk, buf[:n])
 			if eerr := c.srv.reactor.Source().Emit(reactor.Ready{
 				Type:   reactor.ReadReady,
 				Handle: c.handle,
-				Data:   chunk,
+				Data:   lease,
 				Prio:   c.Priority(),
 			}); eerr != nil {
+				lease.Release()
 				c.teardown(eerr)
 				return
 			}
+		} else {
+			lease.Release()
 		}
 		if err != nil {
 			if errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) || c.closed.Load() {
@@ -177,7 +232,17 @@ func (c *Conn) readLoop() {
 func (c *Conn) handleReady(rd reactor.Ready) {
 	switch rd.Type {
 	case reactor.ReadReady:
-		c.processChunk(rd.Data.([]byte))
+		switch data := rd.Data.(type) {
+		case *bufpool.Buffer:
+			// The read loop's lease: the bytes are consumed by the Decode
+			// Request step inside processChunk, after which the buffer
+			// returns to the pool.
+			c.processChunk(data.Bytes())
+			data.Release()
+		case []byte:
+			// Raw chunks remain accepted for tests and external emitters.
+			c.processChunk(data)
+		}
 	case reactor.CloseReady:
 		c.finalize()
 	}
@@ -186,6 +251,9 @@ func (c *Conn) handleReady(rd reactor.Ready) {
 // processChunk appends a raw chunk and extracts requests. With a codec the
 // Decode Request step loops over complete requests (HTTP pipelining, FTP
 // command batches); without one the chunk itself is the request (Fig. 2).
+// chunk may be pooled memory owned by the caller: it is only valid for the
+// duration of this call, so codec-less handlers must copy any bytes they
+// keep past Handle's return.
 func (c *Conn) processChunk(chunk []byte) {
 	c.pipeMu.Lock()
 	defer c.pipeMu.Unlock()

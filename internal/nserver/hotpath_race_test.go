@@ -1,0 +1,137 @@
+package nserver
+
+// Race coverage for the pooled hot path: GOMAXPROCS client goroutines
+// drive the full serve pipeline — pooled read leases, the sharded file
+// cache, pooled Response values and the BufferEncoder writev send —
+// concurrently. The test asserts only end-to-end correctness (every
+// response complete and byte-exact); its real value is under the race
+// detector, which `make race` and the PR checklist run it with.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/httpproto"
+	"repro/internal/options"
+)
+
+func TestHotPathConcurrentServe(t *testing.T) {
+	const docs = 32
+	fc, err := cache.New(1<<20, options.LRU, cache.Config{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodies := make(map[string][]byte, docs)
+	for i := 0; i < docs; i++ {
+		path := fmt.Sprintf("/f/%d", i)
+		body := bytes.Repeat([]byte{byte('a' + i%26)}, 512+i*64)
+		bodies[path] = body
+		fc.Put(path, body)
+	}
+
+	o := testOptions()
+	o.EventThreads = 4
+	app := AppFuncs{
+		Request: func(c *Conn, req any) {
+			r := req.(*httpproto.Request)
+			data, ok := fc.Get(r.Path)
+			if !ok {
+				_ = c.Reply(httpproto.ErrorResponse(404, false))
+				return
+			}
+			resp := httpproto.AcquireResponse()
+			resp.Status = 200
+			resp.Headers.Set("Content-Type", "text/plain")
+			resp.Body = data
+			_ = c.Reply(resp)
+			httpproto.ReleaseResponse(resp)
+		},
+	}
+	_, addr := startServer(t, Config{Options: o, App: app, Codec: httpproto.Codec{}})
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			br := bufio.NewReader(conn)
+			for i := 0; i < 200; i++ {
+				path := fmt.Sprintf("/f/%d", (w*37+i)%docs)
+				if _, err := fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: x\r\n\r\n", path); err != nil {
+					errs <- err
+					return
+				}
+				body, err := readPlainResponse(br)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d request %d: %w", w, i, err)
+					return
+				}
+				if !bytes.Equal(body, bodies[path]) {
+					errs <- fmt.Errorf("worker %d: body mismatch for %s (%d bytes, want %d)",
+						w, path, len(body), len(bodies[path]))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// readPlainResponse reads one HTTP response off br and returns its body.
+func readPlainResponse(br *bufio.Reader) ([]byte, error) {
+	status, err := br.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	if !strings.Contains(status, " 200 ") {
+		return nil, fmt.Errorf("status %q", strings.TrimSpace(status))
+	}
+	length := -1
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "" {
+			break
+		}
+		if v, ok := strings.CutPrefix(line, "Content-Length: "); ok {
+			if length, err = strconv.Atoi(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if length < 0 {
+		return nil, fmt.Errorf("response missing Content-Length")
+	}
+	body := make([]byte, length)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}

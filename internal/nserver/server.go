@@ -162,6 +162,9 @@ func New(cfg Config) (*Server, error) {
 		fc, err := cache.New(o.CacheCapacity, o.Cache, cache.Config{
 			Threshold: o.CacheThreshold,
 			Custom:    cfg.CustomCachePolicy,
+			// Server caches shard by processor count so parallel workers
+			// on the serve path never contend on one cache mutex.
+			Shards: cache.DefaultShards(o.CacheCapacity),
 		})
 		if err != nil {
 			return nil, err

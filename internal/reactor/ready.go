@@ -34,7 +34,9 @@ const (
 	// AcceptReady: a new connection is established; Data is the accepted
 	// transport (net.Conn).
 	AcceptReady EventType = iota
-	// ReadReady: inbound bytes arrived; Data is a []byte chunk.
+	// ReadReady: inbound bytes arrived; Data is a *bufpool.Buffer leased
+	// by the reading side (released by the handler after decode) or a raw
+	// []byte chunk.
 	ReadReady
 	// WriteReady: the transport drained a pending write; Data is nil.
 	WriteReady
