@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-allocs experiments examples cover clean
+.PHONY: all build vet test race chaos bench bench-allocs bench-shed experiments examples cover clean
 
 all: build vet test
 
@@ -13,11 +13,17 @@ build:
 vet:
 	$(GO) vet ./...
 
-test: vet
+test: vet chaos
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# The fault-injection suite: deterministic broken-network scenarios
+# (internal/faultnet, fixed seeds) driving live servers, always under the
+# race detector. Part of `make test`.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos' .
 
 # One benchmark per table/figure plus ablations and micro-benches.
 bench:
@@ -29,6 +35,13 @@ bench-allocs:
 	$(GO) test -run TestHotPathAllocs -bench 'BenchmarkHTTPEncode|BenchmarkCacheParallelGet' -benchmem . \
 		| $(GO) run ./cmd/benchjson > BENCH_PR1.json
 	@cat BENCH_PR1.json
+
+# The load-shedding snapshot: the 503 fast path's per-connection cost,
+# recorded as JSON.
+bench-shed:
+	$(GO) test -run '^$$' -bench BenchmarkOverload503Shed -benchmem . \
+		| $(GO) run ./cmd/benchjson > BENCH_PR2.json
+	@cat BENCH_PR2.json
 
 # Regenerate every table and figure at full virtual length.
 experiments:

@@ -16,6 +16,8 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"os"
+	"path/filepath"
 	"runtime/metrics"
 	"sync"
 	"testing"
@@ -23,6 +25,7 @@ import (
 
 	"repro/internal/aio"
 	"repro/internal/cache"
+	"repro/internal/copshttp"
 	"repro/internal/httpproto"
 	"repro/internal/eventproc"
 	"repro/internal/events"
@@ -166,6 +169,60 @@ func BenchmarkFig6Overload(b *testing.B) {
 	b.ReportMetric(pt.Without.MeanResponse.Seconds()*1000, "resp_ms_none")
 	b.ReportMetric(pt.With.Throughput, "rps_ctl")
 	b.ReportMetric(pt.Without.Throughput, "rps_none")
+}
+
+// BenchmarkOverload503Shed measures the load-shedding fast path: the
+// overload gate is pinned shut, so every accepted connection is answered
+// with the prebuilt 503 + Retry-After from pooled buffers and closed.
+// One op is one shed connection, end to end over loopback — this is the
+// cost a saturated COPS-HTTP pays to refuse a client explicitly instead
+// of letting it rot in the listen backlog.
+func BenchmarkOverload503Shed(b *testing.B) {
+	dir := b.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "index.html"), []byte("ok"), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	opts := options.COPSHTTP().WithOverloadControl(20, 5)
+	srv, err := copshttp.New(copshttp.Config{
+		DocRoot:        dir,
+		Options:        &opts,
+		ShedOnOverload: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(srv.Shutdown)
+	q := &chaosQueue{}
+	q.set(100) // pin the gate shut for the whole run
+	if err := srv.Framework().Overload().Watch("bench", q, 10, 5); err != nil {
+		b.Fatal(err)
+	}
+	addr := srv.Addr()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		buf := make([]byte, 4096)
+		for pb.Next() {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			// Drain the shed 503 to EOF; no request bytes are needed.
+			for {
+				if _, err := conn.Read(buf); err != nil {
+					break
+				}
+			}
+			conn.Close()
+		}
+	})
+	b.StopTimer()
+	if srv.Shed() == 0 {
+		b.Fatal("no connections were shed")
+	}
 }
 
 // ---------------------------------------------------------------------

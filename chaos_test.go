@@ -1,0 +1,425 @@
+package repro
+
+// The chaos suite: every test drives a live server through
+// internal/faultnet with a fixed seed, so the broken-network schedule is
+// deterministic and replays byte-for-byte. Each test pins one defense of
+// the hardened serve pipeline: read-deadline teardown of stalled peers,
+// write completion through partial writes, mid-stream RST isolation,
+// corrupted-byte isolation, the balancer's failover under refusals, and
+// the O9 load-shedding 503 fast path. `make chaos` runs exactly these
+// tests under -race.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/copshttp"
+	"repro/internal/faultnet"
+	"repro/internal/nserver"
+	"repro/internal/options"
+)
+
+// chaosRoot materializes a small document root: an index page and a body
+// large enough that mid-stream faults land inside the response.
+func chaosRoot(t *testing.T) (dir string, big []byte) {
+	t.Helper()
+	dir = t.TempDir()
+	big = bytes.Repeat([]byte("0123456789abcdef"), 4096) // 64 KiB
+	if err := os.WriteFile(filepath.Join(dir, "index.html"), []byte("<html>ok</html>\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "big.bin"), big, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir, big
+}
+
+// startChaosHTTP starts COPS-HTTP behind a faultnet listener.
+func startChaosHTTP(t *testing.T, cfg copshttp.Config, s faultnet.Scenario) (*copshttp.Server, *faultnet.Listener, string) {
+	t.Helper()
+	srv, err := copshttp.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := faultnet.Wrap(inner, s)
+	if err := srv.Framework().Start(ln); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Shutdown)
+	return srv, ln, ln.Addr().String()
+}
+
+// httpGet performs one HTTP/1.0-style exchange and returns the raw
+// response (status line, headers and body) read to EOF.
+func httpGet(t *testing.T, addr, path string, timeout time.Duration) ([]byte, error) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	fmt.Fprintf(conn, "GET %s HTTP/1.0\r\n\r\n", path)
+	return io.ReadAll(conn)
+}
+
+// TestChaosStalledClientTornDownByDeadline: the scenario freezes the
+// server-side read stream after the first request, exactly what a
+// slowloris peer looks like from inside readLoop. With ReadTimeout armed
+// the injected stall surfaces as a timeout at the deadline and the
+// connection is torn down instead of parking a Communicator for the
+// stall's full five seconds.
+func TestChaosStalledClientTornDownByDeadline(t *testing.T) {
+	dir, _ := chaosRoot(t)
+	opts := options.COPSHTTP().WithHardening(100*time.Millisecond, time.Second, 1<<20)
+	_, ln, addr := startChaosHTTP(t,
+		copshttp.Config{DocRoot: dir, Options: &opts},
+		faultnet.Scenario{Seed: 1, StallAfterBytes: 8, StallDuration: 5 * time.Second},
+	)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(3 * time.Second))
+	// Keep-alive request: the response arrives, then the server's next
+	// read hits the injected stall.
+	fmt.Fprint(conn, "GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n")
+	br := bufio.NewReader(conn)
+	line, err := br.ReadString('\n')
+	if err != nil || !strings.Contains(line, "200") {
+		t.Fatalf("first response: %q err=%v", line, err)
+	}
+	// The server must close the stalled connection well before the 5s
+	// stall ends; the client observes EOF/reset.
+	start := time.Now()
+	if _, err := io.Copy(io.Discard, br); err != nil && !strings.Contains(err.Error(), "reset") {
+		t.Fatalf("draining stalled conn: %v", err)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("stalled connection held for %v; deadline defense missing", waited)
+	}
+	if ln.Stats().Stalls.Load() == 0 {
+		t.Fatal("scenario injected no stall — test proves nothing")
+	}
+	// The server is still healthy for clean clients.
+	resp, err := httpGet(t, addr, "/index.html", 3*time.Second)
+	if err != nil || !bytes.Contains(resp, []byte("200")) {
+		t.Fatalf("post-stall request failed: err=%v resp=%.60q", err, resp)
+	}
+}
+
+// TestChaosPartialWritesDeliverFullResponse: the peer window is clogged —
+// every server write moves at most 7 bytes. The pooled writev send path
+// must still deliver the complete 64 KiB body, byte for byte.
+func TestChaosPartialWritesDeliverFullResponse(t *testing.T) {
+	dir, big := chaosRoot(t)
+	opts := options.COPSHTTP().WithHardening(0, 10*time.Second, 0)
+	_, _, addr := startChaosHTTP(t,
+		copshttp.Config{DocRoot: dir, Options: &opts},
+		faultnet.Scenario{Seed: 2, MaxWritePerCall: 7},
+	)
+	resp, err := httpGet(t, addr, "/big.bin", 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := bytes.Index(resp, []byte("\r\n\r\n"))
+	if i < 0 {
+		t.Fatalf("no header/body split in %.80q", resp)
+	}
+	if body := resp[i+4:]; !bytes.Equal(body, big) {
+		t.Fatalf("body corrupted under partial writes: got %d bytes, want %d", len(body), len(big))
+	}
+}
+
+// TestChaosMidStreamRSTIsOneConnectionsProblem: the transport aborts with
+// a hard reset partway through the big response. The failure must stay on
+// that connection — the next clean request is served normally.
+func TestChaosMidStreamRSTIsOneConnectionsProblem(t *testing.T) {
+	dir, big := chaosRoot(t)
+	opts := options.COPSHTTP().WithHardening(time.Second, time.Second, 1<<20)
+	_, ln, addr := startChaosHTTP(t,
+		copshttp.Config{DocRoot: dir, Options: &opts},
+		faultnet.Scenario{Seed: 3, RSTAfterBytes: 2048},
+	)
+	resp, err := httpGet(t, addr, "/big.bin", 5*time.Second)
+	if err == nil && len(resp) > len(big) {
+		t.Fatal("64 KiB response survived a 2 KiB RST budget — no fault injected")
+	}
+	if ln.Stats().Resets.Load() == 0 {
+		t.Fatal("scenario injected no reset")
+	}
+	// A small exchange fits under the fresh connection's byte budget.
+	resp, err = httpGet(t, addr, "/index.html", 3*time.Second)
+	if err != nil || !bytes.Contains(resp, []byte(" 200 ")) {
+		t.Fatalf("server unhealthy after mid-stream RST: err=%v resp=%.60q", err, resp)
+	}
+}
+
+// TestChaosCorruptedBytesAreIsolated: every request chunk reaches the
+// decoder with one bit flipped. Whatever each mangled request turns into
+// (400, 404, 405 or a teardown), no connection may wedge and the server
+// must keep draining them — under -race this also proves the error paths
+// are data-race free.
+func TestChaosCorruptedBytesAreIsolated(t *testing.T) {
+	dir, _ := chaosRoot(t)
+	opts := options.COPSHTTP().WithHardening(time.Second, time.Second, 1<<20)
+	srv, ln, addr := startChaosHTTP(t,
+		copshttp.Config{DocRoot: dir, Options: &opts},
+		faultnet.Scenario{Seed: 4, CorruptEvery: 1},
+	)
+	const clients = 8
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Every exchange must terminate (response or close) inside
+			// the deadline; a hung read fails the whole test.
+			if _, err := httpGet(t, addr, fmt.Sprintf("/index.html?c=%d", i), 3*time.Second); err != nil &&
+				!strings.Contains(err.Error(), "reset") && !strings.Contains(err.Error(), "EOF") {
+				t.Errorf("client %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if ln.Stats().Corrupted.Load() < clients {
+		t.Fatalf("only %d corrupted chunks for %d clients", ln.Stats().Corrupted.Load(), clients)
+	}
+	// All mangled connections drained; nothing leaked.
+	deadline := time.Now().Add(3 * time.Second)
+	for srv.Framework().ActiveConns() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d connections wedged after corruption", srv.Framework().ActiveConns())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// lineCodec mirrors the cluster tests' newline codec for chaos backends.
+type chaosLineCodec struct{ id string }
+
+func (c chaosLineCodec) Decode(buf []byte) (any, int, error) {
+	if i := bytes.IndexByte(buf, '\n'); i >= 0 {
+		return string(buf[:i]), i + 1, nil
+	}
+	return nil, 0, nil
+}
+
+func (c chaosLineCodec) Encode(reply any) ([]byte, error) {
+	return append([]byte(reply.(string)), '\n'), nil
+}
+
+// TestChaosBalancerRidesThroughBackendFaults: one backend is a dead
+// address, the live one answers through clogged partial writes. The
+// deduped retry budget plus the circuit breaker must serve every client
+// anyway.
+func TestChaosBalancerRidesThroughBackendFaults(t *testing.T) {
+	srv, err := nserver.New(nserver.Config{
+		Options: options.Options{
+			DispatcherThreads:  1,
+			SeparateThreadPool: true,
+			EventThreads:       2,
+			Codec:              true,
+		},
+		App: nserver.AppFuncs{Request: func(c *nserver.Conn, req any) {
+			_ = c.Reply("live:" + req.(string))
+		}},
+		Codec: chaosLineCodec{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := faultnet.Wrap(inner, faultnet.Scenario{Seed: 5, MaxWritePerCall: 3})
+	if err := srv.Start(ln); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Shutdown)
+
+	// A briefly bound, then released port: dials are refused.
+	deadLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := deadLn.Addr().String()
+	deadLn.Close()
+
+	lb, err := cluster.New(cluster.Config{
+		Backends: []string{dead, ln.Addr().String()},
+		CoolDown: time.Millisecond,
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lb.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(lb.Shutdown)
+
+	for i := 0; i < 6; i++ {
+		conn, err := net.Dial("tcp", lb.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.SetDeadline(time.Now().Add(5 * time.Second))
+		fmt.Fprintf(conn, "req-%d\n", i)
+		line, err := bufio.NewReader(conn).ReadString('\n')
+		conn.Close()
+		if err != nil || !strings.HasPrefix(line, "live:req-") {
+			t.Fatalf("client %d through faulty cluster: line=%q err=%v", i, line, err)
+		}
+	}
+}
+
+// chaosQueue is a test-controlled queue length for the O9 watermark
+// controller: the chaos suite pauses and resumes the accept gate
+// deterministically instead of racing real queue depths.
+type chaosQueue struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (q *chaosQueue) QueueLen() int { q.mu.Lock(); defer q.mu.Unlock(); return q.n }
+func (q *chaosQueue) set(n int)     { q.mu.Lock(); q.n = n; q.mu.Unlock() }
+
+// TestChaosOverloadShedsPrebuilt503: with the overload gate paused, the
+// shed fast path must answer immediately with the pooled 503 carrying
+// Retry-After, and normal service must resume once the gate reopens.
+func TestChaosOverloadShedsPrebuilt503(t *testing.T) {
+	dir, _ := chaosRoot(t)
+	opts := options.COPSHTTP().WithOverloadControl(20, 5).
+		WithHardening(time.Second, time.Second, 1<<20)
+	srv, _, addr := startChaosHTTP(t,
+		copshttp.Config{
+			DocRoot:        dir,
+			Options:        &opts,
+			ShedOnOverload: true,
+			RetryAfter:     7 * time.Second,
+		},
+		faultnet.Scenario{Seed: 6}, // transparent: the fault is the overload itself
+	)
+	q := &chaosQueue{}
+	if err := srv.Framework().Overload().Watch("chaos", q, 10, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	q.set(100) // force the gate shut
+	resp, err := httpGet(t, addr, "/index.html", 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(resp, []byte(" 503 ")) {
+		t.Fatalf("paused gate did not shed: %.80q", resp)
+	}
+	if !bytes.Contains(resp, []byte("Retry-After: 7")) {
+		t.Fatalf("shed 503 missing Retry-After: %.200q", resp)
+	}
+	if srv.Shed() == 0 {
+		t.Fatal("shed counter not incremented")
+	}
+
+	q.set(0) // drain below the low watermark
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		resp, err = httpGet(t, addr, "/index.html", 3*time.Second)
+		if err == nil && bytes.Contains(resp, []byte(" 200 ")) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("service never resumed after gate reopened: err=%v resp=%.80q", err, resp)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestChaosPanickingHooksAreIsolated: a Handle hook that panics on one
+// poisoned request and a Decode hook that panics on one poisoned byte
+// sequence must each take down only their own connection.
+func TestChaosPanickingHooksAreIsolated(t *testing.T) {
+	srv, err := nserver.New(nserver.Config{
+		Options: options.Options{
+			DispatcherThreads:  1,
+			SeparateThreadPool: true,
+			EventThreads:       2,
+			Codec:              true,
+		},
+		App: nserver.AppFuncs{Request: func(c *nserver.Conn, req any) {
+			if req.(string) == "boom" {
+				panic("poisoned request")
+			}
+			_ = c.Reply("ok:" + req.(string))
+		}},
+		Codec: panickyCodec{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := faultnet.Listen("127.0.0.1:0", faultnet.Scenario{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(ln); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Shutdown)
+	addr := ln.Addr().String()
+
+	exchange := func(line string) (string, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		conn.SetDeadline(time.Now().Add(3 * time.Second))
+		fmt.Fprint(conn, line+"\n")
+		return bufio.NewReader(conn).ReadString('\n')
+	}
+
+	if _, err := exchange("boom"); err == nil {
+		t.Fatal("panicking Handle kept its connection open")
+	}
+	if _, err := exchange("DECODE-PANIC"); err == nil {
+		t.Fatal("panicking Decode kept its connection open")
+	}
+	got, err := exchange("healthy")
+	if err != nil || got != "ok:healthy\n" {
+		t.Fatalf("server unhealthy after hook panics: got=%q err=%v", got, err)
+	}
+}
+
+// panickyCodec panics while decoding a poisoned line; everything else is
+// the plain newline codec.
+type panickyCodec struct{}
+
+func (panickyCodec) Decode(buf []byte) (any, int, error) {
+	if bytes.HasPrefix(buf, []byte("DECODE-PANIC")) {
+		panic("poisoned bytes")
+	}
+	if i := bytes.IndexByte(buf, '\n'); i >= 0 {
+		return string(buf[:i]), i + 1, nil
+	}
+	return nil, 0, nil
+}
+
+func (panickyCodec) Encode(reply any) ([]byte, error) {
+	return append([]byte(reply.(string)), '\n'), nil
+}

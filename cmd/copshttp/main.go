@@ -36,6 +36,11 @@ func main() {
 		sched       = flag.String("sched", "", "event scheduling quotas 'portal,homepage' (e.g. 1,8); empty disables O8")
 		overload    = flag.String("overload", "", "overload watermarks 'high,low' (e.g. 20,5); empty disables O9")
 		decodeDelay = flag.Duration("decode-delay", 0, "CPU burn per decoded request (the paper's 3rd experiment)")
+		readTO      = flag.Duration("read-timeout", 0, "per-read and request-assembly deadline (slowloris defense); 0 disables")
+		writeTO     = flag.Duration("write-timeout", 0, "per-reply write deadline; 0 disables")
+		maxReq      = flag.Int("max-request", 0, "max buffered request bytes per connection; 0 is unlimited")
+		shed        = flag.Bool("shed", false, "with -overload: answer 503+Retry-After while the gate is paused instead of postponing accepts")
+		retryAfter  = flag.Duration("retry-after", 0, "Retry-After delay on shed 503 replies (default 1s)")
 		profile     = flag.Bool("profile", false, "enable performance profiling (O11)")
 		debug       = flag.Bool("debug", false, "generate in debug mode (O10): print the internal event trace on exit")
 		materialize = flag.Int("materialize", 0, "materialize a SpecWeb99-like file set of N directories under -root first")
@@ -102,12 +107,17 @@ func main() {
 		}
 		opts = opts.WithOverloadControl(wm[0], wm[1])
 	}
+	if *readTO > 0 || *writeTO > 0 || *maxReq > 0 {
+		opts = opts.WithHardening(*readTO, *writeTO, *maxReq)
+	}
 
 	srv, err := copshttp.New(copshttp.Config{
-		DocRoot:     *root,
-		Options:     &opts,
-		Priority:    prio,
-		DecodeDelay: *decodeDelay,
+		DocRoot:        *root,
+		Options:        &opts,
+		Priority:       prio,
+		DecodeDelay:    *decodeDelay,
+		ShedOnOverload: *shed,
+		RetryAfter:     *retryAfter,
 	})
 	if err != nil {
 		fatal(err)

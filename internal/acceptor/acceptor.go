@@ -51,6 +51,13 @@ type Config struct {
 	// GatePollInterval is how often a postponed acceptor re-checks the
 	// gate. Zero means 1ms.
 	GatePollInterval time.Duration
+	// Shed, when non-nil, switches overload handling from postponing to
+	// load shedding: connections arriving while the gate is closed (or
+	// the MaxConns bound is hit) are accepted and handed to Shed — which
+	// must close them — instead of waiting in the listen backlog. This
+	// turns saturation into fast, explicit refusals (a 503 in COPS-HTTP)
+	// rather than unbounded client-side queueing.
+	Shed func(net.Conn)
 	// Profile counts accepted connections (nil when O11 is off).
 	Profile *profiling.Profile
 	// Trace receives internal events in debug mode.
@@ -65,6 +72,7 @@ type Acceptor struct {
 	gate     Gate
 	maxConns int
 	active   func() int
+	shed     func(net.Conn)
 	poll     time.Duration
 	profile  *profiling.Profile
 	trace    *logging.Trace
@@ -94,6 +102,7 @@ func New(cfg Config) (*Acceptor, error) {
 		gate:     cfg.Gate,
 		maxConns: cfg.MaxConns,
 		active:   cfg.Active,
+		shed:     cfg.Shed,
 		poll:     poll,
 		profile:  cfg.Profile,
 		trace:    cfg.Trace,
@@ -113,10 +122,13 @@ func (a *Acceptor) Addr() net.Addr { return a.ln.Addr() }
 func (a *Acceptor) Deferred() uint64 { return a.deferred.Load() }
 
 // Run accepts connections until Close, emitting one AcceptReady event per
-// connection with the accepted net.Conn as Data.
+// connection with the accepted net.Conn as Data. Without a Shed hook an
+// inadmissible acceptor postpones (connections wait in the listen
+// backlog, the paper's O9 behavior); with one, it keeps accepting and
+// sheds the postponed connections instead.
 func (a *Acceptor) Run() {
 	for {
-		if !a.admissible() {
+		if a.shed == nil && !a.admissible() {
 			return
 		}
 		conn, err := a.ln.Accept()
@@ -130,6 +142,13 @@ func (a *Acceptor) Run() {
 			}
 			a.trace.Record("acceptor", "accept failed: %v", err)
 			return
+		}
+		if a.shed != nil && !a.admissibleNow() {
+			a.deferred.Add(1)
+			a.profile.ConnectionRefused()
+			a.trace.Record("acceptor", "shedding %s (overload)", conn.RemoteAddr())
+			a.shed(conn)
+			continue
 		}
 		a.live.Add(1)
 		a.profile.ConnectionAccepted()
@@ -152,9 +171,7 @@ func (a *Acceptor) admissible() bool {
 		if a.closed.Load() {
 			return false
 		}
-		gateOK := a.gate == nil || a.gate.AcceptAllowed()
-		boundOK := a.maxConns <= 0 || a.activeCount() < a.maxConns
-		if gateOK && boundOK {
+		if a.admissibleNow() {
 			return true
 		}
 		a.deferred.Add(1)
@@ -164,6 +181,14 @@ func (a *Acceptor) admissible() bool {
 		case <-time.After(a.poll):
 		}
 	}
+}
+
+// admissibleNow evaluates the gate and the connection bound once, without
+// waiting.
+func (a *Acceptor) admissibleNow() bool {
+	gateOK := a.gate == nil || a.gate.AcceptAllowed()
+	boundOK := a.maxConns <= 0 || a.activeCount() < a.maxConns
+	return gateOK && boundOK
 }
 
 // ConnClosed informs the acceptor's internal live counter that one

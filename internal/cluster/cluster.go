@@ -10,14 +10,23 @@
 //
 // The Balancer reuses the framework's building blocks: an Acceptor feeds
 // connection events through a Reactor, and forwarding decisions are a
-// pluggable Strategy (round-robin or least-connections). Unreachable
-// backends are skipped and retried after a cool-down.
+// pluggable Strategy (round-robin or least-connections).
+//
+// Backend failure handling is a per-backend circuit breaker: consecutive
+// dial failures open the circuit for a capped, jittered exponential
+// backoff; after the backoff one half-open trial (a forwarded connection
+// or an active health probe, when ProbeInterval enables probing) decides
+// whether the circuit closes again or reopens with a longer backoff.
+// Each accepted client connection spends at most a bounded retry budget
+// of distinct backends before it is dropped, and Shutdown drains
+// in-flight forwards for at most DrainTimeout before force-closing them.
 package cluster
 
 import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -54,8 +63,30 @@ type Config struct {
 	Strategy Strategy
 	// DialTimeout bounds backend connection establishment. Default 2s.
 	DialTimeout time.Duration
-	// CoolDown is how long a failed backend is skipped. Default 1s.
+	// CoolDown is the base backoff of the circuit breaker: the first
+	// time a backend's circuit opens it is skipped for roughly this long
+	// (jittered), doubling on each consecutive reopen. Default 1s.
 	CoolDown time.Duration
+	// BackoffMax caps the exponential backoff. Default 30s.
+	BackoffMax time.Duration
+	// FailureThreshold is how many consecutive dial failures open a
+	// backend's circuit. Default 1 (open on the first failure).
+	FailureThreshold int
+	// ProbeInterval, when > 0, enables active health probes: a prober
+	// goroutine re-dials open-circuit backends whose backoff has expired
+	// and closes the circuit on success, so recovery does not depend on
+	// sacrificing client connections as half-open trials.
+	ProbeInterval time.Duration
+	// RetryBudget caps how many distinct backends one accepted client
+	// may try before being dropped. Default (and max) len(Backends).
+	RetryBudget int
+	// DrainTimeout bounds Shutdown: after closing the listener it waits
+	// this long for in-flight forwards to finish, then force-closes
+	// their connections. Default 5s.
+	DrainTimeout time.Duration
+	// Seed fixes the backoff jitter sequence for deterministic tests.
+	// Zero seeds from CoolDown (still deterministic per config).
+	Seed int64
 	// Profile counts accepted/forwarded connections (nil disables).
 	Profile *profiling.Profile
 	// Trace receives internal events (nil disables).
@@ -64,19 +95,41 @@ type Config struct {
 
 // Balancer distributes client connections across backend N-Servers.
 type Balancer struct {
-	strategy    Strategy
-	dialTimeout time.Duration
-	coolDown    time.Duration
-	profile     *profiling.Profile
-	trace       *logging.Trace
+	strategy      Strategy
+	dialTimeout   time.Duration
+	backoffBase   time.Duration
+	backoffMax    time.Duration
+	failThreshold int
+	probeInterval time.Duration
+	retryBudget   int
+	drainTimeout  time.Duration
+	profile       *profiling.Profile
+	trace         *logging.Trace
 
 	backends []*backend
 	next     atomic.Uint64
 
-	ln     net.Listener
-	wg     sync.WaitGroup
-	closed atomic.Bool
+	// rng draws backoff jitter; mu serializes it.
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	// inflight tracks the transports of live forwards so Shutdown can
+	// force-close stragglers once DrainTimeout expires.
+	connMu   sync.Mutex
+	inflight map[net.Conn]struct{}
+
+	ln         net.Listener
+	wg         sync.WaitGroup
+	proberDone chan struct{}
+	closed     atomic.Bool
 }
+
+// Circuit breaker states of one backend.
+const (
+	stateClosed   int32 = iota // healthy: take traffic
+	stateOpen                  // failing: skip until openUntil
+	stateHalfOpen              // one trial in flight decides the state
+)
 
 type backend struct {
 	addr string
@@ -84,9 +137,14 @@ type backend struct {
 	live atomic.Int64
 	// forwarded counts total connections placed here.
 	forwarded atomic.Uint64
-	// failedUntil is a unix-nano timestamp before which the backend is
-	// skipped.
-	failedUntil atomic.Int64
+	// state is the circuit breaker state (stateClosed/Open/HalfOpen).
+	state atomic.Int32
+	// fails counts consecutive dial failures (reset on success); it
+	// drives both the open threshold and the exponential backoff.
+	fails atomic.Int32
+	// openUntil is the unix-nano timestamp at which an open circuit
+	// becomes eligible for a half-open trial.
+	openUntil atomic.Int64
 }
 
 // ErrNoBackends is returned by New for an empty backend list.
@@ -108,12 +166,43 @@ func New(cfg Config) (*Balancer, error) {
 	if cd <= 0 {
 		cd = time.Second
 	}
+	bmax := cfg.BackoffMax
+	if bmax <= 0 {
+		bmax = 30 * time.Second
+	}
+	if bmax < cd {
+		bmax = cd
+	}
+	thresh := cfg.FailureThreshold
+	if thresh <= 0 {
+		thresh = 1
+	}
+	budget := cfg.RetryBudget
+	if budget <= 0 || budget > len(cfg.Backends) {
+		budget = len(cfg.Backends)
+	}
+	drain := cfg.DrainTimeout
+	if drain <= 0 {
+		drain = 5 * time.Second
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = int64(cd)
+	}
 	b := &Balancer{
-		strategy:    cfg.Strategy,
-		dialTimeout: dt,
-		coolDown:    cd,
-		profile:     cfg.Profile,
-		trace:       cfg.Trace,
+		strategy:      cfg.Strategy,
+		dialTimeout:   dt,
+		backoffBase:   cd,
+		backoffMax:    bmax,
+		failThreshold: thresh,
+		probeInterval: cfg.ProbeInterval,
+		retryBudget:   budget,
+		drainTimeout:  drain,
+		rng:           rand.New(rand.NewSource(seed)),
+		inflight:      make(map[net.Conn]struct{}),
+		proberDone:    make(chan struct{}),
+		profile:       cfg.Profile,
+		trace:         cfg.Trace,
 	}
 	for _, addr := range cfg.Backends {
 		if addr == "" {
@@ -129,6 +218,10 @@ func (b *Balancer) Start(ln net.Listener) {
 	b.ln = ln
 	b.wg.Add(1)
 	go b.acceptLoop()
+	if b.probeInterval > 0 {
+		b.wg.Add(1)
+		go b.probeLoop()
+	}
 }
 
 // ListenAndServe binds addr and starts the balancer.
@@ -149,8 +242,10 @@ func (b *Balancer) Addr() net.Addr {
 	return b.ln.Addr()
 }
 
-// Shutdown stops accepting and waits for in-flight forwards to finish
-// their current copies.
+// Shutdown stops accepting and drains: in-flight forwards get up to
+// DrainTimeout to finish their current copies, after which their
+// transports are force-closed so no splice goroutine can pin the
+// balancer (or a client) indefinitely.
 func (b *Balancer) Shutdown() {
 	if !b.closed.CompareAndSwap(false, true) {
 		return
@@ -158,7 +253,38 @@ func (b *Balancer) Shutdown() {
 	if b.ln != nil {
 		b.ln.Close()
 	}
-	b.wg.Wait()
+	close(b.proberDone)
+	done := make(chan struct{})
+	go func() {
+		b.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(b.drainTimeout):
+		b.connMu.Lock()
+		n := len(b.inflight)
+		for c := range b.inflight {
+			c.Close()
+		}
+		b.connMu.Unlock()
+		b.trace.Record("cluster", "drain timeout: force-closed %d connections", n)
+		<-done
+	}
+}
+
+// trackConn registers a live transport for drain accounting.
+func (b *Balancer) trackConn(c net.Conn) {
+	b.connMu.Lock()
+	b.inflight[c] = struct{}{}
+	b.connMu.Unlock()
+}
+
+// untrackConn removes a finished transport.
+func (b *Balancer) untrackConn(c net.Conn) {
+	b.connMu.Lock()
+	delete(b.inflight, c)
+	b.connMu.Unlock()
 }
 
 // Forwarded returns total connections placed per backend address.
@@ -198,6 +324,8 @@ func (b *Balancer) acceptLoop() {
 // forward places one client connection on a backend and splices bytes in
 // both directions until either side closes.
 func (b *Balancer) forward(client net.Conn) {
+	b.trackConn(client)
+	defer b.untrackConn(client)
 	defer client.Close()
 	be, upstream, err := b.connect()
 	if err != nil {
@@ -205,6 +333,8 @@ func (b *Balancer) forward(client net.Conn) {
 		b.profile.ConnectionRefused()
 		return
 	}
+	b.trackConn(upstream)
+	defer b.untrackConn(upstream)
 	defer upstream.Close()
 	be.live.Add(1)
 	defer be.live.Add(-1)
@@ -233,37 +363,51 @@ func (b *Balancer) forward(client net.Conn) {
 	b.profile.ConnectionClosed()
 }
 
-// connect picks backends under the strategy until one dials, marking
-// failures for cool-down.
+// connect picks backends under the strategy until one dials, spending at
+// most the retry budget. Attempts are deduplicated: each backend is
+// dialed at most once per accepted client, so a single bad backend
+// (repeatedly re-eligible after its backoff expires) cannot exhaust the
+// attempt loop the way the old cool-down logic allowed.
 func (b *Balancer) connect() (*backend, net.Conn, error) {
-	for attempt := 0; attempt < len(b.backends); attempt++ {
-		be := b.pick()
+	tried := make(map[*backend]bool, b.retryBudget)
+	for len(tried) < b.retryBudget {
+		be := b.pick(tried)
 		if be == nil {
 			break
 		}
+		tried[be] = true
 		conn, err := net.DialTimeout("tcp", be.addr, b.dialTimeout)
 		if err != nil {
-			be.failedUntil.Store(time.Now().Add(b.coolDown).UnixNano())
-			b.trace.Record("cluster", "backend %s failed: %v", be.addr, err)
+			b.backendFailed(be, err)
 			continue
 		}
+		b.backendHealthy(be)
 		be.forwarded.Add(1)
 		return be, conn, nil
 	}
 	return nil, nil, errAllDown
 }
 
-// pick selects the next healthy backend under the strategy (nil when all
-// are cooling down).
-func (b *Balancer) pick() *backend {
-	now := time.Now().UnixNano()
+// pick selects the next untried backend under the strategy. Closed
+// circuits are preferred; when none remain, one expired open circuit is
+// claimed for a half-open trial (the CAS guarantees a single concurrent
+// trial per backend). Returns nil when nothing is eligible.
+func (b *Balancer) pick(tried map[*backend]bool) *backend {
 	healthy := make([]*backend, 0, len(b.backends))
 	for _, be := range b.backends {
-		if be.failedUntil.Load() <= now {
+		if !tried[be] && be.state.Load() == stateClosed {
 			healthy = append(healthy, be)
 		}
 	}
 	if len(healthy) == 0 {
+		now := time.Now().UnixNano()
+		for _, be := range b.backends {
+			if !tried[be] && be.state.Load() == stateOpen && be.openUntil.Load() <= now &&
+				be.state.CompareAndSwap(stateOpen, stateHalfOpen) {
+				b.trace.Record("cluster", "half-open trial for %s", be.addr)
+				return be
+			}
+		}
 		return nil
 	}
 	switch b.strategy {
@@ -277,6 +421,87 @@ func (b *Balancer) pick() *backend {
 		return best
 	default:
 		return healthy[int(b.next.Add(1)-1)%len(healthy)]
+	}
+}
+
+// backendFailed records a dial failure: once the consecutive-failure
+// threshold is reached the circuit opens for a capped exponential
+// backoff with jitter (doubling per consecutive failure past the
+// threshold), so a flapping backend is retried politely instead of on a
+// fixed cadence.
+func (b *Balancer) backendFailed(be *backend, err error) {
+	fails := int(be.fails.Add(1))
+	if fails < b.failThreshold {
+		b.trace.Record("cluster", "backend %s failed (%d/%d): %v", be.addr, fails, b.failThreshold, err)
+		return
+	}
+	shift := fails - b.failThreshold
+	if shift > 20 {
+		shift = 20
+	}
+	backoff := b.backoffBase << shift
+	if backoff > b.backoffMax || backoff <= 0 {
+		backoff = b.backoffMax
+	}
+	backoff = b.jitter(backoff)
+	// Order matters: publish the deadline before flipping the state so a
+	// concurrent pick that observes stateOpen reads a current openUntil.
+	be.openUntil.Store(time.Now().Add(backoff).UnixNano())
+	be.state.Store(stateOpen)
+	b.trace.Record("cluster", "circuit open for %s (%d consecutive failures, backoff %v): %v",
+		be.addr, fails, backoff, err)
+}
+
+// backendHealthy closes the circuit after a successful dial or probe.
+func (b *Balancer) backendHealthy(be *backend) {
+	be.fails.Store(0)
+	if be.state.Swap(stateClosed) != stateClosed {
+		b.trace.Record("cluster", "circuit closed for %s", be.addr)
+	}
+}
+
+// jitter applies equal jitter: half the backoff fixed, half uniform
+// random, drawn from the balancer's seeded generator.
+func (b *Balancer) jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	b.rngMu.Lock()
+	j := time.Duration(b.rng.Int63n(int64(d/2) + 1))
+	b.rngMu.Unlock()
+	return d/2 + j
+}
+
+// probeLoop actively re-dials open-circuit backends whose backoff has
+// expired and closes the circuit on success, so recovery never has to
+// sacrifice a client connection as the half-open trial.
+func (b *Balancer) probeLoop() {
+	defer b.wg.Done()
+	ticker := time.NewTicker(b.probeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-b.proberDone:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now().UnixNano()
+		for _, be := range b.backends {
+			if be.state.Load() != stateOpen || be.openUntil.Load() > now {
+				continue
+			}
+			if !be.state.CompareAndSwap(stateOpen, stateHalfOpen) {
+				continue
+			}
+			conn, err := net.DialTimeout("tcp", be.addr, b.dialTimeout)
+			if err != nil {
+				b.backendFailed(be, fmt.Errorf("probe: %w", err))
+				continue
+			}
+			conn.Close()
+			b.trace.Record("cluster", "probe revived %s", be.addr)
+			b.backendHealthy(be)
+		}
 	}
 }
 

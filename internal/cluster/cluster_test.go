@@ -302,6 +302,171 @@ func TestConcurrentClientsThroughBalancer(t *testing.T) {
 	}
 }
 
+// startBackendOn runs an identifying N-Server on a specific address
+// (used to "revive" a backend the balancer has seen die).
+func startBackendOn(t *testing.T, id, addr string) {
+	t.Helper()
+	srv, err := nserver.New(nserver.Config{
+		Options: options.Options{
+			DispatcherThreads:  1,
+			SeparateThreadPool: true,
+			EventThreads:       2,
+			Codec:              true,
+		},
+		App: nserver.AppFuncs{Request: func(c *nserver.Conn, req any) {
+			_ = c.Reply(id + ":" + req.(string))
+		}},
+		Codec: idCodec{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(ln); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Shutdown)
+}
+
+// deadAddr returns an address that was briefly bound and then released,
+// so dials to it are refused until a test rebinds it.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func TestRetryBudgetDedupesBadBackend(t *testing.T) {
+	// With a near-zero backoff the dead backend is re-eligible almost
+	// immediately; without deduped attempts it could be dialed twice and
+	// exhaust the per-accept loop, dropping the client even though a
+	// healthy backend exists. Every request must land on A.
+	alive := startBackend(t, "A")
+	lb := startBalancer(t, Config{
+		Backends: []string{deadAddr(t), alive},
+		CoolDown: time.Nanosecond,
+		Seed:     1,
+	})
+	for i := 0; i < 4; i++ {
+		if id := askOnce(t, lb.Addr().String()); id != "A" {
+			t.Fatalf("request %d served by %q", i, id)
+		}
+	}
+}
+
+func TestHalfOpenTrialRevivesBackend(t *testing.T) {
+	// Single backend dies, circuit opens; once it is rebound, the next
+	// request past the backoff is the half-open trial and must succeed.
+	addr := deadAddr(t)
+	lb := startBalancer(t, Config{
+		Backends:    []string{addr},
+		DialTimeout: 200 * time.Millisecond,
+		CoolDown:    20 * time.Millisecond,
+		Seed:        7,
+	})
+	conn, err := net.Dial("tcp", lb.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("client served with backend down")
+	}
+	conn.Close()
+
+	startBackendOn(t, "R", addr)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("backend never revived through half-open trial")
+		}
+		time.Sleep(30 * time.Millisecond)
+		c, err := net.Dial("tcp", lb.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetDeadline(time.Now().Add(2 * time.Second))
+		fmt.Fprint(c, "ping\n")
+		line, err := bufio.NewReader(c).ReadString('\n')
+		c.Close()
+		if err == nil && strings.HasPrefix(line, "R:") {
+			return
+		}
+	}
+}
+
+func TestActiveProbeRevivesBackendWithoutClientTraffic(t *testing.T) {
+	// The prober alone must close the circuit: after the backend is
+	// rebound, wait for the probe (no client traffic at all), then the
+	// first request must succeed immediately.
+	addr := deadAddr(t)
+	alive := startBackend(t, "A")
+	lb := startBalancer(t, Config{
+		Backends:      []string{addr, alive},
+		DialTimeout:   200 * time.Millisecond,
+		CoolDown:      20 * time.Millisecond,
+		ProbeInterval: 10 * time.Millisecond,
+		Seed:          3,
+	})
+	// Open the dead backend's circuit with one request (served by A).
+	if id := askOnce(t, lb.Addr().String()); id != "A" {
+		t.Fatalf("served by %q", id)
+	}
+	startBackendOn(t, "R", addr)
+	// Wait for the prober to revive it, then round-robin must reach R
+	// within two requests.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("probe never revived the backend")
+		}
+		time.Sleep(30 * time.Millisecond)
+		seen := map[string]bool{}
+		seen[askOnce(t, lb.Addr().String())] = true
+		seen[askOnce(t, lb.Addr().String())] = true
+		if seen["R"] {
+			return
+		}
+	}
+}
+
+func TestShutdownDrainTimeoutForcesStragglers(t *testing.T) {
+	a := startBackend(t, "A")
+	lb := startBalancer(t, Config{
+		Backends:     []string{a},
+		DrainTimeout: 100 * time.Millisecond,
+	})
+	// Park a connection mid-forward: splices stay live with no deadline.
+	conn, err := net.Dial("tcp", lb.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	fmt.Fprint(conn, "hold\n")
+	if _, err := bufio.NewReader(conn).ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	lb.Shutdown()
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Shutdown took %v despite 100ms drain timeout", elapsed)
+	}
+	// The parked client's transport was force-closed by the drain.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Error("parked connection survived shutdown")
+	}
+}
+
 func TestShutdownIdempotent(t *testing.T) {
 	a := startBackend(t, "A")
 	lb := startBalancer(t, Config{Backends: []string{a}})

@@ -15,10 +15,12 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"net"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/events"
@@ -57,6 +59,17 @@ type Config struct {
 	AccessLog *logging.Logger
 	// GatePollInterval tunes the overload gate poll (tests/experiments).
 	GatePollInterval time.Duration
+	// ShedOnOverload switches option O9's behavior from postponing to
+	// load shedding: while the overload gate is paused (or the MaxConns
+	// bound is hit), new connections are accepted and answered with a
+	// prebuilt "503 Service Unavailable" carrying a Retry-After header —
+	// served from pooled buffers, bounded by the write timeout — instead
+	// of queueing in the listen backlog. Saturation then surfaces to
+	// clients as a fast explicit refusal they can back off from.
+	ShedOnOverload bool
+	// RetryAfter is the Retry-After delay stamped on shed 503 replies
+	// (rounded up to whole seconds). Zero means 1 second.
+	RetryAfter time.Duration
 }
 
 // DynamicHandler computes one response for a dynamic-content request. It
@@ -69,6 +82,11 @@ type Server struct {
 	docroot   string
 	indexFile string
 	dynamic   map[string]DynamicHandler
+	// retryAfter is the precomputed Retry-After header value for shed
+	// 503s; shedTimeout bounds the write of a shed reply.
+	retryAfter  string
+	shedTimeout time.Duration
+	shedCount   atomic.Uint64
 }
 
 // connState carries one in-flight request through the asynchronous stat
@@ -105,6 +123,19 @@ func New(cfg Config) (*Server, error) {
 		idx = "index.html"
 	}
 	s := &Server{docroot: root, indexFile: idx, dynamic: cfg.Dynamic}
+	retryAfter := cfg.RetryAfter
+	if retryAfter <= 0 {
+		retryAfter = time.Second
+	}
+	s.retryAfter = strconv.FormatInt(int64((retryAfter+time.Second-1)/time.Second), 10)
+	s.shedTimeout = opts.WriteTimeout
+	if s.shedTimeout <= 0 {
+		s.shedTimeout = time.Second
+	}
+	var shed func(net.Conn)
+	if cfg.ShedOnOverload {
+		shed = s.shed
+	}
 
 	var codec nserver.Codec = httpproto.Codec{}
 	if cfg.DecodeDelay > 0 {
@@ -118,6 +149,7 @@ func New(cfg Config) (*Server, error) {
 		Trace:            cfg.Trace,
 		Logger:           cfg.AccessLog,
 		GatePollInterval: cfg.GatePollInterval,
+		Shed:             shed,
 	})
 	if err != nil {
 		return nil, err
@@ -141,6 +173,30 @@ func (s *Server) Addr() string {
 		return a.String()
 	}
 	return ""
+}
+
+// Shed returns how many connections were answered with the load-shedding
+// 503 fast path since the server started.
+func (s *Server) Shed() uint64 { return s.shedCount.Load() }
+
+// shed is the load-shedding fast path run for connections accepted while
+// the overload gate is paused. It bypasses the five-step pipeline
+// entirely: a pooled Response carrying the shared prebuilt 503 page and a
+// Retry-After header is rendered into a pooled head buffer and written
+// with one writev, bounded by the write timeout, then the connection is
+// closed. Nothing here allocates per shed beyond the kernel's accept.
+func (s *Server) shed(conn net.Conn) {
+	s.shedCount.Add(1)
+	_ = conn.SetWriteDeadline(time.Now().Add(s.shedTimeout))
+	resp := httpproto.AcquireResponse()
+	resp.Status = 503
+	resp.Close = true
+	resp.Body = httpproto.ErrorPage(503)
+	resp.Headers.Set("Content-Type", "text/html")
+	resp.Headers.Set("Retry-After", s.retryAfter)
+	_, _ = httpproto.WriteResponse(conn, resp)
+	httpproto.ReleaseResponse(resp)
+	_ = conn.Close()
 }
 
 // handle is the Handle Request hook: validate, resolve the path under the

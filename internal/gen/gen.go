@@ -79,6 +79,16 @@ type tmplData struct {
 	Debug     bool
 	Profiling bool
 	Logging   bool
+
+	// Connection-hardening crosscuts: each is woven in only when its
+	// option is non-zero, keeping the paper-configured frameworks
+	// byte-identical to before hardening existed.
+	ReadDeadline      bool
+	WriteDeadline     bool
+	CapRequest        bool
+	ReadTimeoutNanos  int64
+	WriteTimeoutNanos int64
+	MaxRequestBytes   int
 }
 
 // Generate validates opts and emits the specialized framework under the
@@ -121,6 +131,12 @@ func Generate(pkg string, opts options.Options) (*Artifact, error) {
 		Debug:             opts.Mode == options.Debug,
 		Profiling:         opts.Profiling,
 		Logging:           opts.Logging,
+		ReadDeadline:      opts.ReadTimeout > 0,
+		WriteDeadline:     opts.WriteTimeout > 0,
+		CapRequest:        opts.MaxRequestBytes > 0 && opts.Codec,
+		ReadTimeoutNanos:  opts.ReadTimeout.Nanoseconds(),
+		WriteTimeoutNanos: opts.WriteTimeout.Nanoseconds(),
+		MaxRequestBytes:   opts.MaxRequestBytes,
 	}
 	if d.FileIOThreads <= 0 {
 		d.FileIOThreads = 2

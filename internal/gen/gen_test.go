@@ -47,6 +47,11 @@ func TestPresetFrameworksCompile(t *testing.T) {
 		"copsftp":  options.COPSFTP(),
 		"sched":    options.COPSHTTP().WithScheduling(1, 8),
 		"overload": options.COPSHTTP().WithOverloadControl(20, 5),
+		"hardened": options.COPSHTTP().WithHardening(5*time.Second, 2*time.Second, 1<<20),
+		"hardened-nocodec": func() options.Options {
+			o := options.Options{DispatcherThreads: 1}
+			return o.WithHardening(time.Second, time.Second, 4096)
+		}(),
 	} {
 		t.Run(name, func(t *testing.T) {
 			a, err := Generate("nserver", o)
@@ -199,6 +204,52 @@ func TestGenerationTimeWeaving(t *testing.T) {
 	src2 := all(fig2)
 	if strings.Contains(src2, "Decode") || strings.Contains(src2, "Reply(") {
 		t.Error("codec steps present despite O3 = No (Fig. 2 variation)")
+	}
+}
+
+func TestHardeningCrosscutWeaving(t *testing.T) {
+	all := func(a *Artifact) string {
+		var sb strings.Builder
+		for _, name := range a.FileNames() {
+			sb.Write(a.Files[name])
+		}
+		return sb.String()
+	}
+
+	base := options.Options{DispatcherThreads: 1, Codec: true}
+	plain, err := Generate("nserver", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainSrc := all(plain)
+	for _, absent := range []string{
+		"readTimeout", "writeTimeout", "maxRequestBytes",
+		"SetReadDeadline", "SetWriteDeadline",
+	} {
+		if strings.Contains(plainSrc, absent) {
+			t.Errorf("unhardened framework contains %q — crosscut not woven out", absent)
+		}
+	}
+
+	hard, err := Generate("nserver",
+		base.WithHardening(5*time.Second, 2*time.Second, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hardSrc := all(hard)
+	for _, present := range []string{
+		"SetReadDeadline(time.Now().Add(readTimeout))",
+		"SetWriteDeadline(time.Now().Add(writeTimeout))",
+		"maxRequestBytes = 1048576",
+		"errRequestTooLarge",
+	} {
+		if !strings.Contains(hardSrc, present) {
+			t.Errorf("hardened framework missing %q", present)
+		}
+	}
+	// Timeouts are baked in as literal nanosecond constants.
+	if !strings.Contains(hardSrc, "time.Duration(5000000000)") {
+		t.Error("read timeout not baked in as a literal")
 	}
 }
 

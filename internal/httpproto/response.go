@@ -187,6 +187,15 @@ func buildErrorPage(status int) []byte {
 	return b
 }
 
+// ErrorPage returns the shared prebuilt HTML body for a status code.
+// Callers must treat it as read-only.
+func ErrorPage(status int) []byte {
+	if body, ok := errorPages[status]; ok {
+		return body
+	}
+	return buildErrorPage(status)
+}
+
 // ErrorResponse builds a minimal HTML error page response. The body is a
 // shared prebuilt page; callers must treat it as read-only.
 func ErrorResponse(status int, close bool) *Response {

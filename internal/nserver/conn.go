@@ -2,6 +2,7 @@ package nserver
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"sync"
@@ -15,6 +16,14 @@ import (
 
 // ErrConnClosed is returned by Send/Reply on a closed connection.
 var ErrConnClosed = errors.New("nserver: connection closed")
+
+// ErrRequestTooLarge tears down a connection whose decode buffer would
+// exceed the configured MaxRequestBytes cap.
+var ErrRequestTooLarge = errors.New("nserver: request exceeds MaxRequestBytes")
+
+// ErrSlowClient tears down a connection whose partial request outlived
+// the ReadTimeout request-assembly budget (the slowloris defense).
+var ErrSlowClient = errors.New("nserver: request assembly exceeded ReadTimeout")
 
 // readChunkSize is the buffer size of the framework's Read Request step.
 const readChunkSize = 32 << 10
@@ -36,6 +45,14 @@ type Conn struct {
 	// lastActive is the unix-nano timestamp of the last read or write,
 	// sampled by the idle reaper (O7).
 	lastActive atomic.Int64
+
+	// reqStart is the unix-nano timestamp at which the current partially
+	// assembled request first entered the decode buffer (0 when no
+	// request is pending). The slow-client reaper tears the connection
+	// down when a partial request outlives ReadTimeout — the defense the
+	// per-read deadline alone cannot provide against a peer that
+	// trickles one byte per deadline window.
+	reqStart atomic.Int64
 
 	// pipeMu serializes the per-connection pipeline: decode and handler
 	// invocations for one connection never run concurrently.
@@ -87,6 +104,14 @@ func (c *Conn) Closed() bool { return c.closed.Load() }
 
 func (c *Conn) touch() { c.lastActive.Store(time.Now().UnixNano()) }
 
+// armWriteDeadline applies the per-write deadline (WriteTimeout) before a
+// reply write; 0 leaves the transport unbounded.
+func (c *Conn) armWriteDeadline() {
+	if wt := c.srv.opts.WriteTimeout; wt > 0 {
+		_ = c.conn.SetWriteDeadline(time.Now().Add(wt))
+	}
+}
+
 // Send transmits raw bytes (the Send Reply step without encoding).
 func (c *Conn) Send(data []byte) error {
 	if c.closed.Load() {
@@ -94,6 +119,7 @@ func (c *Conn) Send(data []byte) error {
 	}
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
+	c.armWriteDeadline()
 	n, err := c.conn.Write(data)
 	c.srv.profile.BytesSent(n)
 	c.touch()
@@ -115,7 +141,7 @@ const replyHeadSize = 512
 func (c *Conn) Reply(reply any) error {
 	if be, ok := c.srv.codec.(BufferEncoder); ok {
 		lease := bufpool.Get(replyHeadSize)
-		head, body, err := be.AppendHead(lease.Bytes()[:0], reply)
+		head, body, err := appendHeadSafe(be, lease.Bytes()[:0], reply)
 		if err != nil {
 			lease.Release()
 			return err
@@ -129,6 +155,19 @@ func (c *Conn) Reply(reply any) error {
 		return err
 	}
 	return c.Send(data)
+}
+
+// appendHeadSafe runs the codec's AppendHead (Encode Reply step) with
+// panic isolation: a buggy Encode hook fails this one reply with an
+// error instead of unwinding the worker that dispatched it.
+func appendHeadSafe(be BufferEncoder, dst []byte, reply any) (head, body []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			head, body = nil, nil
+			err = fmt.Errorf("nserver: encode panic: %v", r)
+		}
+	}()
+	return be.AppendHead(dst, reply)
 }
 
 // sendBuffers transmits head and body as separate segments (writev on a
@@ -152,6 +191,7 @@ func (c *Conn) sendBuffers(head, body []byte) error {
 		c.touch()
 		return nil
 	}
+	c.armWriteDeadline()
 	n, err := bufs.WriteTo(c.conn)
 	c.srv.profile.BytesSent(int(n))
 	c.touch()
@@ -195,7 +235,11 @@ func (c *Conn) teardown(cause error) {
 // step has consumed the bytes. This removes the per-read allocate-and-copy
 // the seed paid for every chunk.
 func (c *Conn) readLoop() {
+	readTimeout := c.srv.opts.ReadTimeout
 	for {
+		if readTimeout > 0 {
+			_ = c.conn.SetReadDeadline(time.Now().Add(readTimeout))
+		}
 		lease := bufpool.Get(readChunkSize)
 		n, err := c.conn.Read(lease.Bytes())
 		if n > 0 {
@@ -264,9 +308,15 @@ func (c *Conn) processChunk(chunk []byte) {
 		c.srv.handleRequest(c, chunk)
 		return
 	}
+	if max := c.srv.opts.MaxRequestBytes; max > 0 && len(c.inbuf)+len(chunk) > max {
+		c.srv.trace.Record("communicator", "request cap exceeded on %d (%d bytes)",
+			c.handle, len(c.inbuf)+len(chunk))
+		c.teardown(ErrRequestTooLarge)
+		return
+	}
 	c.inbuf = append(c.inbuf, chunk...)
 	for {
-		req, n, err := c.srv.codec.Decode(c.inbuf)
+		req, n, err := c.decodeSafe()
 		if n > 0 {
 			c.inbuf = c.inbuf[n:]
 			c.srv.handleRequest(c, req)
@@ -277,9 +327,41 @@ func (c *Conn) processChunk(chunk []byte) {
 			return
 		}
 		if n == 0 || len(c.inbuf) == 0 {
+			// Track request-assembly age for the slow-client reaper: a
+			// non-empty remainder is a partial request; stamp its start
+			// once and clear the stamp when the buffer drains.
+			if len(c.inbuf) == 0 {
+				c.reqStart.Store(0)
+			} else if c.reqStart.Load() == 0 {
+				c.reqStart.Store(time.Now().UnixNano())
+			}
 			return
 		}
 	}
+}
+
+// decodeSafe runs the codec's Decode hook (Decode Request step) with
+// panic isolation: a panicking decoder becomes a decode error that tears
+// down this connection only, instead of unwinding the dispatcher or an
+// Event Processor worker with the pipeline lock held.
+func (c *Conn) decodeSafe() (req any, n int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			req, n = nil, 0
+			err = fmt.Errorf("nserver: decode panic: %v", r)
+		}
+	}()
+	return c.srv.codec.Decode(c.inbuf)
+}
+
+// RequestPendingFor returns how long the current partially assembled
+// request has been sitting in the decode buffer (0 when none is).
+func (c *Conn) RequestPendingFor() time.Duration {
+	start := c.reqStart.Load()
+	if start == 0 {
+		return 0
+	}
+	return time.Duration(time.Now().UnixNano() - start)
 }
 
 // finalize runs the OnClose hook exactly once, after deregistering the

@@ -44,6 +44,12 @@ type Config struct {
 	// GatePollInterval tunes how often a postponed acceptor re-checks
 	// the overload gate (tests and simulations shrink it). Zero: 1ms.
 	GatePollInterval time.Duration
+	// Shed, when non-nil and overload control (O9) is on, switches the
+	// acceptor from postponing to load shedding: while the gate is
+	// paused, new connections are accepted and handed to Shed (which
+	// must close them) instead of waiting in the listen backlog.
+	// COPS-HTTP uses this to serve a prebuilt "503 + Retry-After".
+	Shed func(net.Conn)
 }
 
 // Server is the assembled N-Server instance.
@@ -67,6 +73,7 @@ type Server struct {
 	mu    sync.Mutex
 	conns map[reactor.Handle]*Conn
 
+	shed       func(net.Conn)
 	gatePoll   time.Duration
 	reaperDone chan struct{}
 	started    atomic.Bool
@@ -100,6 +107,7 @@ func New(cfg Config) (*Server, error) {
 		priority: cfg.Priority,
 		logger:   cfg.Logger,
 		conns:    make(map[reactor.Handle]*Conn),
+		shed:     cfg.Shed,
 		gatePoll: cfg.GatePollInterval,
 	}
 
@@ -290,6 +298,7 @@ func (s *Server) Start(ln net.Listener) error {
 		Gate:             gate,
 		MaxConns:         s.opts.MaxConnections,
 		GatePollInterval: s.gatePoll,
+		Shed:             s.shed,
 		Profile:          s.profile,
 		Trace:            s.trace,
 	})
@@ -311,8 +320,11 @@ func (s *Server) Start(ln net.Listener) error {
 		defer s.acceptWG.Done()
 		acc.Run()
 	}()
-	// O7: the idle reaper exists only when selected.
-	if s.opts.ShutdownLongIdle {
+	// O7: the idle reaper exists only when selected. The same scavenger
+	// doubles as the slow-client reaper whenever a ReadTimeout bounds
+	// request assembly, so a slowloris peer that keeps refreshing its
+	// activity timestamp with one-byte reads still gets collected.
+	if s.opts.ShutdownLongIdle || s.opts.ReadTimeout > 0 {
 		s.reaperDone = make(chan struct{})
 		go s.reap()
 	}
@@ -404,9 +416,16 @@ func (s *Server) handleRequest(c *Conn, req any) {
 	s.profile.RequestServed(time.Since(start))
 }
 
-// encode runs the Encode Reply step.
-func (s *Server) encode(reply any) ([]byte, error) {
+// encode runs the Encode Reply step with panic isolation: a buggy Encode
+// hook fails the reply, not the worker dispatching it.
+func (s *Server) encode(reply any) (data []byte, err error) {
 	if s.codec != nil {
+		defer func() {
+			if r := recover(); r != nil {
+				data = nil
+				err = fmt.Errorf("nserver: encode panic: %v", r)
+			}
+		}()
 		return s.codec.Encode(reply)
 	}
 	data, ok := reply.([]byte)
@@ -416,10 +435,20 @@ func (s *Server) encode(reply any) ([]byte, error) {
 	return data, nil
 }
 
-// reap is the idle reaper of option O7: it terminates connections whose
-// inactivity exceeds the configured idle timeout.
+// reap is the connection scavenger: the idle reaper of option O7 (long
+// inactivity) plus the slow-client reaper (a partially assembled request
+// older than ReadTimeout — the slowloris defense). Either bound may be
+// active alone; the sampling interval follows the tighter of the two.
 func (s *Server) reap() {
-	interval := s.opts.IdleTimeout / 4
+	idle := time.Duration(0)
+	if s.opts.ShutdownLongIdle {
+		idle = s.opts.IdleTimeout
+	}
+	slow := s.opts.ReadTimeout
+	interval := idle / 4
+	if slow > 0 && (interval <= 0 || slow/4 < interval) {
+		interval = slow / 4
+	}
 	if interval <= 0 {
 		interval = time.Millisecond
 	}
@@ -432,17 +461,27 @@ func (s *Server) reap() {
 		case <-ticker.C:
 		}
 		s.mu.Lock()
-		victims := make([]*Conn, 0)
+		idleVictims := make([]*Conn, 0)
+		slowVictims := make([]*Conn, 0)
 		for _, c := range s.conns {
-			if c.IdleFor() > s.opts.IdleTimeout {
-				victims = append(victims, c)
+			switch {
+			case idle > 0 && c.IdleFor() > idle:
+				idleVictims = append(idleVictims, c)
+			case slow > 0 && c.RequestPendingFor() > slow:
+				slowVictims = append(slowVictims, c)
 			}
 		}
 		s.mu.Unlock()
-		for _, c := range victims {
+		for _, c := range idleVictims {
 			s.trace.Record("server", "idle shutdown of handle %d after %v", c.handle, c.IdleFor())
 			s.profile.IdleShutdown()
 			c.teardown(nil)
+		}
+		for _, c := range slowVictims {
+			s.trace.Record("server", "slow-client shutdown of handle %d (request pending %v)",
+				c.handle, c.RequestPendingFor())
+			s.profile.IdleShutdown()
+			c.teardown(ErrSlowClient)
 		}
 	}
 }

@@ -1,0 +1,93 @@
+package nserver
+
+// TestShutdownRacesReadLoopsAndScavenger drives Shutdown into the middle
+// of live traffic with both reapers armed (the O7 idle scavenger and the
+// slow-client reaper), so the teardown path races active readLoops,
+// in-flight replies and the scavenger's victim sweep. The -race run of
+// this test is the regression fence for the connection-lifecycle locking.
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestShutdownRacesReadLoopsAndScavenger(t *testing.T) {
+	opts := testOptions()
+	opts.ShutdownLongIdle = true
+	opts.IdleTimeout = 5 * time.Millisecond
+	opts = opts.WithHardening(8*time.Millisecond, time.Second, 1<<16)
+	s, err := New(Config{Options: opts, App: echoApp(), Codec: lineCodec{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(ln); err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+
+	// A mixed population: busy clients echoing in a loop, idle clients
+	// waiting to be reaped, and slow clients trickling partial requests.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			buf := make([]byte, 256)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				conn.SetDeadline(time.Now().Add(200 * time.Millisecond))
+				switch id % 3 {
+				case 0: // busy: full request, read the echo
+					fmt.Fprintf(conn, "ping-%d\n", id)
+					if _, err := conn.Read(buf); err != nil {
+						return
+					}
+				case 1: // slow: partial request, let the reaper find it
+					if _, err := fmt.Fprint(conn, "tri"); err != nil {
+						return
+					}
+					time.Sleep(2 * time.Millisecond)
+				default: // idle: no bytes at all
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+		}(i)
+	}
+
+	// Let traffic, the idle reaper and the slow-client reaper overlap,
+	// then shut down in the middle of it all.
+	time.Sleep(30 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		s.Shutdown()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown wedged against live readLoops/scavenger")
+	}
+	close(stop)
+	wg.Wait()
+	s.Shutdown() // idempotent after the race
+	if n := s.ActiveConns(); n != 0 {
+		t.Fatalf("%d connections survived shutdown", n)
+	}
+}

@@ -255,6 +255,26 @@ type Options struct {
 	ShutdownLongIdle bool
 	IdleTimeout      time.Duration // required when ShutdownLongIdle
 
+	// Connection-hardening parameters, woven into the Read Request and
+	// Send Reply handlers like the O7 activity timestamps (the crosscut
+	// rows of Table 2 that already vary with connection lifetime
+	// management). All three default to 0 = unlimited, which reproduces
+	// the paper's configurations exactly.
+	//
+	// ReadTimeout bounds each blocking transport read AND the total time
+	// a partially assembled request may sit in the decode buffer (the
+	// slow-client reaper's budget), so a slowloris peer trickling one
+	// byte per deadline cannot hold a Communicator forever.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each reply write; an unresponsive peer whose
+	// receive window stays closed fails the connection instead of
+	// pinning a worker in Send.
+	WriteTimeout time.Duration
+	// MaxRequestBytes caps the per-connection decode buffer; a peer that
+	// streams an unbounded "request" is torn down once the buffer would
+	// exceed the cap.
+	MaxRequestBytes int
+
 	// O8: priority event scheduling with per-level quotas.
 	EventScheduling bool
 	PriorityLevels  int   // number of priority levels (>= 2 when enabled)
@@ -291,6 +311,7 @@ var (
 	ErrQuotas            = errors.New("O8: one positive quota is required per priority level")
 	ErrWatermarks        = errors.New("O9: overload control requires 0 < low watermark < high watermark")
 	ErrFileIOThreads     = errors.New("O6: file cache requires a positive number of file I/O threads")
+	ErrHardening         = errors.New("hardening: read/write timeouts and max request bytes must be non-negative")
 )
 
 // Validate checks the option assignment against the legal values of
@@ -324,6 +345,10 @@ func (o *Options) Validate() error {
 	}
 	if o.ShutdownLongIdle && o.IdleTimeout <= 0 {
 		return fmt.Errorf("%w (got %v)", ErrIdleTimeout, o.IdleTimeout)
+	}
+	if o.ReadTimeout < 0 || o.WriteTimeout < 0 || o.MaxRequestBytes < 0 {
+		return fmt.Errorf("%w (got read=%v write=%v max=%d)",
+			ErrHardening, o.ReadTimeout, o.WriteTimeout, o.MaxRequestBytes)
 	}
 	if o.EventScheduling {
 		if o.PriorityLevels < 2 {
@@ -447,6 +472,16 @@ func (o Options) WithOverloadControl(high, low int) Options {
 	o.OverloadControl = true
 	o.HighWatermark = high
 	o.LowWatermark = low
+	return o
+}
+
+// WithHardening returns a copy of o with the connection-hardening
+// parameters set: per-read/request-assembly and per-write deadlines plus
+// the decode-buffer cap (0 leaves a bound disabled).
+func (o Options) WithHardening(read, write time.Duration, maxRequestBytes int) Options {
+	o.ReadTimeout = read
+	o.WriteTimeout = write
+	o.MaxRequestBytes = maxRequestBytes
 	return o
 }
 
