@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos bench bench-allocs bench-shed experiments examples cover clean
+.PHONY: all build vet test race chaos bench bench-allocs bench-shed bench-metrics experiments examples cover clean
 
 all: build vet test
 
@@ -42,6 +42,14 @@ bench-shed:
 	$(GO) test -run '^$$' -bench BenchmarkOverload503Shed -benchmem . \
 		| $(GO) run ./cmd/benchjson > BENCH_PR2.json
 	@cat BENCH_PR2.json
+
+# The observability snapshot: the alloc-pinned test (with O11 off the hot
+# path must stay allocation-flat) plus the instrumented-versus-off encode
+# path, recorded as JSON.
+bench-metrics:
+	$(GO) test -run TestHotPathAllocs -bench 'BenchmarkHTTPEncode|BenchmarkMetricsOverhead' -benchmem . \
+		| $(GO) run ./cmd/benchjson > BENCH_PR3.json
+	@cat BENCH_PR3.json
 
 # Regenerate every table and figure at full virtual length.
 experiments:

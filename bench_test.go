@@ -33,6 +33,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/nserver"
 	"repro/internal/options"
+	"repro/internal/profiling"
 	"repro/internal/seda"
 	"repro/internal/workload"
 )
@@ -568,6 +569,33 @@ func BenchmarkHTTPEncode(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkMetricsOverhead prices the O11 observability tax on the
+// encode+send hot path: the pooled writev encode of BenchmarkHTTPEncode,
+// run with a nil profile (O11 unselected — StageStart returns the zero
+// time and every observation is a nil-receiver no-op) versus a live
+// profile recording the encode-stage histogram and the egress byte
+// counter per call. The "on" variant must stay within a few percent of
+// "off"; `make bench-metrics` snapshots both into BENCH_PR3.json.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	body := make([]byte, 16<<10)
+	resp := httpproto.NewResponse(200, "text/html", body)
+	run := func(b *testing.B, p *profiling.Profile) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(body)))
+		for i := 0; i < b.N; i++ {
+			encStart := p.StageStart()
+			n, err := httpproto.WriteResponse(io.Discard, resp)
+			p.ObserveSince(profiling.StageEncode, encStart)
+			p.BytesSent(int(n))
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) { run(b, profiling.New()) })
 }
 
 // BenchmarkCacheParallelGet measures the file cache under a parallel Zipf

@@ -25,6 +25,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/copshttp"
 	"repro/internal/faultnet"
+	"repro/internal/metrics"
 	"repro/internal/nserver"
 	"repro/internal/options"
 )
@@ -422,4 +423,99 @@ func (panickyCodec) Decode(buf []byte) (any, int, error) {
 
 func (panickyCodec) Encode(reply any) ([]byte, error) {
 	return append([]byte(reply.(string)), '\n'), nil
+}
+
+// TestChaosMetricsStayServiceable: the admin metrics plane must remain
+// serviceable, and every exported counter monotonic, while the data plane
+// is being torn apart by mid-stream RSTs and read stalls. The metrics
+// listener is deliberately NOT behind faultnet — the point is that chaos
+// on the serve pipeline cannot starve or corrupt the observability
+// endpoint that operators are using to diagnose that very chaos.
+func TestChaosMetricsStayServiceable(t *testing.T) {
+	dir, _ := chaosRoot(t)
+	opts := options.COPSHTTP().
+		WithOverloadControl(20, 5).
+		WithHardening(200*time.Millisecond, 500*time.Millisecond, 1<<20)
+	opts.Profiling = true
+	srv, ln, addr := startChaosHTTP(t,
+		copshttp.Config{
+			DocRoot:        dir,
+			Options:        &opts,
+			ShedOnOverload: true,
+			RetryAfter:     time.Second,
+		},
+		faultnet.Scenario{
+			Seed:            11,
+			StallAfterBytes: 16, // every conn's read after the first request stalls
+			StallDuration:   2 * time.Second,
+			RSTAfterBytes:   24 << 10, // big.bin replies die mid-stream
+		},
+	)
+	ms, err := metrics.NewServer("127.0.0.1:0", metrics.Config{
+		Profile:  srv.Framework().Profile(),
+		Cache:    srv.Framework().Cache(),
+		Deferred: srv.Framework().Deferred,
+		Shed:     srv.Shed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ms.Close() })
+
+	scrape := func() (map[string]float64, []byte) {
+		t.Helper()
+		raw, err := httpGet(t, ms.Addr().String(), "/metrics", 3*time.Second)
+		if err != nil {
+			t.Fatalf("metrics endpoint unreachable mid-chaos: %v", err)
+		}
+		if !bytes.Contains(raw, []byte(" 200 ")) {
+			t.Fatalf("metrics endpoint unhealthy: %.120q", raw)
+		}
+		_, body, ok := bytes.Cut(raw, []byte("\r\n\r\n"))
+		if !ok {
+			t.Fatalf("unframed metrics response: %.120q", raw)
+		}
+		return metrics.ParseCounters(string(body)), body
+	}
+
+	monotonic := []string{
+		"nserver_connections_accepted_total",
+		"nserver_requests_total",
+		"nserver_sent_bytes_total",
+		"nserver_read_bytes_total",
+		"nserver_events_processed_total",
+	}
+	prev, _ := scrape()
+	var body []byte
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 4; i++ {
+			// Both may fail mid-stream — that is the chaos, not the assert.
+			_, _ = httpGet(t, addr, "/big.bin", time.Second)
+			_, _ = httpGet(t, addr, "/index.html", time.Second)
+		}
+		var cur map[string]float64
+		cur, body = scrape()
+		for _, k := range monotonic {
+			if cur[k] < prev[k] {
+				t.Fatalf("round %d: counter %s went backwards: %v -> %v", round, k, prev[k], cur[k])
+			}
+		}
+		prev = cur
+	}
+
+	if prev["nserver_connections_accepted_total"] == 0 {
+		t.Fatal("no connections observed — chaos traffic never reached the server")
+	}
+	if ln.Stats().Resets.Load() == 0 && ln.Stats().Stalls.Load() == 0 {
+		t.Fatal("scenario injected no faults — test proves nothing")
+	}
+	// The per-stage histograms survived the chaos and render coherently.
+	if !bytes.Contains(body, []byte("nserver_stage_duration_seconds_bucket")) {
+		t.Fatalf("stage histogram series missing from /metrics:\n%s", body)
+	}
+	for _, stage := range []string{"read", "decode", "handle", "encode", "send"} {
+		if !bytes.Contains(body, []byte(`stage="`+stage+`"`)) {
+			t.Errorf("stage %q missing from histogram export", stage)
+		}
+	}
 }

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/profiling"
 )
 
@@ -27,6 +28,7 @@ func main() {
 		backends = flag.String("backends", "", "comma-separated backend addresses (required)")
 		strategy = flag.String("strategy", "round-robin", "round-robin or least-connections")
 		cooldown = flag.Duration("cooldown", time.Second, "how long a failed backend is skipped")
+		mAddr    = flag.String("metrics-addr", "", "serve Prometheus/JSON metrics on this address (/metrics, /metrics.json); empty disables")
 	)
 	flag.Parse()
 	if *backends == "" {
@@ -58,6 +60,18 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("%s on %s\n", lb, lb.Addr())
+
+	if *mAddr != "" {
+		ms, err := metrics.NewServer(*mAddr, metrics.Config{
+			Profile: prof,
+			Cluster: lb,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer ms.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", ms.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

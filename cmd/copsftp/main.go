@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/copsftp"
 	"repro/internal/ftpproto"
+	"repro/internal/metrics"
 	"repro/internal/options"
 )
 
@@ -29,6 +30,8 @@ func main() {
 		noAnon   = flag.Bool("no-anonymous", false, "refuse anonymous logins")
 		readOnly = flag.Bool("readonly", false, "refuse uploads and file management")
 		idle     = flag.Duration("idle-timeout", 5*time.Minute, "shut down connections idle this long (O7)")
+		profile  = flag.Bool("profile", false, "enable performance profiling (O11)")
+		mAddr    = flag.String("metrics-addr", "", "serve Prometheus/JSON metrics on this address (/metrics, /metrics.json); empty disables")
 		debug    = flag.Bool("debug", false, "generate in debug mode (O10)")
 	)
 	flag.Parse()
@@ -52,6 +55,9 @@ func main() {
 	opts := options.COPSFTP()
 	opts.IdleTimeout = *idle
 	opts.ShutdownLongIdle = *idle > 0
+	if *profile || *mAddr != "" {
+		opts.Profiling = true
+	}
 	if *debug {
 		opts.Mode = options.Debug
 	}
@@ -69,6 +75,19 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("COPS-FTP exporting %s on %s (readonly=%v)\n", *root, srv.Addr(), *readOnly)
+
+	if *mAddr != "" {
+		ms, err := metrics.NewServer(*mAddr, metrics.Config{
+			Profile:  srv.Framework().Profile(),
+			Cache:    srv.Framework().Cache(),
+			Deferred: srv.Framework().Deferred,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer ms.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", ms.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

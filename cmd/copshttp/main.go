@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/copshttp"
 	"repro/internal/events"
+	"repro/internal/metrics"
 	"repro/internal/nserver"
 	"repro/internal/options"
 	"repro/internal/workload"
@@ -42,6 +43,7 @@ func main() {
 		shed        = flag.Bool("shed", false, "with -overload: answer 503+Retry-After while the gate is paused instead of postponing accepts")
 		retryAfter  = flag.Duration("retry-after", 0, "Retry-After delay on shed 503 replies (default 1s)")
 		profile     = flag.Bool("profile", false, "enable performance profiling (O11)")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus/JSON metrics on this address (/metrics, /metrics.json); empty disables")
 		debug       = flag.Bool("debug", false, "generate in debug mode (O10): print the internal event trace on exit")
 		materialize = flag.Int("materialize", 0, "materialize a SpecWeb99-like file set of N directories under -root first")
 	)
@@ -126,6 +128,20 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("COPS-HTTP serving %s on %s (cache=%s)\n", *root, srv.Addr(), policy)
+
+	if *metricsAddr != "" {
+		ms, err := metrics.NewServer(*metricsAddr, metrics.Config{
+			Profile:  srv.Framework().Profile(),
+			Cache:    srv.Framework().Cache(),
+			Deferred: srv.Framework().Deferred,
+			Shed:     srv.Shed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer ms.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", ms.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

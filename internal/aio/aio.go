@@ -168,6 +168,16 @@ func (e *fileStatEvent) Priority() events.Priority { return e.prio }
 // path, so callers observe a single completion discipline.
 func (s *Service) ReadFile(path string, state any, prio events.Priority, done Done) (events.Token, error) {
 	tok := events.NewToken(state)
+	if start := s.profile.StageStart(); !start.IsZero() {
+		// O11: measure submission-to-completion latency on the sampled
+		// lattice. Cache hits are included (near-zero), so the histogram
+		// shows the hit/miss split.
+		inner := done
+		done = func(tok events.Token, data []byte, err error) {
+			s.profile.ObserveSince(profiling.StageAIOComplete, start)
+			inner(tok, data, err)
+		}
+	}
 	if s.cache != nil {
 		if data, ok := s.cache.Get(path); ok {
 			s.profile.CacheHit()
@@ -185,6 +195,13 @@ func (s *Service) ReadFile(path string, state any, prio events.Priority, done Do
 func (s *Service) Stat(path string, state any, prio events.Priority,
 	done func(tok events.Token, info os.FileInfo, err error)) (events.Token, error) {
 	tok := events.NewToken(state)
+	if start := s.profile.StageStart(); !start.IsZero() {
+		inner := done
+		done = func(tok events.Token, info os.FileInfo, err error) {
+			s.profile.ObserveSince(profiling.StageAIOComplete, start)
+			inner(tok, info, err)
+		}
+	}
 	err := s.proc.Submit(&fileStatEvent{svc: s, path: path, tok: tok, prio: prio, done: done})
 	return tok, err
 }

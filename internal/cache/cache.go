@@ -22,7 +22,6 @@ import (
 	"hash/maphash"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/options"
 )
@@ -90,7 +89,10 @@ type entry struct {
 }
 
 // shard is one independently locked slice of the cache: its own byte
-// capacity, residency map, recency list and logical clock.
+// capacity, residency map, recency list, logical clock and counters. The
+// counters live here — updated under the shard lock by the operation that
+// moves them — so a per-shard snapshot is internally consistent: its
+// hits/misses always agree with the residency they produced.
 type shard struct {
 	mu       sync.Mutex
 	capacity int64
@@ -99,23 +101,36 @@ type shard struct {
 	entries  map[string]*entry
 	// recency holds *entry values, least recently used at the front.
 	recency *list.List
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	rejects   uint64
+}
+
+// statsLocked snapshots one shard's counters; the caller holds s.mu.
+func (s *shard) statsLocked() Stats {
+	return Stats{
+		Hits:      s.hits,
+		Misses:    s.misses,
+		Evictions: s.evictions,
+		Rejects:   s.rejects,
+		Bytes:     s.used,
+		Entries:   len(s.entries),
+	}
 }
 
 // Cache is a size-bounded in-memory file cache with a pluggable
-// replacement policy. It is safe for concurrent use; the counter stats are
-// plain atomics, so hammering Get from many goroutines serializes only on
-// the shard owning the key.
+// replacement policy. It is safe for concurrent use; counters are kept
+// per shard under the shard lock, so hammering Get from many goroutines
+// serializes only on the shard owning the key and every shard's counter
+// snapshot is consistent with its residency.
 type Cache struct {
 	policy   options.CachePolicy
 	cfg      Config
 	capacity int64
 	shards   []*shard
 	mask     uint32
-
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	evictions atomic.Uint64
-	rejects   atomic.Uint64
 }
 
 // Errors returned by New.
@@ -238,14 +253,14 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	s.mu.Lock()
 	e, ok := s.entries[key]
 	if !ok {
+		s.misses++
 		s.mu.Unlock()
-		c.misses.Add(1)
 		return nil, false
 	}
 	s.touch(e)
+	s.hits++
 	data := e.data
 	s.mu.Unlock()
-	c.hits.Add(1)
 	return data, true
 }
 
@@ -266,8 +281,8 @@ func (c *Cache) Put(key string, data []byte) bool {
 	s := c.shardFor(key)
 	s.mu.Lock()
 	if size > s.capacity || (c.policy == options.LRUThreshold && size > c.cfg.Threshold) {
+		s.rejects++
 		s.mu.Unlock()
-		c.rejects.Add(1)
 		return false
 	}
 	if old, ok := s.entries[key]; ok {
@@ -323,29 +338,52 @@ func (c *Cache) Size() int64 {
 	return used
 }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns an aggregated snapshot of the cache counters. Each shard
+// is snapshotted consistently under its own lock, so every per-shard
+// contribution is internally coherent; across shards the sweep is not a
+// single atomic cut, so the aggregate may differ from any instantaneous
+// global state by at most the operations that completed on already-swept
+// shards while later shards were being read. Every counter is
+// individually monotonic between ResetStats calls, and at quiescence the
+// aggregate agrees exactly with the per-operation counts observed by
+// callers (e.g. profiling.Snapshot's CacheHits/CacheMisses).
 func (c *Cache) Stats() Stats {
-	st := Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
-		Rejects:   c.rejects.Load(),
-	}
+	var st Stats
 	for _, s := range c.shards {
 		s.mu.Lock()
-		st.Bytes += s.used
-		st.Entries += len(s.entries)
+		sh := s.statsLocked()
 		s.mu.Unlock()
+		st.Hits += sh.Hits
+		st.Misses += sh.Misses
+		st.Evictions += sh.Evictions
+		st.Rejects += sh.Rejects
+		st.Bytes += sh.Bytes
+		st.Entries += sh.Entries
 	}
 	return st
 }
 
+// ShardStats returns one consistent snapshot per shard, in shard order.
+// Unlike the Stats aggregate, each element is an exact point-in-time view
+// of its shard (taken under that shard's lock), which is what the metrics
+// endpoint exports for per-shard balance inspection.
+func (c *Cache) ShardStats() []Stats {
+	out := make([]Stats, len(c.shards))
+	for i, s := range c.shards {
+		s.mu.Lock()
+		out[i] = s.statsLocked()
+		s.mu.Unlock()
+	}
+	return out
+}
+
 // ResetStats zeroes the counters (used between experiment runs).
 func (c *Cache) ResetStats() {
-	c.hits.Store(0)
-	c.misses.Store(0)
-	c.evictions.Store(0)
-	c.rejects.Store(0)
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.hits, s.misses, s.evictions, s.rejects = 0, 0, 0, 0
+		s.mu.Unlock()
+	}
 }
 
 func (s *shard) touch(e *entry) {
@@ -373,7 +411,7 @@ func (c *Cache) evictToFitLocked(s *shard, incoming *entry) {
 		v := c.victimLocked(s, incoming)
 		need -= v.size
 		s.removeLocked(v)
-		c.evictions.Add(1)
+		s.evictions++
 	}
 }
 

@@ -1,0 +1,108 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/options"
+)
+
+// TestStatsConsistentUnderConcurrency hammers Get/Put from many
+// goroutines while a reader polls Stats(), checking the documented
+// contract of the per-shard counter design: aggregate counters are
+// monotonic between ResetStats calls even though the cross-shard sweep is
+// not a point-in-time snapshot, hit rate stays within [0,1], and at
+// quiescence the aggregate equals both the sum of the per-shard
+// snapshots and the client-side tally of observed hits and misses.
+func TestStatsConsistentUnderConcurrency(t *testing.T) {
+	c, err := New(1<<20, options.LRU, Config{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		workers = 8
+		ops     = 4000
+		keys    = 64
+	)
+	var clientHits, clientMisses atomic.Uint64
+	var work, poll sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Poller: aggregate counters must never move backwards and the hit
+	// rate must stay a probability, even mid-churn.
+	var pollerErr atomic.Value
+	poll.Add(1)
+	go func() {
+		defer poll.Done()
+		var prev Stats
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := c.Stats()
+			if st.Hits < prev.Hits || st.Misses < prev.Misses ||
+				st.Evictions < prev.Evictions || st.Rejects < prev.Rejects {
+				pollerErr.Store(fmt.Sprintf("counters went backwards: %+v then %+v", prev, st))
+				return
+			}
+			if r := st.HitRate(); r < 0 || r > 1 {
+				pollerErr.Store(fmt.Sprintf("hit rate %v outside [0,1]", r))
+				return
+			}
+			prev = st
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		work.Add(1)
+		go func(w int) {
+			defer work.Done()
+			payload := []byte("0123456789abcdef")
+			for i := 0; i < ops; i++ {
+				key := fmt.Sprintf("doc-%d", (w*31+i)%keys)
+				if _, ok := c.Get(key); ok {
+					clientHits.Add(1)
+				} else {
+					clientMisses.Add(1)
+					c.Put(key, payload)
+				}
+			}
+		}(w)
+	}
+
+	work.Wait()
+	close(stop)
+	poll.Wait()
+
+	if msg := pollerErr.Load(); msg != nil {
+		t.Fatal(msg)
+	}
+
+	// Quiescent: the aggregate must equal the per-shard sum exactly, and
+	// match what the clients observed.
+	agg := c.Stats()
+	var sum Stats
+	for _, sh := range c.ShardStats() {
+		sum.Hits += sh.Hits
+		sum.Misses += sh.Misses
+		sum.Evictions += sh.Evictions
+		sum.Rejects += sh.Rejects
+		sum.Bytes += sh.Bytes
+		sum.Entries += sh.Entries
+	}
+	if agg != sum {
+		t.Fatalf("aggregate %+v != per-shard sum %+v", agg, sum)
+	}
+	if agg.Hits != clientHits.Load() || agg.Misses != clientMisses.Load() {
+		t.Fatalf("cache counted hits=%d misses=%d, clients observed hits=%d misses=%d",
+			agg.Hits, agg.Misses, clientHits.Load(), clientMisses.Load())
+	}
+	if agg.Hits+agg.Misses != workers*ops {
+		t.Fatalf("hits+misses = %d, want %d", agg.Hits+agg.Misses, workers*ops)
+	}
+}

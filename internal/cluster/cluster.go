@@ -305,6 +305,59 @@ func (b *Balancer) Live() map[string]int64 {
 	return out
 }
 
+// BackendState is one backend's externally visible health snapshot, as
+// exported by the metrics endpoint.
+type BackendState struct {
+	// Addr is the backend address.
+	Addr string
+	// State is the circuit-breaker state: "closed" (healthy), "open"
+	// (cooling down) or "half-open" (one trial in flight).
+	State string
+	// Fails is the consecutive dial-failure count.
+	Fails int
+	// Live is the number of currently open forwarded connections.
+	Live int64
+	// Forwarded is the total connections placed on this backend.
+	Forwarded uint64
+	// OpenUntil is when an open circuit becomes trial-eligible (zero
+	// unless the circuit is open).
+	OpenUntil time.Time
+}
+
+// stateName renders a circuit-breaker state constant.
+func stateName(s int32) string {
+	switch s {
+	case stateOpen:
+		return "open"
+	case stateHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// BackendStates snapshots every backend's circuit-breaker state in
+// configuration order. Fields of one element are read without a common
+// lock, so a backend transitioning concurrently may show, e.g., a closed
+// State beside a non-zero Fails; each field is individually current.
+func (b *Balancer) BackendStates() []BackendState {
+	out := make([]BackendState, len(b.backends))
+	for i, be := range b.backends {
+		st := be.state.Load()
+		bs := BackendState{
+			Addr:      be.addr,
+			State:     stateName(st),
+			Fails:     int(be.fails.Load()),
+			Live:      be.live.Load(),
+			Forwarded: be.forwarded.Load(),
+		}
+		if st == stateOpen {
+			bs.OpenUntil = time.Unix(0, be.openUntil.Load())
+		}
+		out[i] = bs
+	}
+	return out
+}
+
 func (b *Balancer) acceptLoop() {
 	defer b.wg.Done()
 	for {

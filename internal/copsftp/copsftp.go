@@ -366,7 +366,10 @@ func (s *Server) cmdList(c *nserver.Conn, sess *session, arg string, namesOnly b
 	}
 	_ = c.Reply(ftpproto.NewReply(150, ""))
 	go s.transfer(c, sess, func(dc net.Conn) error {
-		_, err := dc.Write([]byte(b.String()))
+		n, err := dc.Write([]byte(b.String()))
+		// Data-connection egress bypasses Conn.Send; count it here so the
+		// O11 byte totals cover every socket, not just the control channel.
+		s.ns.Profile().BytesSent(n)
 		return err
 	})
 }
@@ -400,7 +403,8 @@ func (s *Server) cmdRetr(c *nserver.Conn, sess *session, arg string) {
 					done <- rerr
 					return
 				}
-				_, werr := dc.Write(data)
+				nw, werr := dc.Write(data)
+				s.ns.Profile().BytesSent(nw)
 				done <- werr
 			})
 		if err != nil {
@@ -443,6 +447,9 @@ func (s *Server) cmdStor(c *nserver.Conn, sess *session, arg string) {
 		for {
 			n, rerr := dc.Read(buf)
 			if n > 0 {
+				// Data-connection ingress bypasses the framework readLoop;
+				// count it toward the O11 bytes-read total.
+				s.ns.Profile().BytesRead(n)
 				if _, werr := f.Write(buf[:n]); werr != nil {
 					return werr
 				}

@@ -1,0 +1,95 @@
+package copsftp
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/options"
+)
+
+// meteredConn tallies the bytes a test client moves over a connection.
+// Each counter is touched from the single client goroutine only.
+type meteredConn struct {
+	net.Conn
+	read, written *int64
+}
+
+func (m meteredConn) Read(p []byte) (int, error) {
+	n, err := m.Conn.Read(p)
+	*m.read += int64(n)
+	return n, err
+}
+
+func (m meteredConn) Write(p []byte) (int, error) {
+	n, err := m.Conn.Write(p)
+	*m.written += int64(n)
+	return n, err
+}
+
+// TestDataConnectionByteAccounting is the FTP half of the egress
+// exactly-once regression: O11 byte totals must cover the out-of-band
+// data connections (LIST and RETR payloads, STOR uploads), which bypass
+// the framework's Conn.Send/readLoop, not just control-channel replies.
+func TestDataConnectionByteAccounting(t *testing.T) {
+	opts := options.COPSFTP()
+	opts.Profiling = true
+	s := startFTP(t, Config{Root: buildRoot(t), Options: &opts})
+
+	var clientRead, clientWritten int64
+	raw, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := meteredConn{Conn: raw, read: &clientRead, written: &clientWritten}
+	c := &ftpClient{t: t, conn: ctrl, r: bufio.NewReader(ctrl)}
+	t.Cleanup(func() { raw.Close() })
+	c.login()
+
+	// LIST: server -> client over the data connection.
+	dc := meteredConn{Conn: c.pasvData(), read: &clientRead, written: &clientWritten}
+	c.cmd(150, "LIST")
+	if _, err := io.Copy(io.Discard, dc); err != nil {
+		t.Fatal(err)
+	}
+	dc.Close()
+	c.expect(226)
+
+	// RETR: server -> client over the data connection.
+	dc = meteredConn{Conn: c.pasvData(), read: &clientRead, written: &clientWritten}
+	c.cmd(150, "RETR hello.txt")
+	if _, err := io.Copy(io.Discard, dc); err != nil {
+		t.Fatal(err)
+	}
+	dc.Close()
+	c.expect(226)
+
+	// STOR: client -> server over the data connection.
+	dc = meteredConn{Conn: c.pasvData(), read: &clientRead, written: &clientWritten}
+	c.cmd(150, "STOR upload.txt")
+	if _, err := dc.Write([]byte("uploaded contents")); err != nil {
+		t.Fatal(err)
+	}
+	dc.Close()
+	c.expect(226)
+
+	// QUIT, then drain the control connection to EOF so every reply byte
+	// has passed through the meter.
+	c.cmd(221, "QUIT")
+	raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.Copy(io.Discard, ctrl); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := s.Framework().Profile().Snapshot()
+	if int64(snap.BytesSent) != clientRead {
+		t.Errorf("profile BytesSent = %d, client observed %d bytes (delta %+d)",
+			snap.BytesSent, clientRead, int64(snap.BytesSent)-clientRead)
+	}
+	if int64(snap.BytesRead) != clientWritten {
+		t.Errorf("profile BytesRead = %d, client wrote %d bytes (delta %+d)",
+			snap.BytesRead, clientWritten, int64(snap.BytesRead)-clientWritten)
+	}
+}

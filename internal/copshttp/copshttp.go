@@ -123,11 +123,7 @@ func New(cfg Config) (*Server, error) {
 		idx = "index.html"
 	}
 	s := &Server{docroot: root, indexFile: idx, dynamic: cfg.Dynamic}
-	retryAfter := cfg.RetryAfter
-	if retryAfter <= 0 {
-		retryAfter = time.Second
-	}
-	s.retryAfter = strconv.FormatInt(int64((retryAfter+time.Second-1)/time.Second), 10)
+	s.retryAfter = strconv.FormatInt(ceilSeconds(cfg.RetryAfter), 10)
 	s.shedTimeout = opts.WriteTimeout
 	if s.shedTimeout <= 0 {
 		s.shedTimeout = time.Second
@@ -179,6 +175,22 @@ func (s *Server) Addr() string {
 // 503 fast path since the server started.
 func (s *Server) Shed() uint64 { return s.shedCount.Load() }
 
+// ceilSeconds renders a Retry-After delay as whole seconds, rounding up
+// and clamping to at least 1: RFC 9110's Retry-After takes non-negative
+// integer seconds, and a shed reply advertising "Retry-After: 0" would
+// invite an immediate retry storm — exactly what shedding exists to
+// damp. Zero and negative delays take the 1-second default.
+func ceilSeconds(d time.Duration) int64 {
+	if d <= 0 {
+		return 1
+	}
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
 // shed is the load-shedding fast path run for connections accepted while
 // the overload gate is paused. It bypasses the five-step pipeline
 // entirely: a pooled Response carrying the shared prebuilt 503 page and a
@@ -194,7 +206,10 @@ func (s *Server) shed(conn net.Conn) {
 	resp.Body = httpproto.ErrorPage(503)
 	resp.Headers.Set("Content-Type", "text/html")
 	resp.Headers.Set("Retry-After", s.retryAfter)
-	_, _ = httpproto.WriteResponse(conn, resp)
+	n, _ := httpproto.WriteResponse(conn, resp)
+	// The shed reply bypasses Conn.Send, so it must count its own egress
+	// for the O11 byte totals (every egress path counts exactly once).
+	s.ns.Profile().BytesSent(int(n))
 	httpproto.ReleaseResponse(resp)
 	_ = conn.Close()
 }
@@ -352,9 +367,11 @@ func (s *Server) reply(c *nserver.Conn, r *httpproto.Request, resp *httpproto.Re
 	}
 	_ = c.Reply(resp)
 	if lg := s.ns.Logger(); lg != nil && r != nil {
-		// Common-log-style record: remote, request line, status, bytes.
-		lg.Infof("%s \"%s %s %s\" %d %d",
-			c.RemoteAddr(), r.Method, r.Target, r.Proto, resp.Status, len(resp.Body))
+		// Common-log-style record — remote, request line, status, bytes —
+		// plus the O12 trace ID so a sampled "trace id=..." line and its
+		// access-log record can be joined.
+		lg.Infof("%s \"%s %s %s\" %d %d id=%s",
+			c.RemoteAddr(), r.Method, r.Target, r.Proto, resp.Status, len(resp.Body), c.RequestID())
 	}
 	if resp.Close {
 		c.Close()

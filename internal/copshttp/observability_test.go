@@ -1,0 +1,172 @@
+package copshttp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/options"
+)
+
+// TestCeilSecondsBoundaries pins the Retry-After rounding rule: round up
+// to whole seconds and never advertise less than one second, so a shed
+// 503 can never invite an immediate retry storm.
+func TestCeilSecondsBoundaries(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int64
+	}{
+		{-time.Second, 1},
+		{0, 1},
+		{time.Nanosecond, 1},
+		{500 * time.Millisecond, 1},
+		{999 * time.Millisecond, 1},
+		{time.Second - time.Nanosecond, 1},
+		{time.Second, 1},
+		{time.Second + time.Nanosecond, 2},
+		{1500 * time.Millisecond, 2},
+		{2 * time.Second, 2},
+		{7 * time.Second, 7},
+	}
+	for _, tc := range cases {
+		if got := ceilSeconds(tc.d); got != tc.want {
+			t.Errorf("ceilSeconds(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
+// TestRetryAfterHeaderValue checks the precomputed header value end to
+// end through New: sub-second configs must clamp to "1", not render "0".
+func TestRetryAfterHeaderValue(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "1"},                      // unset: 1-second default
+		{-5 * time.Second, "1"},       // nonsense config: clamped
+		{200 * time.Millisecond, "1"}, // a naive d/time.Second renders "0"
+		{time.Second, "1"},
+		{2500 * time.Millisecond, "3"},
+		{30 * time.Second, "30"},
+	}
+	for _, tc := range cases {
+		opts := options.COPSHTTP()
+		s, err := New(Config{
+			DocRoot:        buildDocRoot(t),
+			Options:        &opts,
+			ShedOnOverload: true,
+			RetryAfter:     tc.d,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.retryAfter != tc.want {
+			t.Errorf("RetryAfter %v precomputed as %q, want %q", tc.d, s.retryAfter, tc.want)
+		}
+	}
+}
+
+// pinQueue is a test-controlled QueueLenner for forcing the O9 overload
+// gate open or shut deterministically.
+type pinQueue struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (q *pinQueue) QueueLen() int { q.mu.Lock(); defer q.mu.Unlock(); return q.n }
+func (q *pinQueue) set(n int)     { q.mu.Lock(); q.n = n; q.mu.Unlock() }
+
+// countingConn counts bytes the client reads off the wire. Reads happen
+// from a single client goroutine, so a plain int is fine.
+type countingConn struct {
+	net.Conn
+	n *int64
+}
+
+func (c countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	*c.n += int64(n)
+	return n, err
+}
+
+// TestBytesSentExactlyOnce is the egress-accounting regression test: the
+// O11 BytesSent total must equal the bytes a client actually observes on
+// the wire across every egress path — keep-alive replies, error replies,
+// Connection: close replies, and the shed 503 fast path (which bypasses
+// Conn.Send and historically was not counted at all).
+func TestBytesSentExactlyOnce(t *testing.T) {
+	opts := options.COPSHTTP().WithOverloadControl(20, 5)
+	opts.Profiling = true
+	s, err := New(Config{
+		DocRoot:        buildDocRoot(t),
+		Options:        &opts,
+		ShedOnOverload: true,
+		RetryAfter:     2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Shutdown)
+	addr := s.Addr()
+
+	var observed int64 // every byte any client read off the wire
+
+	// One keep-alive connection carrying 200, 404 and 200 replies, then a
+	// Connection: close request; draining to EOF afterwards guarantees the
+	// counter saw every byte the server wrote, bufio buffering included.
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := countingConn{Conn: raw, n: &observed}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	r := bufio.NewReader(conn)
+	for _, path := range []string{"/index.html", "/missing", "/about.txt"} {
+		fmt.Fprintf(raw, "GET %s HTTP/1.1\r\nHost: test\r\n\r\n", path)
+		if _, _, _, err := readResponse(r, false); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+	}
+	fmt.Fprintf(raw, "GET /img/logo.png HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n")
+	if _, err := io.Copy(io.Discard, r); err != nil {
+		t.Fatalf("drain keep-alive conn: %v", err)
+	}
+	raw.Close()
+
+	// Force the gate shut and take a shed 503 on a fresh connection. The
+	// shed path writes without reading, so just drain to EOF.
+	q := &pinQueue{}
+	if err := s.Framework().Overload().Watch("pin", q, 10, 5); err != nil {
+		t.Fatal(err)
+	}
+	q.set(100)
+	shedConn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shedConn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var shedBytes int64
+	if shedBytes, err = io.Copy(io.Discard, countingConn{Conn: shedConn, n: &observed}); err != nil {
+		t.Fatalf("drain shed conn: %v", err)
+	}
+	shedConn.Close()
+	if s.Shed() == 0 {
+		t.Fatal("shed fast path never ran")
+	}
+	if shedBytes == 0 {
+		t.Fatal("shed 503 carried no bytes")
+	}
+
+	snap := s.Framework().Profile().Snapshot()
+	if int64(snap.BytesSent) != observed {
+		t.Fatalf("profile BytesSent = %d, client observed %d bytes (delta %+d)",
+			snap.BytesSent, observed, int64(snap.BytesSent)-observed)
+	}
+}

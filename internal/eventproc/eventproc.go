@@ -136,10 +136,33 @@ func (p *Processor) Start() {
 	p.trace.Record(p.name, "started with %d workers (dynamic=%v)", n, p.dynamic)
 }
 
+// timedEvent wraps a queued event to measure the O5 queue-wait quantity:
+// the delta between Submit's Push and the worker's Pop+Process. The
+// wrapper exists only for events StageStart sampled onto the timing
+// lattice, so the allocation-free Submit path is untouched when O11 is
+// off and pays one atomic add — no allocation — for unsampled events.
+type timedEvent struct {
+	ev      events.Event
+	profile *profiling.Profile
+	enq     time.Time
+}
+
+// Process records the queue wait and delegates to the wrapped event.
+func (t *timedEvent) Process() {
+	t.profile.ObserveStage(profiling.StageQueueWait, time.Since(t.enq))
+	t.ev.Process()
+}
+
+// Priority preserves the wrapped event's O8 scheduling priority.
+func (t *timedEvent) Priority() events.Priority { return t.ev.Priority() }
+
 // Submit queues an event for processing.
 func (p *Processor) Submit(ev events.Event) error {
 	if !p.started.Load() {
 		return ErrNotStarted
+	}
+	if enq := p.profile.StageStart(); !enq.IsZero() {
+		ev = &timedEvent{ev: ev, profile: p.profile, enq: enq}
 	}
 	if err := p.queue.Push(ev); err != nil {
 		return err

@@ -253,6 +253,120 @@ func TestHardeningCrosscutWeaving(t *testing.T) {
 	}
 }
 
+// TestObservabilityCrosscutWeaving asserts the observability crosscuts
+// follow the generation-time weaving rule: the O11 stage histograms and
+// the O12 request-trace IDs appear exactly when their options are
+// selected, and the codec stage slots exist only with O3.
+func TestObservabilityCrosscutWeaving(t *testing.T) {
+	all := func(a *Artifact) string {
+		var sb strings.Builder
+		for _, name := range a.FileNames() {
+			sb.Write(a.Files[name])
+		}
+		return sb.String()
+	}
+	gen := func(o options.Options) string {
+		t.Helper()
+		a, err := Generate("nserver", o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return all(a)
+	}
+
+	base := options.Options{DispatcherThreads: 1, Codec: true}
+
+	// Neither O11 nor O12: no histograms, no trace IDs, not even a time
+	// import for them.
+	plain := gen(base)
+	for _, absent := range []string{
+		"StageHistogram", "StageReport", "stageRead", "Observe(",
+		"RequestID", "connSeq", "traceSampleEvery", "trace id=",
+	} {
+		if strings.Contains(plain, absent) {
+			t.Errorf("plain framework contains %q — observability not woven out", absent)
+		}
+	}
+
+	// O11 only: per-stage histograms for all five pipeline stages, but no
+	// request tracing.
+	prof := base
+	prof.Profiling = true
+	profSrc := gen(prof)
+	for _, present := range []string{
+		"StageHistogram", "StageReport",
+		"Stages[stageRead].Observe", "Stages[stageDecode].Observe",
+		"Stages[stageHandle].Observe", "Stages[stageEncode].Observe",
+		"Stages[stageSend].Observe",
+	} {
+		if !strings.Contains(profSrc, present) {
+			t.Errorf("profiled framework missing %q", present)
+		}
+	}
+	for _, absent := range []string{"RequestID", "trace id=", "traceSampleEvery"} {
+		if strings.Contains(profSrc, absent) {
+			t.Errorf("profiled framework contains O12 artifact %q", absent)
+		}
+	}
+
+	// O12 only: trace IDs and sampled trace lines, but no histograms.
+	logd := base
+	logd.Logging = true
+	logSrc := gen(logd)
+	for _, present := range []string{
+		"RequestID", "connSeq", "traceSampleEvery = 128", "trace id=",
+		"c%d-r%d",
+	} {
+		if !strings.Contains(logSrc, present) {
+			t.Errorf("logging framework missing %q", present)
+		}
+	}
+	for _, absent := range []string{"StageHistogram", "Profile"} {
+		if strings.Contains(logSrc, absent) {
+			t.Errorf("logging framework contains O11 artifact %q", absent)
+		}
+	}
+
+	// O11 without O3: the codec stage slots themselves are woven out.
+	noCodec := options.Options{DispatcherThreads: 1, Profiling: true}
+	ncSrc := gen(noCodec)
+	for _, absent := range []string{"stageDecode", "stageEncode"} {
+		if strings.Contains(ncSrc, absent) {
+			t.Errorf("codec-less framework contains %q", absent)
+		}
+	}
+	for _, present := range []string{"Stages[stageRead].Observe", "Stages[stageSend].Observe"} {
+		if !strings.Contains(ncSrc, present) {
+			t.Errorf("codec-less profiled framework missing %q", present)
+		}
+	}
+
+	// Both on: the sampled trace line and the handle-stage observation
+	// share the generated handleStart timestamp, and the code compiles.
+	both := base
+	both.Profiling = true
+	both.Logging = true
+	a, err := Generate("nserver", both)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bothSrc := all(a)
+	for _, present := range []string{
+		"handleStart := time.Now()",
+		"Stages[stageHandle].Observe(time.Since(handleStart))",
+		"s.Log.Printf(\"trace id=%s service=%v\", c.RequestID(), time.Since(handleStart))",
+	} {
+		if !strings.Contains(bothSrc, present) {
+			t.Errorf("combined framework missing %q", present)
+		}
+	}
+	dir := filepath.Join(t.TempDir(), "o11o12")
+	if err := a.WriteTo(dir); err != nil {
+		t.Fatal(err)
+	}
+	buildDir(t, dir)
+}
+
 func TestPolicySpecializedCacheCode(t *testing.T) {
 	for policy, marker := range map[options.CachePolicy]string{
 		options.LRU:          "least recently used",

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -180,4 +181,64 @@ func (t *Trace) Len() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.count
+}
+
+// RequestTrace is the structured request tracer of option O12: every
+// completed request carries a trace ID of the form "c<conn>-r<req>"
+// (connection sequence number, per-connection request ordinal), and a
+// deterministic 1-in-N sample of requests is written to the application
+// logger as one structured line:
+//
+//	trace id=c12-r3 service=152µs
+//
+// Sampling is a single atomic increment per request; the trace line (and
+// its formatting cost) is paid only for sampled requests. A nil
+// *RequestTrace discards everything, following the package's nil-receiver
+// idiom.
+type RequestTrace struct {
+	log     *Logger
+	every   uint64
+	seen    atomic.Uint64
+	emitted atomic.Uint64
+}
+
+// NewRequestTrace samples one request in every `every` to log. every <= 1
+// traces every request. A nil logger yields a nil (no-op) tracer.
+func NewRequestTrace(log *Logger, every int) *RequestTrace {
+	if log == nil {
+		return nil
+	}
+	if every < 1 {
+		every = 1
+	}
+	return &RequestTrace{log: log, every: uint64(every)}
+}
+
+// Sample records one completed request, emitting a trace line when the
+// request falls on the sampling lattice.
+func (rt *RequestTrace) Sample(connID, reqID uint64, service time.Duration) {
+	if rt == nil {
+		return
+	}
+	if rt.seen.Add(1)%rt.every != 0 {
+		return
+	}
+	rt.emitted.Add(1)
+	rt.log.Infof("trace id=c%d-r%d service=%v", connID, reqID, service)
+}
+
+// Seen returns the number of requests observed (sampled or not).
+func (rt *RequestTrace) Seen() uint64 {
+	if rt == nil {
+		return 0
+	}
+	return rt.seen.Load()
+}
+
+// Emitted returns the number of trace lines actually written.
+func (rt *RequestTrace) Emitted() uint64 {
+	if rt == nil {
+		return 0
+	}
+	return rt.emitted.Load()
 }

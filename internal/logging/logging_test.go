@@ -148,3 +148,86 @@ func TestConcurrentLoggingAndTracing(t *testing.T) {
 		t.Errorf("trace retained %d", tr.Len())
 	}
 }
+
+func TestRequestTraceSampling(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo)
+	l.SetClock(fixedClock())
+	rt := NewRequestTrace(l, 4)
+	for i := uint64(1); i <= 10; i++ {
+		rt.Sample(3, i, 150*time.Microsecond)
+	}
+	if rt.Seen() != 10 {
+		t.Errorf("Seen = %d, want 10", rt.Seen())
+	}
+	if rt.Emitted() != 2 { // requests 4 and 8 fall on the lattice
+		t.Errorf("Emitted = %d, want 2", rt.Emitted())
+	}
+	out := buf.String()
+	if got := strings.Count(out, "trace id="); got != 2 {
+		t.Errorf("%d trace lines in %q", got, out)
+	}
+	for _, want := range []string{"trace id=c3-r4 service=150µs", "trace id=c3-r8 service=150µs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestRequestTraceEveryRequest(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo)
+	l.SetClock(fixedClock())
+	rt := NewRequestTrace(l, 0) // <1 clamps to every request
+	rt.Sample(1, 1, time.Millisecond)
+	rt.Sample(1, 2, time.Millisecond)
+	if rt.Emitted() != 2 {
+		t.Errorf("Emitted = %d, want 2", rt.Emitted())
+	}
+}
+
+func TestRequestTraceNilSafe(t *testing.T) {
+	if rt := NewRequestTrace(nil, 8); rt != nil {
+		t.Error("nil logger should yield nil tracer")
+	}
+	var rt *RequestTrace
+	rt.Sample(1, 1, time.Second)
+	if rt.Seen() != 0 || rt.Emitted() != 0 {
+		t.Error("nil tracer counted requests")
+	}
+}
+
+func TestRequestTraceConcurrent(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	l := NewLogger(lockedWriter{mu: &mu, w: &buf}, LevelInfo)
+	rt := NewRequestTrace(l, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := uint64(0); i < 400; i++ {
+				rt.Sample(1, i, time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if rt.Seen() != 1600 {
+		t.Errorf("Seen = %d, want 1600", rt.Seen())
+	}
+	if rt.Emitted() != 200 { // exactly 1-in-8 regardless of interleaving
+		t.Errorf("Emitted = %d, want 200", rt.Emitted())
+	}
+}
+
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (lw lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}

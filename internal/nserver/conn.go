@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/bufpool"
 	"repro/internal/events"
+	"repro/internal/profiling"
 	"repro/internal/reactor"
 )
 
@@ -37,6 +38,12 @@ type Conn struct {
 	srv    *Server
 	conn   net.Conn
 	handle reactor.Handle
+
+	// id is the server-unique connection sequence number assigned at
+	// attach; with O12 it anchors the per-request trace ID. reqs counts
+	// requests dispatched on this connection.
+	id   uint64
+	reqs atomic.Uint64
 
 	// prio is the O8 scheduling priority applied to this connection's
 	// events.
@@ -102,6 +109,20 @@ func (c *Conn) IdleFor() time.Duration {
 // Closed reports whether the connection has been torn down.
 func (c *Conn) Closed() bool { return c.closed.Load() }
 
+// ID returns the server-unique connection sequence number.
+func (c *Conn) ID() uint64 { return c.id }
+
+// RequestID returns the trace ID of the request currently (or most
+// recently) dispatched on this connection, in the O12 trace format
+// "c<conn>-r<req>". Before the first request the request ordinal is 0.
+func (c *Conn) RequestID() string {
+	return fmt.Sprintf("c%d-r%d", c.id, c.reqs.Load())
+}
+
+// nextRequestID advances the request ordinal for a newly decoded request
+// and returns its trace ID.
+func (c *Conn) nextRequestID() uint64 { return c.reqs.Add(1) }
+
 func (c *Conn) touch() { c.lastActive.Store(time.Now().UnixNano()) }
 
 // armWriteDeadline applies the per-write deadline (WriteTimeout) before a
@@ -120,7 +141,9 @@ func (c *Conn) Send(data []byte) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
 	c.armWriteDeadline()
+	sendStart := c.srv.profile.StageStart()
 	n, err := c.conn.Write(data)
+	c.srv.profile.ObserveSince(profiling.StageSend, sendStart)
 	c.srv.profile.BytesSent(n)
 	c.touch()
 	if err != nil {
@@ -141,7 +164,9 @@ const replyHeadSize = 512
 func (c *Conn) Reply(reply any) error {
 	if be, ok := c.srv.codec.(BufferEncoder); ok {
 		lease := bufpool.Get(replyHeadSize)
+		encStart := c.srv.profile.StageStart()
 		head, body, err := appendHeadSafe(be, lease.Bytes()[:0], reply)
+		c.srv.profile.ObserveSince(profiling.StageEncode, encStart)
 		if err != nil {
 			lease.Release()
 			return err
@@ -192,7 +217,9 @@ func (c *Conn) sendBuffers(head, body []byte) error {
 		return nil
 	}
 	c.armWriteDeadline()
+	sendStart := c.srv.profile.StageStart()
 	n, err := bufs.WriteTo(c.conn)
+	c.srv.profile.ObserveSince(profiling.StageSend, sendStart)
 	c.srv.profile.BytesSent(int(n))
 	c.touch()
 	if err != nil {
@@ -241,8 +268,12 @@ func (c *Conn) readLoop() {
 			_ = c.conn.SetReadDeadline(time.Now().Add(readTimeout))
 		}
 		lease := bufpool.Get(readChunkSize)
+		readStart := c.srv.profile.StageStart()
 		n, err := c.conn.Read(lease.Bytes())
 		if n > 0 {
+			// The Read Request stage: blocked-in-Read time per chunk, which
+			// also makes peer read stalls visible in the histogram.
+			c.srv.profile.ObserveSince(profiling.StageRead, readStart)
 			lease.SetLen(n)
 			c.srv.profile.BytesRead(n)
 			c.touch()
@@ -316,7 +347,9 @@ func (c *Conn) processChunk(chunk []byte) {
 	}
 	c.inbuf = append(c.inbuf, chunk...)
 	for {
+		decStart := c.srv.profile.StageStart()
 		req, n, err := c.decodeSafe()
+		c.srv.profile.ObserveSince(profiling.StageDecode, decStart)
 		if n > 0 {
 			c.inbuf = c.inbuf[n:]
 			c.srv.handleRequest(c, req)

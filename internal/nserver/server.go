@@ -50,7 +50,17 @@ type Config struct {
 	// must close them) instead of waiting in the listen backlog.
 	// COPS-HTTP uses this to serve a prebuilt "503 + Retry-After".
 	Shed func(net.Conn)
+	// TraceSampleEvery sets the O12 request-trace sampling interval: one
+	// completed request in every N is written to the Logger as a
+	// structured "trace id=c<conn>-r<req> service=..." line. Zero means
+	// the default (every 128th); 1 traces every request. Only effective
+	// when Options.Logging is on and a Logger is supplied.
+	TraceSampleEvery int
 }
+
+// defaultTraceSampleEvery is the O12 sampling interval when the
+// configuration leaves TraceSampleEvery zero.
+const defaultTraceSampleEvery = 128
 
 // Server is the assembled N-Server instance.
 type Server struct {
@@ -69,6 +79,11 @@ type Server struct {
 	profile  *profiling.Profile
 	logger   *logging.Logger
 	trace    *logging.Trace
+	reqTrace *logging.RequestTrace
+
+	// connSeq issues the per-server connection sequence numbers that
+	// anchor O12 trace IDs.
+	connSeq atomic.Uint64
 
 	mu    sync.Mutex
 	conns map[reactor.Handle]*Conn
@@ -114,6 +129,15 @@ func New(cfg Config) (*Server, error) {
 	// O11: profiling counters exist only when selected.
 	if o.Profiling {
 		s.profile = profiling.New()
+	}
+	// O12: the sampled request tracer exists only when logging is on and
+	// a logger is attached.
+	if o.Logging && cfg.Logger != nil {
+		every := cfg.TraceSampleEvery
+		if every == 0 {
+			every = defaultTraceSampleEvery
+		}
+		s.reqTrace = logging.NewRequestTrace(cfg.Logger, every)
 	}
 	// O10: the debug trace exists only in debug mode.
 	if o.Mode == options.Debug {
@@ -255,6 +279,19 @@ func (s *Server) Logger() *logging.Logger {
 	return s.logger
 }
 
+// RequestTrace returns the O12 sampled request tracer (nil unless
+// logging is on and a logger was supplied).
+func (s *Server) RequestTrace() *logging.RequestTrace { return s.reqTrace }
+
+// Deferred returns the acceptor's cumulative deferred/shed connection
+// count (0 before Start).
+func (s *Server) Deferred() uint64 {
+	if s.acceptor == nil {
+		return 0
+	}
+	return s.acceptor.Deferred()
+}
+
 // Cache returns the file cache (nil unless O6 selects a policy).
 func (s *Server) Cache() *cache.Cache { return s.fcache }
 
@@ -376,6 +413,7 @@ func (s *Server) attach(nc net.Conn) {
 		srv:    s,
 		conn:   nc,
 		handle: s.reactor.NewHandle(),
+		id:     s.connSeq.Add(1),
 	}
 	c.touch()
 	if s.priority != nil {
@@ -405,15 +443,19 @@ func (s *Server) detach(c *Conn) {
 // handleRequest runs the application's Handle Request hook with panic
 // isolation and per-request profiling.
 func (s *Server) handleRequest(c *Conn, req any) {
+	rid := c.nextRequestID()
 	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
-			s.trace.Record("server", "handler panic on %d: %v", c.handle, r)
+			s.trace.Record("server", "handler panic on %d (%s): %v", c.handle, c.RequestID(), r)
 			c.teardown(fmt.Errorf("nserver: handler panic: %v", r))
 		}
 	}()
 	s.app.Handle(c, req)
-	s.profile.RequestServed(time.Since(start))
+	d := time.Since(start)
+	s.profile.RequestServed(d)
+	s.profile.ObserveStage(profiling.StageHandle, d)
+	s.reqTrace.Sample(c.id, rid, d)
 }
 
 // encode runs the Encode Reply step with panic isolation: a buggy Encode

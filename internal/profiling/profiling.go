@@ -34,6 +34,12 @@ type Profile struct {
 	// serviceNanos accumulates total request service time for mean
 	// response time reporting.
 	serviceNanos atomic.Uint64
+	// stages holds one latency histogram per instrumented pipeline stage
+	// (see histogram.go): the five Fig. 1 steps plus queue wait and AIO
+	// completion latency.
+	stages [NumStages]Histogram
+	// stageSeen drives the 1-in-StageSampleEvery lattice of StageStart.
+	stageSeen atomic.Uint64
 }
 
 // New returns an empty profile.
