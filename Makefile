@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos bench bench-allocs bench-shed bench-metrics experiments examples cover clean
+.PHONY: all build vet test race chaos bench bench-allocs bench-shed bench-metrics bench-sendfile experiments examples cover clean
 
 all: build vet test
 
@@ -50,6 +50,14 @@ bench-metrics:
 	$(GO) test -run TestHotPathAllocs -bench 'BenchmarkHTTPEncode|BenchmarkMetricsOverhead' -benchmem . \
 		| $(GO) run ./cmd/benchjson > BENCH_PR3.json
 	@cat BENCH_PR3.json
+
+# The large-file snapshot: streamed-versus-buffered transfer throughput
+# at 1/16/256 MiB with peak heap-in-use per mode (the streamed 256 MiB
+# row must stay near the buffered 1 MiB row), recorded as JSON.
+bench-sendfile:
+	$(GO) test -run '^$$' -bench BenchmarkLargeFileServe -benchmem . \
+		| $(GO) run ./cmd/benchjson > BENCH_PR4.json
+	@cat BENCH_PR4.json
 
 # Regenerate every table and figure at full virtual length.
 experiments:

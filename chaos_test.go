@@ -519,3 +519,87 @@ func TestChaosMetricsStayServiceable(t *testing.T) {
 		}
 	}
 }
+
+// TestChaosRSTMidStreamReapsConnection: the peer resets the transport
+// partway through a streamed large-file body (the faultnet wrapper is not
+// a *net.TCPConn, so this exercises the pooled-copy streaming path — the
+// same chunk loop every non-TCP transport runs). The failure must stay on
+// that connection: it is torn down promptly, active connections drain to
+// zero, the streaming counters stay monotonic, and the next clean request
+// is served.
+func TestChaosRSTMidStreamReapsConnection(t *testing.T) {
+	dir, big := chaosRoot(t)
+	opts := options.COPSHTTP().
+		WithHardening(time.Second, time.Second, 1<<20).
+		WithLargeFiles(16 << 10) // 64 KiB big.bin streams
+	opts.Profiling = true
+	srv, ln, addr := startChaosHTTP(t,
+		copshttp.Config{DocRoot: dir, Options: &opts},
+		faultnet.Scenario{Seed: 12, RSTAfterBytes: 8 << 10},
+	)
+	ms, err := metrics.NewServer("127.0.0.1:0", metrics.Config{
+		Profile: srv.Framework().Profile(),
+		Cache:   srv.Framework().Cache(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ms.Close() })
+	scrape := func() map[string]float64 {
+		t.Helper()
+		raw, err := httpGet(t, ms.Addr().String(), "/metrics", 3*time.Second)
+		if err != nil {
+			t.Fatalf("metrics endpoint unreachable mid-chaos: %v", err)
+		}
+		_, body, ok := bytes.Cut(raw, []byte("\r\n\r\n"))
+		if !ok {
+			t.Fatalf("unframed metrics response: %.120q", raw)
+		}
+		return metrics.ParseCounters(string(body))
+	}
+
+	prev := scrape()
+	for round := 0; round < 4; round++ {
+		// The streamed reply dies at the 8 KiB RST budget, far short of
+		// the 64 KiB body — that is the chaos, not the assert.
+		resp, rerr := httpGet(t, addr, "/big.bin", 3*time.Second)
+		if rerr == nil && len(resp) > len(big) {
+			t.Fatal("full streamed body survived an 8 KiB RST budget — no fault injected")
+		}
+		cur := scrape()
+		for _, k := range []string{
+			"nserver_streamed_bytes_total",
+			"nserver_stream_fallback_chunks_total",
+			"nserver_sent_bytes_total",
+			"nserver_connections_accepted_total",
+		} {
+			if cur[k] < prev[k] {
+				t.Fatalf("round %d: counter %s went backwards: %v -> %v", round, k, prev[k], cur[k])
+			}
+		}
+		prev = cur
+	}
+	if ln.Stats().Resets.Load() == 0 {
+		t.Fatal("scenario injected no reset — test proves nothing")
+	}
+	if prev["nserver_streamed_bytes_total"] == 0 {
+		t.Fatal("nothing streamed — the large-file path never engaged")
+	}
+	if prev["nserver_stream_fallback_chunks_total"] == 0 {
+		t.Fatal("no fallback chunks — wrapped transport unexpectedly took sendfile")
+	}
+
+	// Every reset connection was reaped; nothing wedged in the chunk loop.
+	deadline := time.Now().Add(3 * time.Second)
+	for srv.Framework().ActiveConns() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d connections wedged after mid-stream RST", srv.Framework().ActiveConns())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// A small exchange fits under a fresh connection's byte budget.
+	resp, err := httpGet(t, addr, "/index.html", 3*time.Second)
+	if err != nil || !bytes.Contains(resp, []byte(" 200 ")) {
+		t.Fatalf("server unhealthy after mid-stream RST: err=%v resp=%.60q", err, resp)
+	}
+}

@@ -40,6 +40,7 @@ func main() {
 		readTO      = flag.Duration("read-timeout", 0, "per-read and request-assembly deadline (slowloris defense); 0 disables")
 		writeTO     = flag.Duration("write-timeout", 0, "per-reply write deadline; 0 disables")
 		maxReq      = flag.Int("max-request", 0, "max buffered request bytes per connection; 0 is unlimited")
+		largeFile   = flag.Int64("large-file-threshold", 1<<20, "stream files of at least this many bytes from a descriptor (sendfile on Linux), bypassing the cache; 0 buffers everything")
 		shed        = flag.Bool("shed", false, "with -overload: answer 503+Retry-After while the gate is paused instead of postponing accepts")
 		retryAfter  = flag.Duration("retry-after", 0, "Retry-After delay on shed 503 replies (default 1s)")
 		profile     = flag.Bool("profile", false, "enable performance profiling (O11)")
@@ -111,6 +112,9 @@ func main() {
 	}
 	if *readTO > 0 || *writeTO > 0 || *maxReq > 0 {
 		opts = opts.WithHardening(*readTO, *writeTO, *maxReq)
+	}
+	if *largeFile > 0 {
+		opts = opts.WithLargeFiles(*largeFile)
 	}
 
 	srv, err := copshttp.New(copshttp.Config{

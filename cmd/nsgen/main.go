@@ -32,6 +32,7 @@ func main() {
 		scaffold   = flag.Bool("scaffold", false, "also generate the application skeleton (hooks.go, main.go, go.mod)")
 		module     = flag.String("module", "app", "module path for -scaffold")
 		emitConfig = flag.String("emit-config", "", "print the JSON configuration for a preset and exit")
+		largeFile  = flag.Int64("large-file", 0, "weave the large-file streaming crosscut with this byte threshold; 0 omits it")
 	)
 	flag.Parse()
 
@@ -67,6 +68,9 @@ func main() {
 	default:
 		fmt.Fprintln(os.Stderr, "nsgen: need -preset or -config (see -help)")
 		os.Exit(2)
+	}
+	if *largeFile > 0 {
+		opts = opts.WithLargeFiles(*largeFile)
 	}
 
 	if *scaffold {

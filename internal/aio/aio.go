@@ -161,6 +161,64 @@ func (e *fileStatEvent) Process() {
 // Priority implements events.Event.
 func (e *fileStatEvent) Priority() events.Priority { return e.prio }
 
+// OpenDone is the completion continuation for Open: it receives the
+// submission token, an open descriptor with its metadata (nil on error)
+// and the operation error. Ownership of the descriptor passes to the
+// continuation, which must close it.
+type OpenDone func(tok events.Token, f *os.File, info os.FileInfo, err error)
+
+// openResult carries the descriptor and its metadata through the
+// Completion Event's single Result slot.
+type openResult struct {
+	f    *os.File
+	info os.FileInfo
+}
+
+// fileOpenEvent is the File Open Event proper: it opens the file and
+// resolves its metadata without reading contents, so the completion can
+// stream the body straight off the descriptor.
+type fileOpenEvent struct {
+	svc  *Service
+	path string
+	tok  events.Token
+	prio events.Priority
+	done OpenDone
+}
+
+// Process opens and stats the file on a file-I/O worker.
+func (e *fileOpenEvent) Process() {
+	f, err := os.Open(e.path)
+	var info os.FileInfo
+	if err == nil {
+		if info, err = f.Stat(); err != nil {
+			f.Close()
+			f = nil
+		}
+	}
+	if e.svc.mode == options.SynchronousCompletion {
+		e.done(e.tok, f, info, err)
+		return
+	}
+	ev := &events.Completion{
+		Token: e.tok, Result: openResult{f: f, info: info}, Err: err, Prio: e.prio,
+		Done: func(tok events.Token, res any, err error) {
+			r, _ := res.(openResult)
+			e.done(tok, r.f, r.info, err)
+		},
+	}
+	if serr := e.svc.sink(ev); serr != nil {
+		// The completion sink is gone (shutdown): the continuation will
+		// never run, so the descriptor must be closed here or it leaks.
+		if f != nil {
+			f.Close()
+		}
+		e.svc.trace.Record("file-io", "completion sink closed: %v", serr)
+	}
+}
+
+// Priority implements events.Event.
+func (e *fileOpenEvent) Priority() events.Priority { return e.prio }
+
 // ReadFile issues an emulated asynchronous read of path. The returned
 // token identifies the operation; the same token is handed to done on
 // completion. Cache hits (when a cache is attached) complete without
@@ -188,6 +246,25 @@ func (s *Service) ReadFile(path string, state any, prio events.Priority, done Do
 		s.profile.CacheMiss()
 	}
 	err := s.proc.Submit(&fileReadEvent{svc: s, path: path, tok: tok, prio: prio, done: done})
+	return tok, err
+}
+
+// Open issues an emulated asynchronous open+stat of path: the large-file
+// analogue of ReadFile, where the completion token carries an open
+// descriptor instead of bytes so the caller can stream the content
+// without ever buffering it. Opens bypass the cache by design — the
+// admission cap would refuse the bytes anyway — and the continuation owns
+// (and must close) the descriptor.
+func (s *Service) Open(path string, state any, prio events.Priority, done OpenDone) (events.Token, error) {
+	tok := events.NewToken(state)
+	if start := s.profile.StageStart(); !start.IsZero() {
+		inner := done
+		done = func(tok events.Token, f *os.File, info os.FileInfo, err error) {
+			s.profile.ObserveSince(profiling.StageAIOComplete, start)
+			inner(tok, f, info, err)
+		}
+	}
+	err := s.proc.Submit(&fileOpenEvent{svc: s, path: path, tok: tok, prio: prio, done: done})
 	return tok, err
 }
 

@@ -48,6 +48,13 @@ type Config struct {
 	Threshold int64
 	// Custom is the victim-selection hook for the Custom policy.
 	Custom VictimFunc
+	// MaxEntryBytes, when > 0, is the large-file admission cap applied
+	// under every policy: documents at or above it are never admitted,
+	// so one huge file cannot evict the hot set. The boundary matches
+	// the serve path, which streams documents of at least this size
+	// from a descriptor instead of buffering them. Refusals count
+	// separately (RejectedTooLarge) from the policy's admission rejects.
+	MaxEntryBytes int64
 	// Shards is the number of independent cache shards; it is rounded up
 	// to a power of two and capped so every shard keeps a positive byte
 	// capacity. Zero means 1 (the classic single-lock cache). Servers use
@@ -61,8 +68,11 @@ type Stats struct {
 	Misses    uint64
 	Evictions uint64
 	Rejects   uint64 // Put calls refused by the admission rule
-	Bytes     int64  // resident bytes
-	Entries   int
+	// RejectedTooLarge counts Put calls refused by the MaxEntryBytes
+	// large-file admission cap (not included in Rejects).
+	RejectedTooLarge uint64
+	Bytes            int64 // resident bytes
+	Entries          int
 }
 
 // HitRate returns hits / (hits+misses), or 0 with no traffic.
@@ -75,8 +85,8 @@ func (s Stats) HitRate() float64 {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("hits=%d misses=%d rate=%.3f evictions=%d rejects=%d bytes=%d entries=%d",
-		s.Hits, s.Misses, s.HitRate(), s.Evictions, s.Rejects, s.Bytes, s.Entries)
+	return fmt.Sprintf("hits=%d misses=%d rate=%.3f evictions=%d rejects=%d rejected_too_large=%d bytes=%d entries=%d",
+		s.Hits, s.Misses, s.HitRate(), s.Evictions, s.Rejects, s.RejectedTooLarge, s.Bytes, s.Entries)
 }
 
 type entry struct {
@@ -106,17 +116,19 @@ type shard struct {
 	misses    uint64
 	evictions uint64
 	rejects   uint64
+	tooLarge  uint64
 }
 
 // statsLocked snapshots one shard's counters; the caller holds s.mu.
 func (s *shard) statsLocked() Stats {
 	return Stats{
-		Hits:      s.hits,
-		Misses:    s.misses,
-		Evictions: s.evictions,
-		Rejects:   s.rejects,
-		Bytes:     s.used,
-		Entries:   len(s.entries),
+		Hits:             s.hits,
+		Misses:           s.misses,
+		Evictions:        s.evictions,
+		Rejects:          s.rejects,
+		RejectedTooLarge: s.tooLarge,
+		Bytes:            s.used,
+		Entries:          len(s.entries),
 	}
 }
 
@@ -280,6 +292,11 @@ func (c *Cache) Put(key string, data []byte) bool {
 	size := int64(len(data))
 	s := c.shardFor(key)
 	s.mu.Lock()
+	if c.cfg.MaxEntryBytes > 0 && size >= c.cfg.MaxEntryBytes {
+		s.tooLarge++
+		s.mu.Unlock()
+		return false
+	}
 	if size > s.capacity || (c.policy == options.LRUThreshold && size > c.cfg.Threshold) {
 		s.rejects++
 		s.mu.Unlock()
@@ -357,6 +374,7 @@ func (c *Cache) Stats() Stats {
 		st.Misses += sh.Misses
 		st.Evictions += sh.Evictions
 		st.Rejects += sh.Rejects
+		st.RejectedTooLarge += sh.RejectedTooLarge
 		st.Bytes += sh.Bytes
 		st.Entries += sh.Entries
 	}
@@ -381,7 +399,7 @@ func (c *Cache) ShardStats() []Stats {
 func (c *Cache) ResetStats() {
 	for _, s := range c.shards {
 		s.mu.Lock()
-		s.hits, s.misses, s.evictions, s.rejects = 0, 0, 0, 0
+		s.hits, s.misses, s.evictions, s.rejects, s.tooLarge = 0, 0, 0, 0, 0
 		s.mu.Unlock()
 	}
 }

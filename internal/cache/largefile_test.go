@@ -1,0 +1,54 @@
+package cache
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/options"
+)
+
+// TestMaxEntryBytesAdmission pins the large-file admission cap: entries
+// at or above the cap are refused under every policy, counted apart from
+// the policy's own rejects, and never disturb the resident set.
+func TestMaxEntryBytesAdmission(t *testing.T) {
+	c := mustNew(t, 1024, options.LRU, Config{MaxEntryBytes: 64})
+	if !c.Put("small", make([]byte, 63)) {
+		t.Fatal("below-cap entry refused")
+	}
+	if c.Put("boundary", make([]byte, 64)) {
+		t.Error("entry at the cap admitted (streaming path boundary is >=)")
+	}
+	if c.Put("big", make([]byte, 500)) {
+		t.Error("above-cap entry admitted")
+	}
+	if _, ok := c.Get("small"); !ok {
+		t.Error("refused entries disturbed the resident set")
+	}
+	st := c.Stats()
+	if st.RejectedTooLarge != 2 {
+		t.Errorf("RejectedTooLarge = %d, want 2", st.RejectedTooLarge)
+	}
+	if st.Rejects != 0 {
+		t.Errorf("Rejects = %d, want 0 (cap refusals count separately)", st.Rejects)
+	}
+	if !strings.Contains(st.String(), "rejected_too_large=2") {
+		t.Errorf("Stats.String() missing the cap counter: %q", st.String())
+	}
+
+	c.ResetStats()
+	if st := c.Stats(); st.RejectedTooLarge != 0 {
+		t.Errorf("RejectedTooLarge after reset = %d", st.RejectedTooLarge)
+	}
+}
+
+// TestMaxEntryBytesZeroDisables keeps the default behavior bit-exact:
+// with no cap, admission is governed only by capacity and policy.
+func TestMaxEntryBytesZeroDisables(t *testing.T) {
+	c := mustNew(t, 1024, options.LRU, Config{})
+	if !c.Put("any", make([]byte, 512)) {
+		t.Fatal("entry refused with cap disabled")
+	}
+	if st := c.Stats(); st.RejectedTooLarge != 0 {
+		t.Errorf("RejectedTooLarge = %d with cap disabled", st.RejectedTooLarge)
+	}
+}

@@ -10,6 +10,7 @@ package copsftp
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"path/filepath"
@@ -50,6 +51,10 @@ type Server struct {
 	users       *ftpproto.UserStore
 	readOnly    bool
 	dataTimeout time.Duration
+	// largeFile is the RETR streaming threshold: files of at least this
+	// many bytes are sent chunk by chunk from an open descriptor instead
+	// of being read whole into memory. 0 disables the path.
+	largeFile int64
 }
 
 // session is the per-control-connection state (stored as Conn user data).
@@ -89,7 +94,7 @@ func New(cfg Config) (*Server, error) {
 	if dt <= 0 {
 		dt = 10 * time.Second
 	}
-	s := &Server{root: root, users: users, readOnly: cfg.ReadOnly, dataTimeout: dt}
+	s := &Server{root: root, users: users, readOnly: cfg.ReadOnly, dataTimeout: dt, largeFile: opts.LargeFileThreshold}
 	ns, err := nserver.New(nserver.Config{
 		Options: opts,
 		App: nserver.AppFuncs{
@@ -387,11 +392,56 @@ func (s *Server) cmdRetr(c *nserver.Conn, sess *session, arg string) {
 		_ = c.Reply(ftpproto.NewReply(550, ""))
 		return
 	}
-	if fi, err := os.Stat(full); err != nil || fi.IsDir() {
+	fi, err := os.Stat(full)
+	if err != nil || fi.IsDir() {
 		_ = c.Reply(ftpproto.NewReply(550, ""))
 		return
 	}
 	_ = c.Reply(ftpproto.NewReply(150, ""))
+	if s.largeFile > 0 && fi.Size() >= s.largeFile {
+		// Large-file path: the descriptor comes back from the emulated
+		// asynchronous open and the body streams to the data connection
+		// through a pooled buffer, never held whole in memory.
+		go s.transfer(c, sess, func(dc net.Conn) error {
+			done := make(chan error, 1)
+			_, err := s.ns.AIO().Open(full, nil, c.Priority(),
+				func(_ events.Token, f *os.File, _ os.FileInfo, oerr error) {
+					if oerr != nil {
+						done <- oerr
+						return
+					}
+					defer f.Close()
+					lease := bufpool.Get(32 << 10)
+					defer lease.Release()
+					buf := lease.Bytes()
+					for {
+						n, rerr := f.Read(buf)
+						if n > 0 {
+							nw, werr := dc.Write(buf[:n])
+							s.ns.Profile().BytesSent(nw)
+							s.ns.Profile().BytesStreamed(nw)
+							s.ns.Profile().StreamFallbackChunk()
+							if werr != nil {
+								done <- werr
+								return
+							}
+						}
+						if rerr != nil {
+							if rerr == io.EOF {
+								rerr = nil
+							}
+							done <- rerr
+							return
+						}
+					}
+				})
+			if err != nil {
+				return err
+			}
+			return <-done
+		})
+		return
+	}
 	// The file content is fetched through the framework's emulated async
 	// I/O (cache-aware when O6 is on); the data-connection write happens
 	// on the transfer helper.

@@ -13,7 +13,16 @@ import (
 	"time"
 
 	"repro/internal/ftpproto"
+	"repro/internal/options"
 )
+
+// optionsWithLargeFiles is the COPS-FTP preset with the streaming
+// threshold set and profiling on (so streamed-byte counters tick).
+func optionsWithLargeFiles(threshold int64) options.Options {
+	o := options.COPSFTP().WithLargeFiles(threshold)
+	o.Profiling = true
+	return o
+}
 
 // ftpClient is a minimal scripted FTP test client.
 type ftpClient struct {
@@ -200,6 +209,46 @@ func TestRetrPassive(t *testing.T) {
 	}
 	if string(data) != "hello ftp" {
 		t.Errorf("RETR data = %q", data)
+	}
+	c.expect(226)
+}
+
+func TestRetrLargeFileStreams(t *testing.T) {
+	root := buildRoot(t)
+	// Deterministic pattern so a dropped or reordered chunk cannot pass.
+	big := make([]byte, 192<<10)
+	for i := range big {
+		big[i] = byte(i*11 + 7)
+	}
+	if err := os.WriteFile(filepath.Join(root, "big.bin"), big, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opts := optionsWithLargeFiles(64 << 10)
+	s := startFTP(t, Config{Root: root, Options: &opts})
+	c := newClient(t, s.Addr())
+	c.login()
+	dc := c.pasvData()
+	c.cmd(150, "RETR big.bin")
+	data, err := io.ReadAll(dc)
+	dc.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != len(big) || string(data) != string(big) {
+		t.Errorf("streamed RETR returned %d bytes, want %d (content match: %v)",
+			len(data), len(big), string(data) == string(big))
+	}
+	c.expect(226)
+	if streamed := s.Framework().Profile().Snapshot().BytesStreamed; streamed != uint64(len(big)) {
+		t.Errorf("BytesStreamed = %d, want %d", streamed, len(big))
+	}
+	// A small file on the same server still takes the buffered path.
+	dc = c.pasvData()
+	c.cmd(150, "RETR hello.txt")
+	data, _ = io.ReadAll(dc)
+	dc.Close()
+	if string(data) != "hello ftp" {
+		t.Errorf("small RETR after streaming = %q", data)
 	}
 	c.expect(226)
 }

@@ -87,6 +87,10 @@ type Server struct {
 	retryAfter  string
 	shedTimeout time.Duration
 	shedCount   atomic.Uint64
+	// largeFile is the streaming threshold: files of at least this many
+	// bytes skip the cache/read hop and stream from an open descriptor.
+	// 0 disables the large-file path.
+	largeFile int64
 }
 
 // connState carries one in-flight request through the asynchronous stat
@@ -96,10 +100,13 @@ type connState struct {
 	req  *httpproto.Request
 	// full is the resolved filesystem path being served.
 	full string
-	// modTime is the file's modification time from the stat hop.
+	// modTime and size are the file's metadata from the stat hop.
 	modTime time.Time
-	// triedIndex guards the single directory -> index file retry.
-	triedIndex bool
+	size    int64
+	// ranged records a satisfiable single byte range parsed from the
+	// request; the serve hop turns it into a 206.
+	ranged bool
+	rng    httpproto.ByteRange
 }
 
 // New assembles a COPS-HTTP server.
@@ -122,7 +129,7 @@ func New(cfg Config) (*Server, error) {
 	if idx == "" {
 		idx = "index.html"
 	}
-	s := &Server{docroot: root, indexFile: idx, dynamic: cfg.Dynamic}
+	s := &Server{docroot: root, indexFile: idx, dynamic: cfg.Dynamic, largeFile: opts.LargeFileThreshold}
 	s.retryAfter = strconv.FormatInt(ceilSeconds(cfg.RetryAfter), 10)
 	s.shedTimeout = opts.WriteTimeout
 	if s.shedTimeout <= 0 {
@@ -230,24 +237,66 @@ func (s *Server) handle(c *nserver.Conn, req any) {
 		return
 	}
 	if r.Method != "GET" && r.Method != "HEAD" {
-		s.reply(c, r, httpproto.ErrorResponse(405, !r.KeepAlive()))
+		s.errorReply(c, r, 405, !r.KeepAlive())
 		return
 	}
 	full, err := s.resolve(r.Path)
 	if err != nil {
-		s.reply(c, r, httpproto.ErrorResponse(403, !r.KeepAlive()))
+		s.errorReply(c, r, 403, !r.KeepAlive())
 		return
 	}
 	st := &connState{conn: c, req: r, full: full}
 	if _, err := s.ns.AIO().Stat(full, st, c.Priority(), s.statDone); err != nil {
-		s.reply(c, r, httpproto.ErrorResponse(503, true))
+		s.errorReply(c, r, 503, true)
 		c.Close()
 	}
 }
 
-// statDone is the completion handler of the stat hop: it resolves
-// directories to their index file (one retry), answers conditional
-// requests with 304, and otherwise issues the read hop.
+// errorReply sends a canned error page. A HEAD reply strips the body but
+// keeps the Content-Length a GET would have carried, so the two methods
+// are wire-identical up to the body (RFC 9110 §9.3.2).
+func (s *Server) errorReply(c *nserver.Conn, r *httpproto.Request, status int, close bool) {
+	page := httpproto.ErrorPage(status)
+	resp := httpproto.AcquireResponse()
+	resp.Status = status
+	resp.Close = close
+	resp.Headers.Set("Content-Type", "text/html")
+	if r != nil && r.Method == "HEAD" {
+		resp.Headers.Set("Content-Length", strconv.Itoa(len(page)))
+	} else {
+		resp.Body = page
+	}
+	s.reply(c, r, resp)
+	httpproto.ReleaseResponse(resp)
+}
+
+// redirectDir answers a directory request that lacks its trailing slash
+// with a 301 to the slash form (the usual static-server semantics, so
+// relative links inside the index page resolve). The Location echoes the
+// raw request target — query string stripped, never the decoded path, so
+// percent-escapes survive and no decoded byte can reach the header.
+func (s *Server) redirectDir(c *nserver.Conn, r *httpproto.Request) {
+	loc, _, _ := strings.Cut(r.Target, "?")
+	page := httpproto.ErrorPage(301)
+	resp := httpproto.AcquireResponse()
+	resp.Status = 301
+	resp.Close = !r.KeepAlive()
+	resp.Headers.Set("Location", loc+"/")
+	resp.Headers.Set("Content-Type", "text/html")
+	if r.Method == "HEAD" {
+		resp.Headers.Set("Content-Length", strconv.Itoa(len(page)))
+	} else {
+		resp.Body = page
+	}
+	s.reply(c, r, resp)
+	httpproto.ReleaseResponse(resp)
+}
+
+// statDone is the completion handler of the stat hop: it redirects bare
+// directory requests to their slash form, answers conditional requests
+// with 304, evaluates the Range header against the now-known size, and
+// otherwise issues the serve hop — a buffered read through the cache, or
+// a descriptor open for files at or above the large-file threshold.
 func (s *Server) statDone(tok events.Token, info os.FileInfo, err error) {
 	st := tok.State.(*connState)
 	c, r := st.conn, st.req
@@ -256,23 +305,20 @@ func (s *Server) statDone(tok events.Token, info os.FileInfo, err error) {
 		if errors.Is(err, fs.ErrPermission) {
 			status = 403
 		}
-		s.reply(c, r, httpproto.ErrorResponse(status, !r.KeepAlive()))
+		s.errorReply(c, r, status, !r.KeepAlive())
 		return
 	}
 	if info.IsDir() {
-		if st.triedIndex {
-			s.reply(c, r, httpproto.ErrorResponse(403, !r.KeepAlive()))
-			return
-		}
-		st.triedIndex = true
-		st.full = filepath.Join(st.full, s.indexFile)
-		if _, err := s.ns.AIO().Stat(st.full, st, c.Priority(), s.statDone); err != nil {
-			s.reply(c, r, httpproto.ErrorResponse(503, true))
-			c.Close()
-		}
+		// A trailing-slash path already resolved to the index file, so a
+		// directory here means the slash is missing.
+		s.redirectDir(c, r)
 		return
 	}
 	st.modTime = info.ModTime()
+	st.size = info.Size()
+	// If-Modified-Since wins over Range: a 304 carries no representation,
+	// so there is nothing for the range to select from (RFC 9110 §13.2.2
+	// evaluation order).
 	if httpproto.NotModifiedSince(r.Headers.Get("If-Modified-Since"), st.modTime) {
 		resp := httpproto.AcquireResponse()
 		resp.Status = 304
@@ -282,8 +328,42 @@ func (s *Server) statDone(tok events.Token, info os.FileInfo, err error) {
 		httpproto.ReleaseResponse(resp)
 		return
 	}
+	if raw := r.Headers.Get("Range"); raw != "" {
+		rng, rerr := httpproto.ParseRange(raw, st.size)
+		switch {
+		case rerr == nil:
+			st.ranged, st.rng = true, rng
+		case errors.Is(rerr, httpproto.ErrRangeUnsatisfiable):
+			// 416 settles here, before any file I/O is queued.
+			s.ns.Profile().RangeUnsatisfiable()
+			page := httpproto.ErrorPage(416)
+			resp := httpproto.AcquireResponse()
+			resp.Status = 416
+			resp.Close = !r.KeepAlive()
+			resp.Headers.Set("Content-Range", httpproto.ContentRangeUnsatisfiable(st.size))
+			resp.Headers.Set("Content-Type", "text/html")
+			if r.Method == "HEAD" {
+				resp.Headers.Set("Content-Length", strconv.Itoa(len(page)))
+			} else {
+				resp.Body = page
+			}
+			s.reply(c, r, resp)
+			httpproto.ReleaseResponse(resp)
+			return
+		default:
+			// Multi-range, foreign units, malformed specs: ignore the
+			// header and serve the full representation (RFC 9110 §14.2).
+		}
+	}
+	if s.largeFile > 0 && st.size >= s.largeFile {
+		if _, err := s.ns.AIO().Open(st.full, st, c.Priority(), s.openDone); err != nil {
+			s.errorReply(c, r, 503, true)
+			c.Close()
+		}
+		return
+	}
 	if _, err := s.ns.AIO().ReadFile(st.full, st, c.Priority(), s.fileDone); err != nil {
-		s.reply(c, r, httpproto.ErrorResponse(503, true))
+		s.errorReply(c, r, 503, true)
 		c.Close()
 	}
 }
@@ -299,7 +379,7 @@ func (s *Server) fileDone(tok events.Token, data []byte, err error) {
 		if errors.Is(err, fs.ErrPermission) {
 			status = 403
 		}
-		s.reply(c, r, httpproto.ErrorResponse(status, !r.KeepAlive()))
+		s.errorReply(c, r, status, !r.KeepAlive())
 		return
 	}
 	// The cached-file fast path: a pooled Response carries the cache's
@@ -309,17 +389,87 @@ func (s *Server) fileDone(tok events.Token, data []byte, err error) {
 	resp := httpproto.AcquireResponse()
 	resp.Status = 200
 	resp.Headers.Set("Content-Type", httpproto.MimeType(st.full))
-	resp.Body = data
+	resp.Headers.Set("Accept-Ranges", "bytes")
+	body := data
+	// The range was validated against the stat size; re-check against the
+	// bytes actually read (the file may have changed in between, or the
+	// cache may hold an older revision) and fall back to the full body if
+	// the slice no longer fits.
+	if st.ranged && st.rng.Start+st.rng.Length <= int64(len(data)) {
+		resp.Status = 206
+		resp.Headers.Set("Content-Range", httpproto.ContentRange(st.rng, int64(len(data))))
+		body = data[st.rng.Start : st.rng.Start+st.rng.Length]
+		s.ns.Profile().RangeServed()
+	}
+	resp.Body = body
 	if !st.modTime.IsZero() {
 		resp.Headers.Set("Last-Modified", httpproto.FormatHTTPDateCached(st.modTime))
 	}
 	if r.Method == "HEAD" {
-		resp.Headers.Set("Content-Length", strconv.Itoa(len(data)))
+		resp.Headers.Set("Content-Length", strconv.Itoa(len(body)))
 		resp.Body = nil
 	}
 	resp.Close = !r.KeepAlive()
 	s.reply(c, r, resp)
 	httpproto.ReleaseResponse(resp)
+}
+
+// openDone is the large-file Completion Handler: it receives the open
+// descriptor from the File Open Event and streams the body — sendfile(2)
+// on Linux TCP transports, pooled copy elsewhere — without ever holding
+// the file in memory. The descriptor is owned here and always closed.
+func (s *Server) openDone(tok events.Token, f *os.File, info os.FileInfo, err error) {
+	st := tok.State.(*connState)
+	c, r := st.conn, st.req
+	if err != nil {
+		status := 404
+		if errors.Is(err, fs.ErrPermission) {
+			status = 403
+		}
+		s.errorReply(c, r, status, !r.KeepAlive())
+		return
+	}
+	defer f.Close()
+	// Serve what is open now: the stat hop's size may be stale, and the
+	// advertised Content-Length must match the descriptor being streamed.
+	size := info.Size()
+	offset, length := int64(0), size
+	resp := httpproto.AcquireResponse()
+	resp.Status = 200
+	resp.Proto = r.Proto
+	resp.Close = !r.KeepAlive()
+	resp.Headers.Set("Content-Type", httpproto.MimeType(st.full))
+	resp.Headers.Set("Accept-Ranges", "bytes")
+	if !st.modTime.IsZero() {
+		resp.Headers.Set("Last-Modified", httpproto.FormatHTTPDateCached(st.modTime))
+	}
+	if st.ranged && st.rng.Start+st.rng.Length <= size {
+		resp.Status = 206
+		resp.Headers.Set("Content-Range", httpproto.ContentRange(st.rng, size))
+		offset, length = st.rng.Start, st.rng.Length
+		s.ns.Profile().RangeServed()
+	}
+	// The codec sees no in-memory body, so the streamed length must be
+	// advertised explicitly.
+	resp.Headers.Set("Content-Length", strconv.FormatInt(length, 10))
+	if r.Method == "HEAD" {
+		s.reply(c, r, resp)
+		httpproto.ReleaseResponse(resp)
+		return
+	}
+	closeAfter := resp.Close
+	status := resp.Status
+	serr := c.ReplyFile(resp, f, offset, length)
+	httpproto.ReleaseResponse(resp)
+	if lg := s.ns.Logger(); lg != nil {
+		lg.Infof("%s \"%s %s %s\" %d %d id=%s",
+			c.RemoteAddr(), r.Method, r.Target, r.Proto, status, length, c.RequestID())
+	}
+	// A streaming error already tore the connection down; only a clean
+	// non-persistent reply still needs the close.
+	if serr == nil && closeAfter {
+		c.Close()
+	}
 }
 
 // lookupDynamic returns the handler with the longest matching path

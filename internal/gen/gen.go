@@ -89,6 +89,13 @@ type tmplData struct {
 	ReadTimeoutNanos  int64
 	WriteTimeoutNanos int64
 	MaxRequestBytes   int
+
+	// Large-file streaming crosscut: woven only when a threshold is
+	// selected, adding FileIO.Open and Communicator.SendFile so bodies
+	// at or above the threshold stream from a descriptor instead of
+	// passing through memory (and the cache).
+	LargeFile          bool
+	LargeFileThreshold int64
 }
 
 // Generate validates opts and emits the specialized framework under the
@@ -137,6 +144,8 @@ func Generate(pkg string, opts options.Options) (*Artifact, error) {
 		ReadTimeoutNanos:  opts.ReadTimeout.Nanoseconds(),
 		WriteTimeoutNanos: opts.WriteTimeout.Nanoseconds(),
 		MaxRequestBytes:   opts.MaxRequestBytes,
+		LargeFile:          opts.LargeFileThreshold > 0,
+		LargeFileThreshold: opts.LargeFileThreshold,
 	}
 	if d.FileIOThreads <= 0 {
 		d.FileIOThreads = 2

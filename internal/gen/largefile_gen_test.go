@@ -1,0 +1,82 @@
+package gen
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/options"
+)
+
+// TestLargeFileCrosscutWeaving asserts the large-file streaming crosscut
+// obeys the paper's weaving rule: a framework generated without the
+// threshold carries no trace of the path, and one generated with it bakes
+// the threshold in as a literal alongside the open/stream machinery.
+func TestLargeFileCrosscutWeaving(t *testing.T) {
+	all := func(a *Artifact) string {
+		var sb strings.Builder
+		for _, name := range a.FileNames() {
+			sb.Write(a.Files[name])
+		}
+		return sb.String()
+	}
+
+	base := options.COPSHTTP()
+	plain, err := Generate("nserver", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainSrc := all(plain)
+	for _, absent := range []string{
+		"largeFileThreshold", "SendFile", "fileOpenEvent", "sendFileBufs",
+	} {
+		if strings.Contains(plainSrc, absent) {
+			t.Errorf("framework without the option contains %q — crosscut not woven out", absent)
+		}
+	}
+
+	large, err := Generate("nserver", base.WithLargeFiles(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	largeSrc := all(large)
+	for _, present := range []string{
+		"largeFileThreshold = 1048576", // baked in as a literal
+		"func (io *FileIO) Open(",
+		"func (c *Communicator) SendFile(",
+		"sendFileBufs",
+	} {
+		if !strings.Contains(largeSrc, present) {
+			t.Errorf("large-file framework missing %q", present)
+		}
+	}
+}
+
+// TestLargeFileFrameworksCompile builds the woven artifact standalone in
+// the option variants that change the crosscut's shape: asynchronous and
+// synchronous completions, scheduling (priority plumbs through the open
+// event), hardening (per-chunk deadline re-arm) and the bare minimum.
+func TestLargeFileFrameworksCompile(t *testing.T) {
+	for name, o := range map[string]options.Options{
+		"http-large":     options.COPSHTTP().WithLargeFiles(1 << 20),
+		"ftp-large":      options.COPSFTP().WithLargeFiles(1 << 20),
+		"sched-large":    options.COPSHTTP().WithScheduling(1, 8).WithLargeFiles(1 << 20),
+		"hardened-large": options.COPSHTTP().WithHardening(5*time.Second, 2*time.Second, 1<<20).WithLargeFiles(64 << 10),
+		"minimal-large": func() options.Options {
+			return options.Options{DispatcherThreads: 1}.WithLargeFiles(4 << 10)
+		}(),
+	} {
+		t.Run(name, func(t *testing.T) {
+			a, err := Generate("nserver", o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := filepath.Join(t.TempDir(), name)
+			if err := a.WriteTo(dir); err != nil {
+				t.Fatal(err)
+			}
+			buildDir(t, dir)
+		})
+	}
+}

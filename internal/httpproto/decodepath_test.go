@@ -1,0 +1,57 @@
+package httpproto
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDecodePath(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+		bad  bool
+	}{
+		{"plain", "/a/b.html", "/a/b.html", false},
+		{"space", "/a%20b", "/a b", false},
+		{"lowercase hex", "/%2e%2e/x", "/../x", false},
+		{"percent literal", "/a%25b", "/a%b", false},
+		{"high byte", "/caf%C3%A9", "/caf\xc3\xa9", false},
+
+		{"encoded NUL", "/a%00b", "", true},
+		{"encoded slash upper", "/..%2Fsecret", "", true},
+		{"encoded slash lower", "/..%2fsecret", "", true},
+		{"truncated escape", "/a%2", "", true},
+		{"bad hex", "/a%zz", "", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := decodePath(tc.in)
+			if tc.bad {
+				if !errors.Is(err, ErrBadPath) {
+					t.Fatalf("decodePath(%q) error = %v, want ErrBadPath", tc.in, err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("decodePath(%q) error = %v", tc.in, err)
+			}
+			if got != tc.want {
+				t.Fatalf("decodePath(%q) = %q, want %q", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseRequestRejectsEncodedTraversal pins the wire-level behavior:
+// a request line carrying %00 or %2F fails parsing with ErrBadPath
+// before any path resolution can see the decoded byte.
+func TestParseRequestRejectsEncodedTraversal(t *testing.T) {
+	for _, target := range []string{"/..%2Fetc/passwd", "/a%00.html"} {
+		raw := []byte("GET " + target + " HTTP/1.1\r\n\r\n")
+		_, _, err := ParseRequest(raw)
+		if !errors.Is(err, ErrBadPath) {
+			t.Errorf("ParseRequest(%q) error = %v, want ErrBadPath", target, err)
+		}
+	}
+}

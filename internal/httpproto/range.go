@@ -1,0 +1,112 @@
+package httpproto
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+)
+
+// ByteRange is one satisfiable single byte range resolved against a
+// representation: Length bytes starting at Start (both non-negative,
+// Start+Length never past the representation end).
+type ByteRange struct {
+	Start  int64
+	Length int64
+}
+
+// End returns the inclusive last byte position, as Content-Range wants it.
+func (br ByteRange) End() int64 { return br.Start + br.Length - 1 }
+
+// Range errors. ErrNoRange means the header should be ignored and the
+// full representation served with 200 — RFC 9110 §14.2 lets a server
+// ignore a Range field with an unknown unit, and §14.1.1 invalidates the
+// whole field on a malformed spec; we also ignore multi-range requests
+// (multipart/byteranges is not worth its complexity for a static
+// server). ErrRangeUnsatisfiable means the field was valid but selects no
+// bytes: answer 416 with "Content-Range: bytes */<size>".
+var (
+	ErrNoRange            = errors.New("httpproto: no applicable byte range")
+	ErrRangeUnsatisfiable = errors.New("httpproto: range not satisfiable")
+)
+
+// ParseRange interprets a Range header value against a representation of
+// size bytes, per RFC 9110 §14: "bytes=first-last" (last clamped to the
+// end), "bytes=first-" (through the end) and "bytes=-suffix" (the final
+// suffix bytes). It returns the selected range, ErrNoRange when the
+// header must be ignored, or ErrRangeUnsatisfiable when it selects no
+// byte (first-pos beyond the end, or a zero-length suffix).
+func ParseRange(value string, size int64) (ByteRange, error) {
+	unit, spec, ok := strings.Cut(value, "=")
+	if !ok || !strings.EqualFold(strings.TrimSpace(unit), "bytes") {
+		return ByteRange{}, ErrNoRange
+	}
+	if strings.Contains(spec, ",") {
+		return ByteRange{}, ErrNoRange
+	}
+	spec = strings.TrimSpace(spec)
+	first, last, ok := strings.Cut(spec, "-")
+	if !ok {
+		return ByteRange{}, ErrNoRange
+	}
+	first, last = strings.TrimSpace(first), strings.TrimSpace(last)
+	if first == "" {
+		// Suffix form "-N": the final N bytes of the representation.
+		n, err := parseRangeInt(last)
+		if err != nil {
+			return ByteRange{}, ErrNoRange
+		}
+		if n == 0 || size == 0 {
+			return ByteRange{}, ErrRangeUnsatisfiable
+		}
+		if n > size {
+			n = size
+		}
+		return ByteRange{Start: size - n, Length: n}, nil
+	}
+	start, err := parseRangeInt(first)
+	if err != nil {
+		return ByteRange{}, ErrNoRange
+	}
+	end := size - 1
+	if last != "" {
+		end, err = parseRangeInt(last)
+		if err != nil || end < start {
+			return ByteRange{}, ErrNoRange
+		}
+		if end > size-1 {
+			end = size - 1
+		}
+	}
+	if start >= size {
+		return ByteRange{}, ErrRangeUnsatisfiable
+	}
+	return ByteRange{Start: start, Length: end - start + 1}, nil
+}
+
+// parseRangeInt parses a non-negative decimal byte position. Unlike
+// strconv.ParseInt it refuses signs, so "bytes=+1-2" is malformed.
+func parseRangeInt(s string) (int64, error) {
+	if s == "" || s[0] == '+' || s[0] == '-' {
+		return 0, ErrNoRange
+	}
+	return strconv.ParseInt(s, 10, 64)
+}
+
+// ContentRange renders the Content-Range value for a 206 reply:
+// "bytes first-last/size".
+func ContentRange(br ByteRange, size int64) string {
+	b := make([]byte, 0, 32)
+	b = append(b, "bytes "...)
+	b = strconv.AppendInt(b, br.Start, 10)
+	b = append(b, '-')
+	b = strconv.AppendInt(b, br.End(), 10)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, size, 10)
+	return string(b)
+}
+
+// ContentRangeUnsatisfiable renders the Content-Range value for a 416
+// reply: "bytes */size", telling the client the representation's length.
+func ContentRangeUnsatisfiable(size int64) string {
+	return "bytes */" + strconv.FormatInt(size, 10)
+}

@@ -1,0 +1,119 @@
+package httpproto
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseRange(t *testing.T) {
+	const size = 1000
+	cases := []struct {
+		name  string
+		value string
+		want  ByteRange
+		err   error
+	}{
+		{"first-last", "bytes=0-499", ByteRange{0, 500}, nil},
+		{"middle", "bytes=500-999", ByteRange{500, 500}, nil},
+		{"single byte", "bytes=0-0", ByteRange{0, 1}, nil},
+		{"last byte", "bytes=999-999", ByteRange{999, 1}, nil},
+		{"open-ended", "bytes=500-", ByteRange{500, 500}, nil},
+		{"last clamped to end", "bytes=900-5000", ByteRange{900, 100}, nil},
+		{"suffix", "bytes=-500", ByteRange{500, 500}, nil},
+		{"suffix longer than file", "bytes=-2000", ByteRange{0, 1000}, nil},
+		{"unit case-insensitive", "BYTES=0-0", ByteRange{0, 1}, nil},
+		{"whitespace tolerated", "bytes= 0 - 499 ", ByteRange{0, 500}, nil},
+
+		{"start at size", "bytes=1000-", ByteRange{}, ErrRangeUnsatisfiable},
+		{"start beyond size", "bytes=1500-2000", ByteRange{}, ErrRangeUnsatisfiable},
+		{"zero suffix", "bytes=-0", ByteRange{}, ErrRangeUnsatisfiable},
+
+		{"other unit", "pages=1-2", ByteRange{}, ErrNoRange},
+		{"no equals", "bytes 0-499", ByteRange{}, ErrNoRange},
+		{"multi-range", "bytes=0-1,5-9", ByteRange{}, ErrNoRange},
+		{"inverted", "bytes=500-100", ByteRange{}, ErrNoRange},
+		{"no dash", "bytes=500", ByteRange{}, ErrNoRange},
+		{"empty spec", "bytes=", ByteRange{}, ErrNoRange},
+		{"bare dash", "bytes=-", ByteRange{}, ErrNoRange},
+		{"non-numeric", "bytes=a-b", ByteRange{}, ErrNoRange},
+		{"signed first", "bytes=+1-2", ByteRange{}, ErrNoRange},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseRange(tc.value, size)
+			if !errors.Is(err, tc.err) {
+				t.Fatalf("ParseRange(%q) error = %v, want %v", tc.value, err, tc.err)
+			}
+			if err == nil && got != tc.want {
+				t.Fatalf("ParseRange(%q) = %+v, want %+v", tc.value, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseRangeEmptyRepresentation(t *testing.T) {
+	// Per RFC 9110 §15.5.17 every range is unsatisfiable against a
+	// zero-length representation.
+	for _, v := range []string{"bytes=0-", "bytes=0-0", "bytes=-1"} {
+		if _, err := ParseRange(v, 0); !errors.Is(err, ErrRangeUnsatisfiable) {
+			t.Errorf("ParseRange(%q, 0) error = %v, want unsatisfiable", v, err)
+		}
+	}
+}
+
+func TestContentRange(t *testing.T) {
+	if got := ContentRange(ByteRange{Start: 0, Length: 500}, 1000); got != "bytes 0-499/1000" {
+		t.Errorf("ContentRange = %q", got)
+	}
+	if got := ContentRange(ByteRange{Start: 999, Length: 1}, 1000); got != "bytes 999-999/1000" {
+		t.Errorf("ContentRange = %q", got)
+	}
+	if got := ContentRangeUnsatisfiable(1000); got != "bytes */1000" {
+		t.Errorf("ContentRangeUnsatisfiable = %q", got)
+	}
+}
+
+// FuzzParseRange drives the Range parser with arbitrary header values and
+// sizes: it must never panic, and any accepted range must select a
+// non-empty in-bounds span. Seeds cover the RFC 9110 §14 edge shapes.
+func FuzzParseRange(f *testing.F) {
+	seeds := []string{
+		"bytes=0-499",
+		"bytes=500-999",
+		"bytes=-500",
+		"bytes=9500-",
+		"bytes=0-0",
+		"bytes=-1",
+		"bytes=0-0,-1",
+		"bytes=500-600,601-999",
+		"bytes= 0 - 999",
+		"bytes=--5",
+		"bytes=1-0",
+		"bytes=99999999999999999999-",
+		"unknown=0-1",
+		"bytes=",
+	}
+	for _, s := range seeds {
+		f.Add(s, int64(10000))
+	}
+	f.Fuzz(func(t *testing.T, value string, size int64) {
+		if size < 0 {
+			size = -size
+		}
+		br, err := ParseRange(value, size)
+		if err != nil {
+			if !errors.Is(err, ErrNoRange) && !errors.Is(err, ErrRangeUnsatisfiable) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			return
+		}
+		if br.Start < 0 || br.Length <= 0 || br.Start+br.Length > size {
+			t.Fatalf("ParseRange(%q, %d) = %+v out of bounds", value, size, br)
+		}
+		cr := ContentRange(br, size)
+		if !strings.HasPrefix(cr, "bytes ") || strings.Contains(cr, "--") {
+			t.Fatalf("malformed Content-Range %q", cr)
+		}
+	})
+}

@@ -249,7 +249,10 @@ func isToken(s string) bool {
 	return true
 }
 
-// decodePath percent-decodes a request path.
+// decodePath percent-decodes a request path. Two decoded bytes are
+// rejected outright: NUL (%00), which C-string filesystem layers would
+// truncate at, and "/" (%2F), which would materialize a new path segment
+// after the traversal checks already ran on the encoded form.
 func decodePath(p string) (string, error) {
 	if !strings.Contains(p, "%") {
 		return p, nil
@@ -268,7 +271,14 @@ func decodePath(p string) (string, error) {
 		if err1 != nil || err2 != nil {
 			return "", fmt.Errorf("%w: bad escape in %q", ErrBadPath, p)
 		}
-		b.WriteByte(hi<<4 | lo)
+		switch c := hi<<4 | lo; c {
+		case 0:
+			return "", fmt.Errorf("%w: encoded NUL in %q", ErrBadPath, p)
+		case '/':
+			return "", fmt.Errorf("%w: encoded slash in %q", ErrBadPath, p)
+		default:
+			b.WriteByte(c)
+		}
 		i += 2
 	}
 	return b.String(), nil

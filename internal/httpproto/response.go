@@ -33,6 +33,7 @@ func NewResponse(status int, contentType string, body []byte) *Response {
 var statusText = map[int]string{
 	200: "OK",
 	204: "No Content",
+	206: "Partial Content",
 	301: "Moved Permanently",
 	304: "Not Modified",
 	400: "Bad Request",
@@ -42,6 +43,7 @@ var statusText = map[int]string{
 	408: "Request Timeout",
 	413: "Payload Too Large",
 	414: "URI Too Long",
+	416: "Range Not Satisfiable",
 	500: "Internal Server Error",
 	501: "Not Implemented",
 	503: "Service Unavailable",
@@ -87,15 +89,23 @@ func AppendResponseHead(dst []byte, r *Response) []byte {
 	if !r.Headers.Has("Server") {
 		dst = append(dst, "Server: COPS-HTTP/1.0\r\n"...)
 	}
-	if !r.Headers.Has("Content-Length") {
-		dst = append(dst, "Content-Length: "...)
+	// Content-Length always renders here, whether computed from the
+	// in-memory body or preset by a bodiless path (HEAD, streaming), so
+	// a HEAD reply is byte-identical to its GET head.
+	dst = append(dst, "Content-Length: "...)
+	if cl := r.Headers.Get("Content-Length"); cl != "" {
+		dst = append(dst, cl...)
+	} else {
 		dst = strconv.AppendInt(dst, int64(len(r.Body)), 10)
-		dst = append(dst, '\r', '\n')
 	}
+	dst = append(dst, '\r', '\n')
 	if r.Close && r.Headers.Get("Connection") == "" {
 		dst = append(dst, "Connection: close\r\n"...)
 	}
 	r.Headers.Each(func(k, v string) {
+		if k == "Content-Length" { // already rendered above
+			return
+		}
 		dst = append(dst, k...)
 		dst = append(dst, ':', ' ')
 		dst = append(dst, v...)

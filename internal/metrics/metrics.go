@@ -135,9 +135,13 @@ type CacheJSON struct {
 	HitRate float64       `json:"hit_rate"`
 	Evict   uint64        `json:"evictions"`
 	Rejects uint64        `json:"rejects"`
-	Bytes   int64         `json:"bytes"`
-	Entries int           `json:"entries"`
-	Shards  []cache.Stats `json:"shards"`
+	// RejectedTooLarge counts Puts refused by the large-file admission
+	// cap (kept apart from rejects so operators can tell cap pressure
+	// from policy pressure).
+	RejectedTooLarge uint64        `json:"rejected_too_large"`
+	Bytes            int64         `json:"bytes"`
+	Entries          int           `json:"entries"`
+	Shards           []cache.Stats `json:"shards"`
 }
 
 // Payload is the complete JSON document.
@@ -187,12 +191,13 @@ func collect(cfg Config) Payload {
 			Policy:  fmt.Sprint(cfg.Cache.Policy()),
 			Hits:    agg.Hits,
 			Misses:  agg.Misses,
-			HitRate: agg.HitRate(),
-			Evict:   agg.Evictions,
-			Rejects: agg.Rejects,
-			Bytes:   agg.Bytes,
-			Entries: agg.Entries,
-			Shards:  cfg.Cache.ShardStats(),
+			HitRate:          agg.HitRate(),
+			Evict:            agg.Evictions,
+			Rejects:          agg.Rejects,
+			RejectedTooLarge: agg.RejectedTooLarge,
+			Bytes:            agg.Bytes,
+			Entries:          agg.Entries,
+			Shards:           cfg.Cache.ShardStats(),
 		}
 	}
 	if cfg.Deferred != nil {
@@ -245,6 +250,11 @@ func RenderPrometheus(cfg Config) string {
 		counter("nserver_requests_total", "Requests served.", s.RequestsServed)
 		counter("nserver_read_bytes_total", "Bytes read from clients.", s.BytesRead)
 		counter("nserver_sent_bytes_total", "Bytes sent to clients.", s.BytesSent)
+		counter("nserver_streamed_bytes_total", "Body bytes streamed by the large-file path.", s.BytesStreamed)
+		counter("nserver_sendfile_chunks_total", "Streamed chunks carried by sendfile(2).", s.SendfileChunks)
+		counter("nserver_stream_fallback_chunks_total", "Streamed chunks carried by the pooled-copy fallback.", s.FallbackChunks)
+		counter("nserver_range_responses_total", "206 Partial Content responses served.", s.Responses206)
+		counter("nserver_range_unsatisfiable_total", "416 Range Not Satisfiable responses served.", s.Responses416)
 		counter("nserver_events_dispatched_total", "Events handed to event processors.", s.EventsDispatched)
 		counter("nserver_events_processed_total", "Events completed by workers.", s.EventsProcessed)
 		counter("nserver_idle_shutdowns_total", "Connections reaped idle or slow.", s.IdleShutdowns)
@@ -274,6 +284,7 @@ func RenderPrometheus(cfg Config) string {
 		counter("nserver_cache_misses_total", "File cache misses.", agg.Misses)
 		counter("nserver_cache_evictions_total", "File cache evictions.", agg.Evictions)
 		counter("nserver_cache_rejects_total", "Put calls refused by the admission rule.", agg.Rejects)
+		counter("nserver_cache_rejected_too_large_total", "Put calls refused by the large-file admission cap.", agg.RejectedTooLarge)
 		gauge("nserver_cache_bytes", "Resident cache bytes.", float64(agg.Bytes))
 		gauge("nserver_cache_entries", "Resident cache entries.", float64(agg.Entries))
 		shards := cfg.Cache.ShardStats()

@@ -1,0 +1,156 @@
+package nserver
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+
+	"repro/internal/bufpool"
+	"repro/internal/profiling"
+)
+
+// streamChunkSize is the transfer unit of the large-file send path. The
+// write deadline is re-armed before every chunk, so WriteTimeout bounds
+// how long the peer may stall between chunks rather than the whole
+// transfer — a slow-but-progressing client downloading a multi-GB file
+// is fine, a stalled one fails within one chunk's deadline.
+const streamChunkSize = 1 << 20
+
+// ErrStreamTruncated tears down a connection whose streamed file ended
+// before the promised Content-Length was sent: the head already went out,
+// so the framing cannot be repaired.
+var ErrStreamTruncated = errors.New("nserver: file shorter than streamed length")
+
+// ReplyFile is the large-file variant of Reply: the codec renders the
+// reply head into a pooled buffer exactly as Reply does, but the body is
+// streamed from src — length bytes starting at offset — without ever
+// holding it in memory. On Linux TCP transports each chunk moves with
+// sendfile(2) (zero userspace copies); elsewhere, and on wrapped
+// transports, a pooled-buffer copy loop moves it with one bounded copy
+// per chunk. The reply must carry an explicit Content-Length (the codec
+// sees an empty in-memory body). Requires a BufferEncoder codec.
+func (c *Conn) ReplyFile(reply any, src *os.File, offset, length int64) error {
+	be, ok := c.srv.codec.(BufferEncoder)
+	if !ok {
+		return errors.New("nserver: ReplyFile requires a BufferEncoder codec")
+	}
+	lease := bufpool.Get(replyHeadSize)
+	encStart := c.srv.profile.StageStart()
+	head, body, err := appendHeadSafe(be, lease.Bytes()[:0], reply)
+	c.srv.profile.ObserveSince(profiling.StageEncode, encStart)
+	if err != nil {
+		lease.Release()
+		return err
+	}
+	err = c.sendFile(head, body, src, offset, length)
+	lease.Release()
+	return err
+}
+
+// sendFile transmits the head segments and then streams the file body in
+// deadline-bounded chunks, all under the write lock, with the same
+// accounting and teardown semantics as sendBuffers. A mid-stream error is
+// fatal to the connection: the response framing is already committed.
+func (c *Conn) sendFile(head, body []byte, src *os.File, offset, length int64) error {
+	if c.closed.Load() {
+		return ErrConnClosed
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	sendStart := c.srv.profile.StageStart()
+	fail := func(err error) error {
+		c.srv.profile.ObserveSince(profiling.StageSend, sendStart)
+		c.touch()
+		c.teardown(err)
+		return err
+	}
+	var segs [2][]byte
+	bufs := net.Buffers(segs[:0])
+	if len(head) > 0 {
+		bufs = append(bufs, head)
+	}
+	if len(body) > 0 {
+		bufs = append(bufs, body)
+	}
+	if len(bufs) > 0 {
+		c.armWriteDeadline()
+		n, err := bufs.WriteTo(c.conn)
+		c.srv.profile.BytesSent(int(n))
+		if err != nil {
+			return fail(err)
+		}
+	}
+	if length > 0 {
+		if _, err := src.Seek(offset, io.SeekStart); err != nil {
+			return fail(err)
+		}
+	}
+	remaining := length
+	for remaining > 0 {
+		chunk := remaining
+		if chunk > streamChunkSize {
+			chunk = streamChunkSize
+		}
+		c.armWriteDeadline()
+		n, viaSendfile, err := sendFileChunk(c.conn, src, chunk)
+		if n > 0 {
+			remaining -= n
+			c.srv.profile.BytesSent(int(n))
+			c.srv.profile.BytesStreamed(int(n))
+			if viaSendfile {
+				c.srv.profile.SendfileChunk()
+			} else {
+				c.srv.profile.StreamFallbackChunk()
+			}
+		}
+		if err == nil && n < chunk {
+			// The file ran out (truncated under us) before the promised
+			// length went out.
+			err = ErrStreamTruncated
+		}
+		if err != nil {
+			return fail(err)
+		}
+	}
+	c.srv.profile.ObserveSince(profiling.StageSend, sendStart)
+	c.touch()
+	return nil
+}
+
+// copyFileChunk is the portable streaming path: it moves up to limit
+// bytes from src's current offset through a pooled buffer — one bounded
+// copy per read/write pair, never a buffer proportional to the file.
+func copyFileChunk(dst io.Writer, src *os.File, limit int64) (int64, error) {
+	lease := bufpool.Get(readChunkSize)
+	defer lease.Release()
+	buf := lease.Bytes()
+	var total int64
+	for total < limit {
+		want := limit - total
+		if want > int64(len(buf)) {
+			want = int64(len(buf))
+		}
+		nr, rerr := src.Read(buf[:want])
+		if nr > 0 {
+			nw, werr := dst.Write(buf[:nr])
+			total += int64(nw)
+			if werr != nil {
+				return total, werr
+			}
+			if nw < nr {
+				return total, io.ErrShortWrite
+			}
+		}
+		if rerr != nil {
+			if rerr == io.EOF {
+				return total, nil
+			}
+			return total, rerr
+		}
+		if nr == 0 {
+			return total, nil
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,25 @@
+//go:build linux
+
+package nserver
+
+import (
+	"io"
+	"net"
+	"os"
+)
+
+// sendFileChunk transmits up to limit bytes of src (from its current
+// offset) to dst. On a TCP transport, net.TCPConn.ReadFrom with a
+// file-backed LimitedReader issues sendfile(2): the bytes move
+// kernel-side without entering user space, honoring the armed write
+// deadline. Wrapped transports (tests, fault injection) cannot take the
+// syscall path and fall back to the pooled copy loop. The bool result
+// reports whether sendfile carried the chunk.
+func sendFileChunk(dst net.Conn, src *os.File, limit int64) (int64, bool, error) {
+	if tc, ok := dst.(*net.TCPConn); ok {
+		n, err := tc.ReadFrom(&io.LimitedReader{R: src, N: limit})
+		return n, true, err
+	}
+	n, err := copyFileChunk(dst, src, limit)
+	return n, false, err
+}

@@ -1,0 +1,16 @@
+//go:build !linux
+
+package nserver
+
+import (
+	"net"
+	"os"
+)
+
+// sendFileChunk on non-Linux platforms always takes the portable
+// pooled-buffer copy path; the build-tagged Linux variant is the only
+// code that reaches for sendfile(2).
+func sendFileChunk(dst net.Conn, src *os.File, limit int64) (int64, bool, error) {
+	n, err := copyFileChunk(dst, src, limit)
+	return n, false, err
+}

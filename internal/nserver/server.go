@@ -197,6 +197,9 @@ func New(cfg Config) (*Server, error) {
 			// Server caches shard by processor count so parallel workers
 			// on the serve path never contend on one cache mutex.
 			Shards: cache.DefaultShards(o.CacheCapacity),
+			// Large files stream from descriptors; admitting them would
+			// only evict the hot set on the way through.
+			MaxEntryBytes: o.LargeFileThreshold,
 		})
 		if err != nil {
 			return nil, err

@@ -275,6 +275,14 @@ type Options struct {
 	// exceed the cap.
 	MaxRequestBytes int
 
+	// LargeFileThreshold, when > 0, enables the large-file fast path:
+	// documents of at least this many bytes bypass the in-memory file
+	// cache (the cache refuses to admit them) and are streamed from an
+	// open descriptor — via sendfile(2) on Linux TCP transports, a
+	// pooled-buffer copy loop elsewhere. 0 disables the path, which
+	// reproduces the paper's configurations exactly.
+	LargeFileThreshold int64
+
 	// O8: priority event scheduling with per-level quotas.
 	EventScheduling bool
 	PriorityLevels  int   // number of priority levels (>= 2 when enabled)
@@ -312,6 +320,7 @@ var (
 	ErrWatermarks        = errors.New("O9: overload control requires 0 < low watermark < high watermark")
 	ErrFileIOThreads     = errors.New("O6: file cache requires a positive number of file I/O threads")
 	ErrHardening         = errors.New("hardening: read/write timeouts and max request bytes must be non-negative")
+	ErrLargeFile         = errors.New("large files: threshold must be non-negative")
 )
 
 // Validate checks the option assignment against the legal values of
@@ -349,6 +358,9 @@ func (o *Options) Validate() error {
 	if o.ReadTimeout < 0 || o.WriteTimeout < 0 || o.MaxRequestBytes < 0 {
 		return fmt.Errorf("%w (got read=%v write=%v max=%d)",
 			ErrHardening, o.ReadTimeout, o.WriteTimeout, o.MaxRequestBytes)
+	}
+	if o.LargeFileThreshold < 0 {
+		return fmt.Errorf("%w (got %d)", ErrLargeFile, o.LargeFileThreshold)
 	}
 	if o.EventScheduling {
 		if o.PriorityLevels < 2 {
@@ -482,6 +494,14 @@ func (o Options) WithHardening(read, write time.Duration, maxRequestBytes int) O
 	o.ReadTimeout = read
 	o.WriteTimeout = write
 	o.MaxRequestBytes = maxRequestBytes
+	return o
+}
+
+// WithLargeFiles returns a copy of o with the large-file streaming
+// threshold set: documents of at least threshold bytes bypass the cache
+// and stream from an open descriptor (0 disables the path).
+func (o Options) WithLargeFiles(threshold int64) Options {
+	o.LargeFileThreshold = threshold
 	return o
 }
 

@@ -31,6 +31,14 @@ type Profile struct {
 	cacheHits           atomic.Uint64
 	cacheMisses         atomic.Uint64
 	idleShutdowns       atomic.Uint64
+	// Large-file streaming path counters: bytes that went out via the
+	// streaming send (a subset of bytesSent), split by transfer mechanism,
+	// plus the Range outcome counts.
+	bytesStreamed  atomic.Uint64
+	sendfileChunks atomic.Uint64
+	fallbackChunks atomic.Uint64
+	responses206   atomic.Uint64
+	responses416   atomic.Uint64
 	// serviceNanos accumulates total request service time for mean
 	// response time reporting.
 	serviceNanos atomic.Uint64
@@ -126,6 +134,43 @@ func (p *Profile) IdleShutdown() {
 	}
 }
 
+// BytesStreamed adds to the large-file streamed byte counter (these bytes
+// also count toward BytesSent).
+func (p *Profile) BytesStreamed(n int) {
+	if p != nil && n > 0 {
+		p.bytesStreamed.Add(uint64(n))
+	}
+}
+
+// SendfileChunk counts one streamed chunk transferred by sendfile(2).
+func (p *Profile) SendfileChunk() {
+	if p != nil {
+		p.sendfileChunks.Add(1)
+	}
+}
+
+// StreamFallbackChunk counts one streamed chunk transferred through the
+// pooled-buffer copy fallback.
+func (p *Profile) StreamFallbackChunk() {
+	if p != nil {
+		p.fallbackChunks.Add(1)
+	}
+}
+
+// RangeServed counts one 206 Partial Content response.
+func (p *Profile) RangeServed() {
+	if p != nil {
+		p.responses206.Add(1)
+	}
+}
+
+// RangeUnsatisfiable counts one 416 Range Not Satisfiable response.
+func (p *Profile) RangeUnsatisfiable() {
+	if p != nil {
+		p.responses416.Add(1)
+	}
+}
+
 // Snapshot is a point-in-time copy of all counters.
 type Snapshot struct {
 	ConnectionsAccepted uint64
@@ -139,6 +184,11 @@ type Snapshot struct {
 	CacheHits           uint64
 	CacheMisses         uint64
 	IdleShutdowns       uint64
+	BytesStreamed       uint64
+	SendfileChunks      uint64
+	FallbackChunks      uint64
+	Responses206        uint64
+	Responses416        uint64
 	MeanServiceTime     time.Duration
 }
 
@@ -168,6 +218,11 @@ func (p *Profile) Snapshot() Snapshot {
 		CacheHits:           p.cacheHits.Load(),
 		CacheMisses:         p.cacheMisses.Load(),
 		IdleShutdowns:       p.idleShutdowns.Load(),
+		BytesStreamed:       p.bytesStreamed.Load(),
+		SendfileChunks:      p.sendfileChunks.Load(),
+		FallbackChunks:      p.fallbackChunks.Load(),
+		Responses206:        p.responses206.Load(),
+		Responses416:        p.responses416.Load(),
 	}
 	if s.RequestsServed > 0 {
 		s.MeanServiceTime = time.Duration(p.serviceNanos.Load() / s.RequestsServed)
@@ -179,9 +234,10 @@ func (p *Profile) Snapshot() Snapshot {
 // prints at shutdown.
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"accepted=%d closed=%d refused=%d requests=%d read=%dB sent=%dB dispatched=%d processed=%d cache=%.3f idle_shutdowns=%d mean_service=%v",
+		"accepted=%d closed=%d refused=%d requests=%d read=%dB sent=%dB streamed=%dB sendfile=%d fallback=%d 206=%d 416=%d dispatched=%d processed=%d cache=%.3f idle_shutdowns=%d mean_service=%v",
 		s.ConnectionsAccepted, s.ConnectionsClosed, s.ConnectionsRefused,
 		s.RequestsServed, s.BytesRead, s.BytesSent,
+		s.BytesStreamed, s.SendfileChunks, s.FallbackChunks, s.Responses206, s.Responses416,
 		s.EventsDispatched, s.EventsProcessed, s.CacheHitRate(), s.IdleShutdowns,
 		s.MeanServiceTime)
 }

@@ -1,0 +1,144 @@
+package repro
+
+// Large-file streaming benchmarks (PR 4). BenchmarkLargeFileServe drives
+// a live COPS-HTTP over loopback and transfers one file per op, once with
+// the streaming fast path on (every file above a 64 KiB threshold is
+// served from an open descriptor — sendfile on Linux, pooled copies
+// elsewhere) and once with it off (the whole file is read into memory
+// before the reply). Files are created sparse, so disk space is not a
+// constraint; the kernel serves zero pages. Besides throughput, each run
+// reports the peak heap-in-use observed across iterations: the streamed
+// 256 MiB case must stay bounded near the buffered 1 MiB case, while the
+// buffered 256 MiB case balloons by the file size. Run via:
+//
+//	make bench-sendfile
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/copshttp"
+	"repro/internal/options"
+)
+
+func BenchmarkLargeFileServe(b *testing.B) {
+	sizes := []struct {
+		name  string
+		bytes int64
+	}{
+		{"1MiB", 1 << 20},
+		{"16MiB", 16 << 20},
+		{"256MiB", 256 << 20},
+	}
+	modes := []struct {
+		name      string
+		threshold int64
+	}{
+		{"streamed", 64 << 10},
+		{"buffered", 0},
+	}
+	for _, mode := range modes {
+		for _, sz := range sizes {
+			b.Run(mode.name+"/"+sz.name, func(b *testing.B) {
+				benchLargeServe(b, mode.threshold, sz.bytes)
+			})
+		}
+	}
+}
+
+func benchLargeServe(b *testing.B, threshold, size int64) {
+	dir := b.TempDir()
+	f, err := os.Create(filepath.Join(dir, "big.bin"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Truncate(size); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	opts := options.COPSHTTP()
+	if threshold > 0 {
+		opts = opts.WithLargeFiles(threshold)
+	}
+	srv, err := copshttp.New(copshttp.Config{DocRoot: dir, Options: &opts})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(srv.Shutdown)
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReaderSize(conn, 256<<10)
+
+	b.SetBytes(size)
+	runtime.GC()
+	var peak uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conn.Write([]byte("GET /big.bin HTTP/1.1\r\nHost: bench\r\n\r\n")); err != nil {
+			b.Fatal(err)
+		}
+		cl, err := readResponseHead(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cl != size {
+			b.Fatalf("Content-Length = %d, want %d", cl, size)
+		}
+		if _, err := io.CopyN(io.Discard, r, cl); err != nil {
+			b.Fatal(err)
+		}
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapInuse > peak {
+			peak = ms.HeapInuse
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(peak)/(1<<20), "heap_max_MiB")
+}
+
+// readResponseHead consumes a status line plus headers and returns the
+// declared Content-Length, leaving the reader positioned at the body.
+func readResponseHead(r *bufio.Reader) (int64, error) {
+	status, err := r.ReadString('\n')
+	if err != nil {
+		return 0, err
+	}
+	if !strings.Contains(status, " 200 ") {
+		return 0, &net.AddrError{Err: "bad status: " + strings.TrimSpace(status)}
+	}
+	var cl int64 = -1
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return 0, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "" {
+			return cl, nil
+		}
+		if k, v, ok := strings.Cut(line, ":"); ok && strings.EqualFold(k, "Content-Length") {
+			cl, err = strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+			if err != nil {
+				return 0, err
+			}
+		}
+	}
+}
