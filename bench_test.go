@@ -18,6 +18,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"runtime"
 	"runtime/metrics"
 	"sync"
 	"testing"
@@ -26,11 +27,11 @@ import (
 	"repro/internal/aio"
 	"repro/internal/cache"
 	"repro/internal/copshttp"
-	"repro/internal/httpproto"
 	"repro/internal/eventproc"
 	"repro/internal/events"
 	"repro/internal/experiments"
 	"repro/internal/gen"
+	"repro/internal/httpproto"
 	"repro/internal/nserver"
 	"repro/internal/options"
 	"repro/internal/profiling"
@@ -678,4 +679,75 @@ func BenchmarkLiveEchoThroughput(b *testing.B) {
 	}
 	_, addr := echoServer(b, o)
 	runEchoLoad(b, addr)
+}
+
+// BenchmarkShardScaling serves loopback HTTP with the runtime sharded
+// 1, 2 and NumCPU ways. One op is one keep-alive GET; eight concurrent
+// connections spread round-robin over the shards, so with several cores
+// the per-shard reactors and counters run genuinely in parallel. On a
+// single-core host the variants tie (the shards serialize onto one P) —
+// the interesting deltas need real hardware, but the benchmark still
+// pins that sharding costs nothing when it cannot help.
+func BenchmarkShardScaling(b *testing.B) {
+	counts := []int{1, 2}
+	if n := runtime.NumCPU(); n != 1 && n != 2 {
+		counts = append(counts, n)
+	}
+	for _, shards := range counts {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			dir := b.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, "index.html"), []byte("<html>bench</html>"), 0o644); err != nil {
+				b.Fatal(err)
+			}
+			opts := options.COPSHTTP().WithShards(shards)
+			srv, err := copshttp.New(copshttp.Config{DocRoot: dir, Options: &opts})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(srv.Shutdown)
+			addr := srv.Addr()
+
+			const conns = 8
+			per := b.N / conns
+			if per == 0 {
+				per = 1
+			}
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for c := 0; c < conns; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					conn, err := net.Dial("tcp", addr)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					defer conn.Close()
+					r := bufio.NewReader(conn)
+					for i := 0; i < per; i++ {
+						if _, err := fmt.Fprintf(conn, "GET /index.html HTTP/1.1\r\nHost: bench\r\n\r\n"); err != nil {
+							b.Error(err)
+							return
+						}
+						cl, err := readResponseHead(r)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if cl > 0 {
+							if _, err := io.CopyN(io.Discard, r, cl); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
 }

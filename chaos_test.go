@@ -603,3 +603,138 @@ func TestChaosRSTMidStreamReapsConnection(t *testing.T) {
 		t.Fatalf("server unhealthy after mid-stream RST: err=%v resp=%.60q", err, resp)
 	}
 }
+
+// TestChaosShardedRuntimeSurvivesFaults runs the full chaos scenario —
+// mid-stream RSTs plus read stalls on a fixed seed — against the sharded
+// runtime: four shards behind one faultnet listener (the accept fan-out
+// path; SO_REUSEPORT cannot be fault-wrapped), work stealing active
+// between the shard queues. The aggregated counters must stay monotonic
+// while faults land on every shard, every shard must reap its torn
+// connections, and the per-shard profiles must still sum to the
+// aggregate afterwards — a steal may move an event between shards, but
+// it must never lose or double-count a request.
+func TestChaosShardedRuntimeSurvivesFaults(t *testing.T) {
+	dir, _ := chaosRoot(t)
+	opts := options.COPSHTTP().
+		WithHardening(200*time.Millisecond, 500*time.Millisecond, 1<<20).
+		WithShards(4)
+	opts.Profiling = true
+	srv, ln, addr := startChaosHTTP(t,
+		copshttp.Config{DocRoot: dir, Options: &opts},
+		faultnet.Scenario{
+			Seed:            23,
+			StallAfterBytes: 16, // keep-alive reads stall after the first request
+			StallDuration:   2 * time.Second,
+			RSTAfterBytes:   24 << 10, // big.bin replies die mid-stream
+		},
+	)
+	fw := srv.Framework()
+	if got := fw.Shards(); got != 4 {
+		t.Fatalf("Shards() = %d, want 4", got)
+	}
+
+	ms, err := metrics.NewServer("127.0.0.1:0", metrics.Config{
+		Profile: fw.Profile(),
+		Cache:   fw.Cache(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ms.Close() })
+	scrape := func() map[string]float64 {
+		t.Helper()
+		raw, err := httpGet(t, ms.Addr().String(), "/metrics", 3*time.Second)
+		if err != nil {
+			t.Fatalf("metrics endpoint unreachable mid-chaos: %v", err)
+		}
+		_, body, ok := bytes.Cut(raw, []byte("\r\n\r\n"))
+		if !ok {
+			t.Fatalf("unframed metrics response: %.120q", raw)
+		}
+		return metrics.ParseCounters(string(body))
+	}
+
+	monotonic := []string{
+		"nserver_connections_accepted_total",
+		"nserver_requests_total",
+		"nserver_sent_bytes_total",
+		"nserver_read_bytes_total",
+		"nserver_events_processed_total",
+	}
+	prev := scrape()
+	for round := 0; round < 4; round++ {
+		// Round-robin placement spreads these connections across all four
+		// shards; the faults follow them there.
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_, _ = httpGet(t, addr, "/big.bin", time.Second)
+				_, _ = httpGet(t, addr, "/index.html", time.Second)
+			}()
+		}
+		wg.Wait()
+		cur := scrape()
+		for _, k := range monotonic {
+			if cur[k] < prev[k] {
+				t.Fatalf("round %d: aggregated counter %s went backwards: %v -> %v", round, k, prev[k], cur[k])
+			}
+		}
+		prev = cur
+	}
+
+	if prev["nserver_connections_accepted_total"] == 0 {
+		t.Fatal("no connections observed — chaos traffic never reached the server")
+	}
+	if ln.Stats().Resets.Load() == 0 && ln.Stats().Stalls.Load() == 0 {
+		t.Fatal("scenario injected no faults — test proves nothing")
+	}
+
+	// Every shard reaps its own torn connections: each per-shard count
+	// must drain to zero, not just the total (a wedged shard could hide
+	// behind an idle one if only the sum were checked).
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		wedged := 0
+		for i := 0; i < fw.Shards(); i++ {
+			wedged += fw.ShardConns(i)
+		}
+		if wedged == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			for i := 0; i < fw.Shards(); i++ {
+				if n := fw.ShardConns(i); n > 0 {
+					t.Errorf("shard %d: %d connections wedged after chaos", i, n)
+				}
+			}
+			t.FailNow()
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Per-shard accounting is intact: shard profiles sum to the aggregate
+	// and the traffic demonstrably spread over the shards.
+	snap := fw.Profile().Snapshot()
+	var perShard uint64
+	shardsServed := 0
+	for _, ss := range fw.Profile().ShardSnapshots() {
+		perShard += ss.RequestsServed
+		if ss.RequestsServed > 0 {
+			shardsServed++
+		}
+	}
+	if perShard != snap.RequestsServed {
+		t.Errorf("per-shard RequestsServed sum %d != aggregate %d", perShard, snap.RequestsServed)
+	}
+	if shardsServed < 2 {
+		t.Errorf("only %d shard(s) served requests — round-robin placement not spreading load", shardsServed)
+	}
+
+	// The sharded server is healthy after the storm.
+	resp, err := httpGet(t, addr, "/index.html", 3*time.Second)
+	if err != nil || !bytes.Contains(resp, []byte(" 200 ")) {
+		t.Fatalf("sharded server unhealthy after chaos: err=%v resp=%.60q", err, resp)
+	}
+}

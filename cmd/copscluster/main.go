@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -28,6 +29,7 @@ func main() {
 		backends = flag.String("backends", "", "comma-separated backend addresses (required)")
 		strategy = flag.String("strategy", "round-robin", "round-robin or least-connections")
 		cooldown = flag.Duration("cooldown", time.Second, "how long a failed backend is skipped")
+		shards   = flag.Int("shards", 0, "accept loops on the front end (SO_REUSEPORT listeners on Linux); 0 = one per CPU")
 		mAddr    = flag.String("metrics-addr", "", "serve Prometheus/JSON metrics on this address (/metrics, /metrics.json); empty disables")
 	)
 	flag.Parse()
@@ -46,12 +48,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	nShards := *shards
+	if nShards <= 0 {
+		nShards = runtime.NumCPU()
+	}
 	prof := profiling.New()
 	lb, err := cluster.New(cluster.Config{
-		Backends: strings.Split(*backends, ","),
-		Strategy: strat,
-		CoolDown: *cooldown,
-		Profile:  prof,
+		Backends:     strings.Split(*backends, ","),
+		Strategy:     strat,
+		CoolDown:     *cooldown,
+		AcceptShards: nShards,
+		Profile:      prof,
 	})
 	if err != nil {
 		fatal(err)
@@ -59,7 +66,7 @@ func main() {
 	if err := lb.ListenAndServe(*addr); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%s on %s\n", lb, lb.Addr())
+	fmt.Printf("%s on %s (accept shards=%d)\n", lb, lb.Addr(), lb.AcceptShards())
 
 	if *mAddr != "" {
 		ms, err := metrics.NewServer(*mAddr, metrics.Config{

@@ -31,6 +31,7 @@ func main() {
 		readOnly  = flag.Bool("readonly", false, "refuse uploads and file management")
 		idle      = flag.Duration("idle-timeout", 5*time.Minute, "shut down connections idle this long (O7)")
 		largeFile = flag.Int64("large-file-threshold", 1<<20, "stream RETR files of at least this many bytes through pooled buffers without full-file reads; 0 disables")
+		shards    = flag.Int("shards", 0, "runtime shards (reactor + event pool per shard); 0 = one per CPU, 1 = the paper's single-reactor layout")
 		profile   = flag.Bool("profile", false, "enable performance profiling (O11)")
 		mAddr     = flag.String("metrics-addr", "", "serve Prometheus/JSON metrics on this address (/metrics, /metrics.json); empty disables")
 		debug     = flag.Bool("debug", false, "generate in debug mode (O10)")
@@ -62,6 +63,7 @@ func main() {
 	if *profile || *mAddr != "" {
 		opts.Profiling = true
 	}
+	opts.Shards = *shards
 	if *debug {
 		opts.Mode = options.Debug
 	}
@@ -78,7 +80,8 @@ func main() {
 	if err := srv.ListenAndServe(*addr); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("COPS-FTP exporting %s on %s (readonly=%v)\n", *root, srv.Addr(), *readOnly)
+	fmt.Printf("COPS-FTP exporting %s on %s (readonly=%v, shards=%d)\n",
+		*root, srv.Addr(), *readOnly, srv.Framework().Shards())
 
 	if *mAddr != "" {
 		ms, err := metrics.NewServer(*mAddr, metrics.Config{

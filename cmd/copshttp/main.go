@@ -43,6 +43,7 @@ func main() {
 		largeFile   = flag.Int64("large-file-threshold", 1<<20, "stream files of at least this many bytes from a descriptor (sendfile on Linux), bypassing the cache; 0 buffers everything")
 		shed        = flag.Bool("shed", false, "with -overload: answer 503+Retry-After while the gate is paused instead of postponing accepts")
 		retryAfter  = flag.Duration("retry-after", 0, "Retry-After delay on shed 503 replies (default 1s)")
+		shards      = flag.Int("shards", 0, "runtime shards (reactor + event pool per shard); 0 = one per CPU, 1 = the paper's single-reactor layout")
 		profile     = flag.Bool("profile", false, "enable performance profiling (O11)")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus/JSON metrics on this address (/metrics, /metrics.json); empty disables")
 		debug       = flag.Bool("debug", false, "generate in debug mode (O10): print the internal event trace on exit")
@@ -78,6 +79,7 @@ func main() {
 		opts.CacheThreshold = *cacheBytes / 4
 	}
 	opts.Profiling = *profile
+	opts.Shards = *shards
 	if *debug {
 		opts.Mode = options.Debug
 	}
@@ -131,7 +133,8 @@ func main() {
 	if err := srv.ListenAndServe(*addr); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("COPS-HTTP serving %s on %s (cache=%s)\n", *root, srv.Addr(), policy)
+	fmt.Printf("COPS-HTTP serving %s on %s (cache=%s, shards=%d)\n",
+		*root, srv.Addr(), policy, srv.Framework().Shards())
 
 	if *metricsAddr != "" {
 		ms, err := metrics.NewServer(*metricsAddr, metrics.Config{

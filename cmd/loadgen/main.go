@@ -5,10 +5,17 @@
 // terminates the connection. It reports throughput and the Jain fairness
 // index across clients.
 //
+// With -rate the generator switches from the closed loop above to an
+// open loop: a token bucket injects requests at the given rate no matter
+// how fast the server answers (so server slowdown shows up as latency,
+// not as reduced offered load), and the report adds p50/p95/p99 latency
+// and the achieved throughput against the offered rate.
+//
 // Usage:
 //
 //	loadgen -addr 127.0.0.1:8080 -clients 64 -duration 30s
 //	loadgen -addr 127.0.0.1:8080 -clients 64 -specweb 4   # SpecWeb99 paths
+//	loadgen -addr 127.0.0.1:8080 -clients 64 -rate 2000 -duration 30s
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/stats"
@@ -39,6 +47,7 @@ func main() {
 		path     = flag.String("path", "/", "request path (ignored with -specweb)")
 		specweb  = flag.Int("specweb", 0, "sample paths from a SpecWeb99-like set of N directories")
 		seed     = flag.Int64("seed", 1, "random seed")
+		rate     = flag.Float64("rate", 0, "open-loop mode: offer this many requests/sec through a token bucket (0 keeps the closed loop)")
 	)
 	flag.Parse()
 
@@ -54,6 +63,11 @@ func main() {
 		}
 	} else {
 		pick = func(*rand.Rand) string { return *path }
+	}
+
+	if *rate > 0 {
+		openLoop(*addr, *clients, *rate, *duration, pick, *seed)
+		return
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *duration)
@@ -93,6 +107,115 @@ func main() {
 		time.Duration(respTimes.Mean()*float64(time.Second)).Round(time.Microsecond),
 		time.Duration(respTimes.Percentile(0.5)*float64(time.Second)).Round(time.Microsecond),
 		time.Duration(respTimes.Percentile(0.99)*float64(time.Second)).Round(time.Microsecond))
+	if total == 0 {
+		os.Exit(1)
+	}
+}
+
+// openLoop offers requests at a fixed rate through a token bucket,
+// independent of how fast the server answers. Each of the worker
+// connections consumes arrival tokens and issues one request per token;
+// when all workers are stuck waiting on the server, arrivals accumulate
+// in the bucket (up to one second's worth) and then count as dropped —
+// the open-loop signature where overload shows up as latency and loss,
+// never as politely reduced load.
+func openLoop(addr string, clients int, rate float64, duration time.Duration,
+	pick func(*rand.Rand) string, seed int64) {
+	ctx, cancel := context.WithTimeout(context.Background(), duration)
+	defer cancel()
+
+	burst := int(rate)
+	if burst < 1 {
+		burst = 1
+	}
+	tokens := make(chan struct{}, burst)
+	var offered, dropped atomic.Int64
+	go func() {
+		const interval = 5 * time.Millisecond
+		tk := time.NewTicker(interval)
+		defer tk.Stop()
+		carry := 0.0
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tk.C:
+			}
+			carry += rate * interval.Seconds()
+			for ; carry >= 1; carry-- {
+				offered.Add(1)
+				select {
+				case tokens <- struct{}{}:
+				default:
+					dropped.Add(1)
+				}
+			}
+		}
+	}()
+
+	var mu sync.Mutex
+	var lat stats.Series
+	total := 0
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(id)))
+			var conn net.Conn
+			var r *bufio.Reader
+			defer func() {
+				if conn != nil {
+					conn.Close()
+				}
+			}()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tokens:
+				}
+				if conn == nil {
+					d := net.Dialer{Timeout: 5 * time.Second}
+					c, err := d.DialContext(ctx, "tcp", addr)
+					if err != nil {
+						continue
+					}
+					conn, r = c, bufio.NewReader(c)
+				}
+				reqStart := time.Now()
+				conn.SetDeadline(time.Now().Add(30 * time.Second))
+				if _, err := fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: loadgen\r\n\r\n", pick(rng)); err != nil {
+					conn.Close()
+					conn = nil
+					continue
+				}
+				if !readResponse(r) {
+					conn.Close()
+					conn = nil
+					continue
+				}
+				mu.Lock()
+				total++
+				lat.AddDuration(time.Since(reqStart))
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	pct := func(p float64) time.Duration {
+		return time.Duration(lat.Percentile(p) * float64(time.Second)).Round(time.Microsecond)
+	}
+	fmt.Printf("open loop: offered=%s req/s achieved=%s req/s (workers=%d duration=%v)\n",
+		stats.FormatRate(rate), stats.FormatRate(float64(total)/elapsed.Seconds()),
+		clients, elapsed.Round(time.Millisecond))
+	fmt.Printf("arrivals: offered=%d completed=%d dropped=%d\n", offered.Load(), total, dropped.Load())
+	fmt.Printf("latency: p50=%v p95=%v p99=%v mean=%v\n",
+		pct(0.5), pct(0.95), pct(0.99),
+		time.Duration(lat.Mean()*float64(time.Second)).Round(time.Microsecond))
 	if total == 0 {
 		os.Exit(1)
 	}

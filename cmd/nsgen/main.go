@@ -33,6 +33,7 @@ func main() {
 		module     = flag.String("module", "app", "module path for -scaffold")
 		emitConfig = flag.String("emit-config", "", "print the JSON configuration for a preset and exit")
 		largeFile  = flag.Int64("large-file", 0, "weave the large-file streaming crosscut with this byte threshold; 0 omits it")
+		shards     = flag.Int("shards", 0, "weave the multi-reactor sharding crosscut with this many shards; 0 or 1 omits it")
 	)
 	flag.Parse()
 
@@ -71,6 +72,9 @@ func main() {
 	}
 	if *largeFile > 0 {
 		opts = opts.WithLargeFiles(*largeFile)
+	}
+	if *shards > 0 {
+		opts = opts.WithShards(*shards)
 	}
 
 	if *scaffold {

@@ -35,6 +35,7 @@ import (
 	"repro/internal/bufpool"
 	"repro/internal/logging"
 	"repro/internal/profiling"
+	"repro/internal/reuseport"
 )
 
 // Strategy selects the backend for a new connection.
@@ -84,6 +85,11 @@ type Config struct {
 	// this long for in-flight forwards to finish, then force-closes
 	// their connections. Default 5s.
 	DrainTimeout time.Duration
+	// AcceptShards is how many accept loops the front end runs. With
+	// SO_REUSEPORT (Linux) each loop owns its own listener socket and the
+	// kernel spreads incoming connections across them; elsewhere the loops
+	// share one listener. 0 and 1 both mean a single loop.
+	AcceptShards int
 	// Seed fixes the backoff jitter sequence for deterministic tests.
 	// Zero seeds from CoolDown (still deterministic per config).
 	Seed int64
@@ -118,7 +124,9 @@ type Balancer struct {
 	connMu   sync.Mutex
 	inflight map[net.Conn]struct{}
 
-	ln         net.Listener
+	acceptShards int
+
+	lns        []net.Listener
 	wg         sync.WaitGroup
 	proberDone chan struct{}
 	closed     atomic.Bool
@@ -189,8 +197,13 @@ func New(cfg Config) (*Balancer, error) {
 	if seed == 0 {
 		seed = int64(cd)
 	}
+	shards := cfg.AcceptShards
+	if shards <= 0 {
+		shards = 1
+	}
 	b := &Balancer{
 		strategy:      cfg.Strategy,
+		acceptShards:  shards,
 		dialTimeout:   dt,
 		backoffBase:   cd,
 		backoffMax:    bmax,
@@ -214,18 +227,47 @@ func New(cfg Config) (*Balancer, error) {
 }
 
 // Start begins accepting from ln and forwarding. It returns immediately.
+// With AcceptShards > 1 the shards share this single listener (Accept on
+// one net.Listener is safe from multiple goroutines).
 func (b *Balancer) Start(ln net.Listener) {
-	b.ln = ln
-	b.wg.Add(1)
-	go b.acceptLoop()
+	b.lns = []net.Listener{ln}
+	for i := 0; i < b.acceptShards; i++ {
+		b.wg.Add(1)
+		go b.acceptLoop(ln)
+	}
+	b.startProber()
+}
+
+// StartListeners runs one accept loop per listener (one SO_REUSEPORT
+// socket each, so the kernel spreads connections across the loops).
+func (b *Balancer) StartListeners(lns []net.Listener) {
+	b.lns = lns
+	for _, ln := range lns {
+		b.wg.Add(1)
+		go b.acceptLoop(ln)
+	}
+	b.startProber()
+}
+
+func (b *Balancer) startProber() {
 	if b.probeInterval > 0 {
 		b.wg.Add(1)
 		go b.probeLoop()
 	}
 }
 
-// ListenAndServe binds addr and starts the balancer.
+// ListenAndServe binds addr and starts the balancer. With AcceptShards > 1
+// it binds one SO_REUSEPORT listener per shard where the platform supports
+// it, otherwise the shards share a single listener.
 func (b *Balancer) ListenAndServe(addr string) error {
+	if b.acceptShards > 1 {
+		if lns, err := reuseport.Listeners(addr, b.acceptShards); err == nil {
+			b.StartListeners(lns)
+			return nil
+		} else if !errors.Is(err, reuseport.ErrUnsupported) {
+			return err
+		}
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -236,11 +278,14 @@ func (b *Balancer) ListenAndServe(addr string) error {
 
 // Addr returns the front-end address once serving.
 func (b *Balancer) Addr() net.Addr {
-	if b.ln == nil {
+	if len(b.lns) == 0 {
 		return nil
 	}
-	return b.ln.Addr()
+	return b.lns[0].Addr()
 }
+
+// AcceptShards returns the number of accept loops the balancer runs.
+func (b *Balancer) AcceptShards() int { return b.acceptShards }
 
 // Shutdown stops accepting and drains: in-flight forwards get up to
 // DrainTimeout to finish their current copies, after which their
@@ -250,8 +295,8 @@ func (b *Balancer) Shutdown() {
 	if !b.closed.CompareAndSwap(false, true) {
 		return
 	}
-	if b.ln != nil {
-		b.ln.Close()
+	for _, ln := range b.lns {
+		ln.Close()
 	}
 	close(b.proberDone)
 	done := make(chan struct{})
@@ -358,10 +403,10 @@ func (b *Balancer) BackendStates() []BackendState {
 	return out
 }
 
-func (b *Balancer) acceptLoop() {
+func (b *Balancer) acceptLoop(ln net.Listener) {
 	defer b.wg.Done()
 	for {
-		conn, err := b.ln.Accept()
+		conn, err := ln.Accept()
 		if err != nil {
 			return
 		}

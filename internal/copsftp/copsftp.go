@@ -374,7 +374,7 @@ func (s *Server) cmdList(c *nserver.Conn, sess *session, arg string, namesOnly b
 		n, err := dc.Write([]byte(b.String()))
 		// Data-connection egress bypasses Conn.Send; count it here so the
 		// O11 byte totals cover every socket, not just the control channel.
-		s.ns.Profile().BytesSent(n)
+		c.Profile().BytesSent(n)
 		return err
 	})
 }
@@ -418,9 +418,9 @@ func (s *Server) cmdRetr(c *nserver.Conn, sess *session, arg string) {
 						n, rerr := f.Read(buf)
 						if n > 0 {
 							nw, werr := dc.Write(buf[:n])
-							s.ns.Profile().BytesSent(nw)
-							s.ns.Profile().BytesStreamed(nw)
-							s.ns.Profile().StreamFallbackChunk()
+							c.Profile().BytesSent(nw)
+							c.Profile().BytesStreamed(nw)
+							c.Profile().StreamFallbackChunk()
 							if werr != nil {
 								done <- werr
 								return
@@ -454,7 +454,7 @@ func (s *Server) cmdRetr(c *nserver.Conn, sess *session, arg string) {
 					return
 				}
 				nw, werr := dc.Write(data)
-				s.ns.Profile().BytesSent(nw)
+				c.Profile().BytesSent(nw)
 				done <- werr
 			})
 		if err != nil {
@@ -499,7 +499,7 @@ func (s *Server) cmdStor(c *nserver.Conn, sess *session, arg string) {
 			if n > 0 {
 				// Data-connection ingress bypasses the framework readLoop;
 				// count it toward the O11 bytes-read total.
-				s.ns.Profile().BytesRead(n)
+				c.Profile().BytesRead(n)
 				if _, werr := f.Write(buf[:n]); werr != nil {
 					return werr
 				}

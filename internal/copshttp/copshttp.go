@@ -216,7 +216,9 @@ func (s *Server) shed(conn net.Conn) {
 	n, _ := httpproto.WriteResponse(conn, resp)
 	// The shed reply bypasses Conn.Send, so it must count its own egress
 	// for the O11 byte totals (every egress path counts exactly once).
-	s.ns.Profile().BytesSent(int(n))
+	// Sheds happen before a Communicator (and shard) exists, so they
+	// land on the group's global profile.
+	s.ns.Profile().Global().BytesSent(int(n))
 	httpproto.ReleaseResponse(resp)
 	_ = conn.Close()
 }
@@ -335,7 +337,7 @@ func (s *Server) statDone(tok events.Token, info os.FileInfo, err error) {
 			st.ranged, st.rng = true, rng
 		case errors.Is(rerr, httpproto.ErrRangeUnsatisfiable):
 			// 416 settles here, before any file I/O is queued.
-			s.ns.Profile().RangeUnsatisfiable()
+			c.Profile().RangeUnsatisfiable()
 			page := httpproto.ErrorPage(416)
 			resp := httpproto.AcquireResponse()
 			resp.Status = 416
@@ -399,7 +401,7 @@ func (s *Server) fileDone(tok events.Token, data []byte, err error) {
 		resp.Status = 206
 		resp.Headers.Set("Content-Range", httpproto.ContentRange(st.rng, int64(len(data))))
 		body = data[st.rng.Start : st.rng.Start+st.rng.Length]
-		s.ns.Profile().RangeServed()
+		c.Profile().RangeServed()
 	}
 	resp.Body = body
 	if !st.modTime.IsZero() {
@@ -447,7 +449,7 @@ func (s *Server) openDone(tok events.Token, f *os.File, info os.FileInfo, err er
 		resp.Status = 206
 		resp.Headers.Set("Content-Range", httpproto.ContentRange(st.rng, size))
 		offset, length = st.rng.Start, st.rng.Length
-		s.ns.Profile().RangeServed()
+		c.Profile().RangeServed()
 	}
 	// The codec sees no in-memory body, so the streamed length must be
 	// advertised explicitly.

@@ -62,6 +62,12 @@ type Processor struct {
 	min, max int
 	interval time.Duration
 
+	// peers are sibling processors of the sharded runtime this processor
+	// may steal queued events from when its own queue runs dry. Set once
+	// with SetPeers before Start; empty for the unsharded runtime, whose
+	// worker loop is then byte-for-byte the pre-sharding one.
+	peers []*Processor
+
 	// desired is the pool size the Processor Controller wants; workers
 	// retire themselves when live > desired.
 	desired atomic.Int32
@@ -119,6 +125,74 @@ func New(cfg Config) (*Processor, error) {
 // Name returns the processor's trace label.
 func (p *Processor) Name() string { return p.name }
 
+// stealBatch bounds how many events one steal attempt may take from a
+// victim: enough to amortize the extra queue locking, small enough that
+// a momentarily idle shard cannot drain a busy one.
+const stealBatch = 4
+
+// stealPumpInterval is how often the steal pump re-checks peer backlogs
+// while this processor's workers sit blocked on an empty queue.
+const stealPumpInterval = time.Millisecond
+
+// SetPeers wires the sibling processors this one may steal from. It must
+// be called before Start (the slice is read without synchronization by
+// the worker loop); p itself is skipped during stealing, so the full
+// shard slice may be passed to every member.
+func (p *Processor) SetPeers(peers []*Processor) {
+	p.peers = peers
+}
+
+// steal moves up to stealBatch events from the first backlogged peer
+// into the local queue, reporting whether anything was taken. Stealing
+// is O8-aware twice over: TryPop on the victim follows the victim's
+// quota cycle (so a steal cannot skim only high-priority work), and
+// re-pushing locally files each event at its own priority level under
+// the local quotas. If the local queue is already closed the stolen
+// event is processed inline instead of being dropped.
+func (p *Processor) steal() bool {
+	stolen := false
+	for _, v := range p.peers {
+		if v == p || v == nil {
+			continue
+		}
+		for i := 0; i < stealBatch; i++ {
+			ev, ok := v.queue.TryPop()
+			if !ok {
+				break
+			}
+			stolen = true
+			if err := p.queue.Push(ev); err != nil {
+				p.process(ev)
+			}
+		}
+		if stolen {
+			p.trace.Record(p.name, "stole work from %s", v.name)
+			return true
+		}
+	}
+	return false
+}
+
+// stealPump keeps a fully parked shard responsive to remote backlog:
+// workers blocked in Pop never re-evaluate peers, so when the local
+// queue stays empty the pump periodically pulls a bounded batch across,
+// and the Push wakes a blocked worker. It runs only when peers are set.
+func (p *Processor) stealPump() {
+	defer p.wg.Done()
+	ticker := time.NewTicker(stealPumpInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.ctrlDone:
+			return
+		case <-ticker.C:
+		}
+		if p.queue.Len() == 0 {
+			p.steal()
+		}
+	}
+}
+
 // Start launches the worker pool (and the Processor Controller for
 // dynamic allocation). Start is idempotent.
 func (p *Processor) Start() {
@@ -132,6 +206,10 @@ func (p *Processor) Start() {
 	if p.dynamic {
 		p.wg.Add(1)
 		go p.controller()
+	}
+	if len(p.peers) > 0 {
+		p.wg.Add(1)
+		go p.stealPump()
 	}
 	p.trace.Record(p.name, "started with %d workers (dynamic=%v)", n, p.dynamic)
 }
@@ -200,6 +278,20 @@ func (p *Processor) work() {
 	for {
 		if p.dynamic && p.tryRetire() {
 			return
+		}
+		// Work stealing (sharded runtime only): a worker about to block
+		// on an empty local queue first tries to pull a bounded batch
+		// from a backlogged peer, so a pathological connection
+		// distribution cannot idle this shard's core. With no peers the
+		// TryPop/steal detour is skipped entirely.
+		if len(p.peers) > 0 {
+			if ev, ok := p.queue.TryPop(); ok {
+				p.process(ev)
+				continue
+			}
+			if p.steal() {
+				continue
+			}
 		}
 		ev, ok := p.queue.Pop()
 		if !ok {

@@ -96,6 +96,16 @@ type tmplData struct {
 	// passing through memory (and the cache).
 	LargeFile          bool
 	LargeFileThreshold int64
+
+	// Multi-reactor sharding crosscut: woven only when more than one
+	// shard is selected. The generated Server then owns Shards reactors
+	// (each with its own event processor when O2 selects a pool),
+	// spreads accepted connections across them round-robin, and the
+	// processors steal bounded batches from each other's queues. With
+	// one shard the generated source is byte-identical to before the
+	// crosscut existed.
+	Sharded bool
+	Shards  int
 }
 
 // Generate validates opts and emits the specialized framework under the
@@ -108,44 +118,46 @@ func Generate(pkg string, opts options.Options) (*Artifact, error) {
 		pkg = "nserver"
 	}
 	d := tmplData{
-		Package:           pkg,
-		DispatcherThreads: opts.DispatcherThreads,
-		Pool:              opts.SeparateThreadPool,
-		EventThreads:      opts.EventThreads,
-		Codec:             opts.Codec,
-		Async:             opts.Completion == options.AsynchronousCompletion,
-		Dynamic:           opts.Allocation == options.DynamicAllocation,
-		MinThreads:        opts.MinEventThreads,
-		MaxThreads:        opts.MaxEventThreads,
-		Cache:             opts.Cache != options.NoCache,
-		Policy:            opts.Cache.String(),
-		PolicyName:        opts.Cache.String(),
-		CacheCapacity:     opts.CacheCapacity,
-		CacheThreshold:    opts.CacheThreshold,
-		Threshold:         opts.Cache == options.LRUThreshold,
-		NeedFreq:          opts.Cache == options.LFU || opts.Cache == options.HyperG || opts.Cache == options.CustomPolicy,
-		NeedClock:         opts.Cache == options.HyperG,
-		FileIOThreads:     opts.FileIOThreads,
-		Idle:              opts.ShutdownLongIdle,
-		IdleTimeoutNanos:  opts.IdleTimeout.Nanoseconds(),
-		Scheduling:        opts.EventScheduling,
-		Quotas:            opts.Quotas,
-		Overload:          opts.OverloadControl,
-		HighWatermark:     opts.HighWatermark,
-		LowWatermark:      opts.LowWatermark,
-		MaxConns:          opts.MaxConnections > 0,
-		MaxConnections:    opts.MaxConnections,
-		Debug:             opts.Mode == options.Debug,
-		Profiling:         opts.Profiling,
-		Logging:           opts.Logging,
-		ReadDeadline:      opts.ReadTimeout > 0,
-		WriteDeadline:     opts.WriteTimeout > 0,
-		CapRequest:        opts.MaxRequestBytes > 0 && opts.Codec,
-		ReadTimeoutNanos:  opts.ReadTimeout.Nanoseconds(),
-		WriteTimeoutNanos: opts.WriteTimeout.Nanoseconds(),
-		MaxRequestBytes:   opts.MaxRequestBytes,
+		Package:            pkg,
+		DispatcherThreads:  opts.DispatcherThreads,
+		Pool:               opts.SeparateThreadPool,
+		EventThreads:       opts.EventThreads,
+		Codec:              opts.Codec,
+		Async:              opts.Completion == options.AsynchronousCompletion,
+		Dynamic:            opts.Allocation == options.DynamicAllocation,
+		MinThreads:         opts.MinEventThreads,
+		MaxThreads:         opts.MaxEventThreads,
+		Cache:              opts.Cache != options.NoCache,
+		Policy:             opts.Cache.String(),
+		PolicyName:         opts.Cache.String(),
+		CacheCapacity:      opts.CacheCapacity,
+		CacheThreshold:     opts.CacheThreshold,
+		Threshold:          opts.Cache == options.LRUThreshold,
+		NeedFreq:           opts.Cache == options.LFU || opts.Cache == options.HyperG || opts.Cache == options.CustomPolicy,
+		NeedClock:          opts.Cache == options.HyperG,
+		FileIOThreads:      opts.FileIOThreads,
+		Idle:               opts.ShutdownLongIdle,
+		IdleTimeoutNanos:   opts.IdleTimeout.Nanoseconds(),
+		Scheduling:         opts.EventScheduling,
+		Quotas:             opts.Quotas,
+		Overload:           opts.OverloadControl,
+		HighWatermark:      opts.HighWatermark,
+		LowWatermark:       opts.LowWatermark,
+		MaxConns:           opts.MaxConnections > 0,
+		MaxConnections:     opts.MaxConnections,
+		Debug:              opts.Mode == options.Debug,
+		Profiling:          opts.Profiling,
+		Logging:            opts.Logging,
+		ReadDeadline:       opts.ReadTimeout > 0,
+		WriteDeadline:      opts.WriteTimeout > 0,
+		CapRequest:         opts.MaxRequestBytes > 0 && opts.Codec,
+		ReadTimeoutNanos:   opts.ReadTimeout.Nanoseconds(),
+		WriteTimeoutNanos:  opts.WriteTimeout.Nanoseconds(),
+		MaxRequestBytes:    opts.MaxRequestBytes,
 		LargeFile:          opts.LargeFileThreshold > 0,
 		LargeFileThreshold: opts.LargeFileThreshold,
+		Sharded:            opts.Shards > 1,
+		Shards:             opts.Shards,
 	}
 	if d.FileIOThreads <= 0 {
 		d.FileIOThreads = 2

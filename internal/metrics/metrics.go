@@ -36,8 +36,12 @@ import (
 // nil sources are simply omitted from the output, so the same handler
 // serves a bare balancer (no profile, no cache) and a full COPS-HTTP.
 type Config struct {
-	// Profile supplies server counters and stage histograms (O11).
-	Profile *profiling.Profile
+	// Profile supplies server counters and stage histograms (O11):
+	// either a flat *profiling.Profile or the sharded *profiling.Group,
+	// whose Snapshot aggregates lazily at scrape time. When the source
+	// is a Group the JSON document also carries the per-shard breakdown
+	// and the Prometheus rendering a per-shard request-count series.
+	Profile profiling.Source
 	// Cache supplies aggregate and per-shard file-cache stats (O6).
 	Cache *cache.Cache
 	// Cluster supplies per-backend circuit-breaker state.
@@ -129,12 +133,12 @@ type BackendJSON struct {
 
 // CacheJSON is the cache section of the JSON rendering.
 type CacheJSON struct {
-	Policy  string        `json:"policy"`
-	Hits    uint64        `json:"hits"`
-	Misses  uint64        `json:"misses"`
-	HitRate float64       `json:"hit_rate"`
-	Evict   uint64        `json:"evictions"`
-	Rejects uint64        `json:"rejects"`
+	Policy  string  `json:"policy"`
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+	Evict   uint64  `json:"evictions"`
+	Rejects uint64  `json:"rejects"`
 	// RejectedTooLarge counts Puts refused by the large-file admission
 	// cap (kept apart from rejects so operators can tell cap pressure
 	// from policy pressure).
@@ -144,9 +148,17 @@ type CacheJSON struct {
 	Shards           []cache.Stats `json:"shards"`
 }
 
+// ShardJSON is one runtime shard's counter snapshot in the JSON
+// rendering (sharded runtimes only).
+type ShardJSON struct {
+	Shard    int                `json:"shard"`
+	Counters profiling.Snapshot `json:"counters"`
+}
+
 // Payload is the complete JSON document.
 type Payload struct {
 	Server   *profiling.Snapshot `json:"server,omitempty"`
+	Shards   []ShardJSON         `json:"shards,omitempty"`
 	Stages   []StageJSON         `json:"stages,omitempty"`
 	Cache    *CacheJSON          `json:"cache,omitempty"`
 	Deferred *uint64             `json:"deferred,omitempty"`
@@ -154,12 +166,32 @@ type Payload struct {
 	Cluster  []BackendJSON       `json:"cluster,omitempty"`
 }
 
+// sharder is implemented by profile sources with a per-shard breakdown
+// (*profiling.Group).
+type sharder interface {
+	ShardSnapshots() []profiling.Snapshot
+}
+
+// profileEnabled guards the interface-typed Profile field: both the
+// unset field (nil interface) and a typed-nil source report disabled.
+func profileEnabled(cfg Config) bool {
+	return cfg.Profile != nil && cfg.Profile.Enabled()
+}
+
 // collect gathers every configured source into the JSON document.
 func collect(cfg Config) Payload {
 	var p Payload
-	if cfg.Profile.Enabled() {
+	if profileEnabled(cfg) {
 		snap := cfg.Profile.Snapshot()
 		p.Server = &snap
+		if g, ok := cfg.Profile.(sharder); ok {
+			shards := g.ShardSnapshots()
+			if len(shards) > 1 {
+				for i, ss := range shards {
+					p.Shards = append(p.Shards, ShardJSON{Shard: i, Counters: ss})
+				}
+			}
+		}
 		for _, st := range profiling.Stages() {
 			hs := cfg.Profile.StageSnapshot(st)
 			sj := StageJSON{
@@ -188,9 +220,9 @@ func collect(cfg Config) Payload {
 	if cfg.Cache != nil {
 		agg := cfg.Cache.Stats()
 		p.Cache = &CacheJSON{
-			Policy:  fmt.Sprint(cfg.Cache.Policy()),
-			Hits:    agg.Hits,
-			Misses:  agg.Misses,
+			Policy:           fmt.Sprint(cfg.Cache.Policy()),
+			Hits:             agg.Hits,
+			Misses:           agg.Misses,
 			HitRate:          agg.HitRate(),
 			Evict:            agg.Evictions,
 			Rejects:          agg.Rejects,
@@ -242,7 +274,7 @@ func RenderPrometheus(cfg Config) string {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
 			name, help, name, name, strconv.FormatFloat(v, 'g', -1, 64))
 	}
-	if cfg.Profile.Enabled() {
+	if profileEnabled(cfg) {
 		s := cfg.Profile.Snapshot()
 		counter("nserver_connections_accepted_total", "Connections accepted.", s.ConnectionsAccepted)
 		counter("nserver_connections_closed_total", "Connections closed.", s.ConnectionsClosed)
@@ -276,6 +308,21 @@ func RenderPrometheus(cfg Config) string {
 			fmt.Fprintf(&b, "%s_sum{stage=%q} %s\n", hname, st.String(),
 				strconv.FormatFloat(hs.Sum.Seconds(), 'g', -1, 64))
 			fmt.Fprintf(&b, "%s_count{stage=%q} %d\n", hname, st.String(), hs.Count)
+		}
+		if g, ok := cfg.Profile.(sharder); ok {
+			shards := g.ShardSnapshots()
+			if len(shards) > 1 {
+				const rname = "nserver_shard_requests_total"
+				fmt.Fprintf(&b, "# HELP %s Requests served per runtime shard.\n# TYPE %s counter\n", rname, rname)
+				for i, ss := range shards {
+					fmt.Fprintf(&b, "%s{shard=\"%d\"} %d\n", rname, i, ss.RequestsServed)
+				}
+				const cname2 = "nserver_shard_connections_accepted_total"
+				fmt.Fprintf(&b, "# HELP %s Connections accepted per runtime shard.\n# TYPE %s counter\n", cname2, cname2)
+				for i, ss := range shards {
+					fmt.Fprintf(&b, "%s{shard=\"%d\"} %d\n", cname2, i, ss.ConnectionsAccepted)
+				}
+			}
 		}
 	}
 	if cfg.Cache != nil {

@@ -35,7 +35,12 @@ const readChunkSize = 32 << 10
 // loop), O7 (activity timestamps for the idle reaper), O8 (the priority
 // field) and O11 (byte counters) — the crosscutting Table 2 documents.
 type Conn struct {
-	srv    *Server
+	srv *Server
+	// sh is the shard that owns this connection for its whole life: its
+	// reactor dispatches the connection's events and its profile takes
+	// the hot-path counter writes, so nothing here contends with
+	// connections on other shards.
+	sh     *shard
 	conn   net.Conn
 	handle reactor.Handle
 
@@ -78,6 +83,14 @@ type Conn struct {
 
 // Server returns the owning server (for access to AIO, cache, timers).
 func (c *Conn) Server() *Server { return c.srv }
+
+// Profile returns the owning shard's profiling counters (nil when O11
+// is off): the contention-free sink for application hot-path counts,
+// aggregated lazily by Server.Profile().
+func (c *Conn) Profile() *profiling.Profile { return c.sh.profile }
+
+// Shard returns the index of the shard that owns this connection.
+func (c *Conn) Shard() int { return c.sh.idx }
 
 // Handle returns the connection's reactor handle.
 func (c *Conn) Handle() reactor.Handle { return c.handle }
@@ -141,10 +154,10 @@ func (c *Conn) Send(data []byte) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
 	c.armWriteDeadline()
-	sendStart := c.srv.profile.StageStart()
+	sendStart := c.sh.profile.StageStart()
 	n, err := c.conn.Write(data)
-	c.srv.profile.ObserveSince(profiling.StageSend, sendStart)
-	c.srv.profile.BytesSent(n)
+	c.sh.profile.ObserveSince(profiling.StageSend, sendStart)
+	c.sh.profile.BytesSent(n)
 	c.touch()
 	if err != nil {
 		c.teardown(err)
@@ -164,9 +177,9 @@ const replyHeadSize = 512
 func (c *Conn) Reply(reply any) error {
 	if be, ok := c.srv.codec.(BufferEncoder); ok {
 		lease := bufpool.Get(replyHeadSize)
-		encStart := c.srv.profile.StageStart()
+		encStart := c.sh.profile.StageStart()
 		head, body, err := appendHeadSafe(be, lease.Bytes()[:0], reply)
-		c.srv.profile.ObserveSince(profiling.StageEncode, encStart)
+		c.sh.profile.ObserveSince(profiling.StageEncode, encStart)
 		if err != nil {
 			lease.Release()
 			return err
@@ -217,10 +230,10 @@ func (c *Conn) sendBuffers(head, body []byte) error {
 		return nil
 	}
 	c.armWriteDeadline()
-	sendStart := c.srv.profile.StageStart()
+	sendStart := c.sh.profile.StageStart()
 	n, err := bufs.WriteTo(c.conn)
-	c.srv.profile.ObserveSince(profiling.StageSend, sendStart)
-	c.srv.profile.BytesSent(int(n))
+	c.sh.profile.ObserveSince(profiling.StageSend, sendStart)
+	c.sh.profile.BytesSent(int(n))
 	c.touch()
 	if err != nil {
 		c.teardown(err)
@@ -242,7 +255,7 @@ func (c *Conn) teardown(cause error) {
 		c.closed.Store(true)
 		c.closeErr = cause
 		c.conn.Close()
-		_ = c.srv.reactor.Source().Emit(reactor.Ready{
+		_ = c.sh.reactor.Source().Emit(reactor.Ready{
 			Type:   reactor.CloseReady,
 			Handle: c.handle,
 			Data:   cause,
@@ -268,16 +281,16 @@ func (c *Conn) readLoop() {
 			_ = c.conn.SetReadDeadline(time.Now().Add(readTimeout))
 		}
 		lease := bufpool.Get(readChunkSize)
-		readStart := c.srv.profile.StageStart()
+		readStart := c.sh.profile.StageStart()
 		n, err := c.conn.Read(lease.Bytes())
 		if n > 0 {
 			// The Read Request stage: blocked-in-Read time per chunk, which
 			// also makes peer read stalls visible in the histogram.
-			c.srv.profile.ObserveSince(profiling.StageRead, readStart)
+			c.sh.profile.ObserveSince(profiling.StageRead, readStart)
 			lease.SetLen(n)
-			c.srv.profile.BytesRead(n)
+			c.sh.profile.BytesRead(n)
 			c.touch()
-			if eerr := c.srv.reactor.Source().Emit(reactor.Ready{
+			if eerr := c.sh.reactor.Source().Emit(reactor.Ready{
 				Type:   reactor.ReadReady,
 				Handle: c.handle,
 				Data:   lease,
@@ -347,9 +360,9 @@ func (c *Conn) processChunk(chunk []byte) {
 	}
 	c.inbuf = append(c.inbuf, chunk...)
 	for {
-		decStart := c.srv.profile.StageStart()
+		decStart := c.sh.profile.StageStart()
 		req, n, err := c.decodeSafe()
-		c.srv.profile.ObserveSince(profiling.StageDecode, decStart)
+		c.sh.profile.ObserveSince(profiling.StageDecode, decStart)
 		if n > 0 {
 			c.inbuf = c.inbuf[n:]
 			c.srv.handleRequest(c, req)
@@ -401,6 +414,6 @@ func (c *Conn) RequestPendingFor() time.Duration {
 // handle (the framework's Communicator teardown).
 func (c *Conn) finalize() {
 	c.srv.detach(c)
-	c.srv.profile.ConnectionClosed()
+	c.sh.profile.ConnectionClosed()
 	c.srv.app.OnClose(c, c.closeErr)
 }

@@ -36,9 +36,9 @@ func (c *Conn) ReplyFile(reply any, src *os.File, offset, length int64) error {
 		return errors.New("nserver: ReplyFile requires a BufferEncoder codec")
 	}
 	lease := bufpool.Get(replyHeadSize)
-	encStart := c.srv.profile.StageStart()
+	encStart := c.sh.profile.StageStart()
 	head, body, err := appendHeadSafe(be, lease.Bytes()[:0], reply)
-	c.srv.profile.ObserveSince(profiling.StageEncode, encStart)
+	c.sh.profile.ObserveSince(profiling.StageEncode, encStart)
 	if err != nil {
 		lease.Release()
 		return err
@@ -58,9 +58,9 @@ func (c *Conn) sendFile(head, body []byte, src *os.File, offset, length int64) e
 	}
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
-	sendStart := c.srv.profile.StageStart()
+	sendStart := c.sh.profile.StageStart()
 	fail := func(err error) error {
-		c.srv.profile.ObserveSince(profiling.StageSend, sendStart)
+		c.sh.profile.ObserveSince(profiling.StageSend, sendStart)
 		c.touch()
 		c.teardown(err)
 		return err
@@ -76,7 +76,7 @@ func (c *Conn) sendFile(head, body []byte, src *os.File, offset, length int64) e
 	if len(bufs) > 0 {
 		c.armWriteDeadline()
 		n, err := bufs.WriteTo(c.conn)
-		c.srv.profile.BytesSent(int(n))
+		c.sh.profile.BytesSent(int(n))
 		if err != nil {
 			return fail(err)
 		}
@@ -96,12 +96,12 @@ func (c *Conn) sendFile(head, body []byte, src *os.File, offset, length int64) e
 		n, viaSendfile, err := sendFileChunk(c.conn, src, chunk)
 		if n > 0 {
 			remaining -= n
-			c.srv.profile.BytesSent(int(n))
-			c.srv.profile.BytesStreamed(int(n))
+			c.sh.profile.BytesSent(int(n))
+			c.sh.profile.BytesStreamed(int(n))
 			if viaSendfile {
-				c.srv.profile.SendfileChunk()
+				c.sh.profile.SendfileChunk()
 			} else {
-				c.srv.profile.StreamFallbackChunk()
+				c.sh.profile.StreamFallbackChunk()
 			}
 		}
 		if err == nil && n < chunk {
@@ -113,7 +113,7 @@ func (c *Conn) sendFile(head, body []byte, src *os.File, offset, length int64) e
 			return fail(err)
 		}
 	}
-	c.srv.profile.ObserveSince(profiling.StageSend, sendStart)
+	c.sh.profile.ObserveSince(profiling.StageSend, sendStart)
 	c.touch()
 	return nil
 }

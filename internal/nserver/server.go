@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/options"
 	"repro/internal/profiling"
 	"repro/internal/reactor"
+	"repro/internal/reuseport"
 )
 
 // Config assembles a server from a validated option set plus the
@@ -62,6 +64,40 @@ type Config struct {
 // configuration leaves TraceSampleEvery zero.
 const defaultTraceSampleEvery = 128
 
+// shard is one independent slice of the serve runtime: its own Reactor
+// (event source, dispatcher threads), its own reactive Event Processor,
+// its own connection table, scavenger and profiling counters. A
+// connection is owned by exactly one shard for its whole life, so the
+// per-request pipeline never takes a lock another shard contends on.
+// The file-I/O pool, file cache and overload controller stay global:
+// disk bandwidth and the shed decision are machine-wide quantities.
+type shard struct {
+	idx      int
+	srv      *Server
+	reactor  *reactor.Reactor
+	timers   *reactor.TimerSource
+	reactive *eventproc.Processor
+	// profile is this shard's private counter set (nil when O11 is off):
+	// hot-path writes land on memory no other shard touches and are
+	// aggregated lazily by Server.Profile().
+	profile *profiling.Profile
+	// acceptor is the acceptor whose live-connection accounting this
+	// shard reports teardown to: its own in SO_REUSEPORT mode, the
+	// shared fan-out acceptor otherwise.
+	acceptor *acceptor.Acceptor
+
+	// connK counts connections attached to this shard; conn IDs are
+	// strided (idx+1, idx+1+N, ...) so `c<conn>-r<req>` trace IDs stay
+	// unique across shards without a shared sequence. With one shard
+	// this degenerates to the pre-sharding 1,2,3,... sequence.
+	connK atomic.Uint64
+
+	mu    sync.Mutex
+	conns map[reactor.Handle]*Conn
+
+	reaperDone chan struct{}
+}
+
 // Server is the assembled N-Server instance.
 type Server struct {
 	opts     options.Options
@@ -69,31 +105,45 @@ type Server struct {
 	codec    Codec
 	priority PriorityFunc
 
+	// shards are the per-core runtime slices; len(shards) ==
+	// opts.Shards after New resolves the default.
+	shards []*shard
+
+	// Shard-0 aliases: the single-shard runtime is exactly the paper's,
+	// and these keep that case (and application timers, which live on
+	// shard 0) reachable under the historical names.
 	reactor  *reactor.Reactor
 	timers   *reactor.TimerSource
 	reactive *eventproc.Processor
+
+	// Global (cross-shard) components.
 	fileio   *aio.Service
 	fcache   *cache.Cache
 	overload *eventproc.Overload
-	acceptor *acceptor.Acceptor
+	profiles *profiling.Group
+	// profile is the global profile of the group (nil unless O11): the
+	// sink for components that are not sharded (file I/O, acceptors).
 	profile  *profiling.Profile
 	logger   *logging.Logger
 	trace    *logging.Trace
 	reqTrace *logging.RequestTrace
 
-	// connSeq issues the per-server connection sequence numbers that
-	// anchor O12 trace IDs.
-	connSeq atomic.Uint64
+	// acceptor is the shared fan-out acceptor (single-listener mode);
+	// acceptors lists every running acceptor (1 in fan-out mode, one
+	// per shard in SO_REUSEPORT mode).
+	acceptor  *acceptor.Acceptor
+	acceptors []*acceptor.Acceptor
 
-	mu    sync.Mutex
-	conns map[reactor.Handle]*Conn
+	// nextShard round-robins fan-out attachment; aioShard round-robins
+	// async completion delivery across shard processors.
+	nextShard atomic.Uint32
+	aioShard  atomic.Uint32
 
-	shed       func(net.Conn)
-	gatePoll   time.Duration
-	reaperDone chan struct{}
-	started    atomic.Bool
-	stopped    atomic.Bool
-	acceptWG   sync.WaitGroup
+	shed     func(net.Conn)
+	gatePoll time.Duration
+	started  atomic.Bool
+	stopped  atomic.Bool
+	acceptWG sync.WaitGroup
 }
 
 // New validates the configuration and assembles (but does not start) a
@@ -114,6 +164,8 @@ func New(cfg Config) (*Server, error) {
 		return nil, errors.New("nserver: Codec supplied but O3 disables encoding/decoding")
 	}
 	o := cfg.Options
+	nShards := o.ResolveShards(runtime.NumCPU())
+	o.Shards = nShards
 
 	s := &Server{
 		opts:     o,
@@ -121,14 +173,15 @@ func New(cfg Config) (*Server, error) {
 		codec:    cfg.Codec,
 		priority: cfg.Priority,
 		logger:   cfg.Logger,
-		conns:    make(map[reactor.Handle]*Conn),
 		shed:     cfg.Shed,
 		gatePoll: cfg.GatePollInterval,
 	}
 
-	// O11: profiling counters exist only when selected.
+	// O11: profiling counters exist only when selected — one private
+	// Profile per shard plus a global one, aggregated lazily.
 	if o.Profiling {
-		s.profile = profiling.New()
+		s.profiles = profiling.NewGroup(nShards)
+		s.profile = s.profiles.Global()
 	}
 	// O12: the sampled request tracer exists only when logging is on and
 	// a logger is attached.
@@ -147,46 +200,76 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 
-	// Event source chain: timers always; per-event tracing in debug mode.
-	var src reactor.Source = reactor.NewBasicSource("events")
-	if o.Mode == options.Debug {
-		src = reactor.NewTraceSource(src, s.trace)
-	}
-	s.timers = reactor.NewTimerSource(src)
+	// Assemble the shards: each gets its own event source chain,
+	// reactive Event Processor (O2/O5/O8 queue discipline) and Reactor.
+	s.shards = make([]*shard, nShards)
+	for i := 0; i < nShards; i++ {
+		sh := &shard{idx: i, srv: s, conns: make(map[reactor.Handle]*Conn)}
+		sh.profile = s.profiles.Shard(i)
 
-	// O2/O5/O8: the reactive Event Processor with its queue discipline.
-	if o.SeparateThreadPool {
-		queue, err := events.NewQueue(o.EventScheduling, o.Quotas)
-		if err != nil {
-			return nil, err
+		var src reactor.Source = reactor.NewBasicSource(shardName("events", i, nShards))
+		if o.Mode == options.Debug {
+			src = reactor.NewTraceSource(src, s.trace)
 		}
-		proc, err := eventproc.New(eventproc.Config{
-			Name:       "reactive",
-			Queue:      queue,
-			Workers:    o.EventThreads,
-			Allocation: o.Allocation,
-			MinWorkers: o.MinEventThreads,
-			MaxWorkers: o.MaxEventThreads,
-			Profile:    s.profile,
-			Trace:      s.trace,
+		sh.timers = reactor.NewTimerSource(src)
+
+		if o.SeparateThreadPool {
+			queue, err := events.NewQueue(o.EventScheduling, o.Quotas)
+			if err != nil {
+				return nil, err
+			}
+			proc, err := eventproc.New(eventproc.Config{
+				Name:       shardName("reactive", i, nShards),
+				Queue:      queue,
+				Workers:    o.EventThreads,
+				Allocation: o.Allocation,
+				MinWorkers: o.MinEventThreads,
+				MaxWorkers: o.MaxEventThreads,
+				Profile:    sh.profile,
+				Trace:      s.trace,
+			})
+			if err != nil {
+				return nil, err
+			}
+			sh.reactive = proc
+		}
+
+		r, err := reactor.New(reactor.Config{
+			Source:            sh.timers,
+			DispatcherThreads: o.DispatcherThreads,
+			Processor:         sh.reactive,
+			Profile:           sh.profile,
+			Trace:             s.trace,
 		})
 		if err != nil {
 			return nil, err
 		}
-		s.reactive = proc
-	}
+		sh.reactor = r
 
-	r, err := reactor.New(reactor.Config{
-		Source:            s.timers,
-		DispatcherThreads: o.DispatcherThreads,
-		Processor:         s.reactive,
-		Profile:           s.profile,
-		Trace:             s.trace,
-	})
-	if err != nil {
-		return nil, err
+		// Inline completion dispatch (only reachable when O2 is off).
+		sh.reactor.RegisterType(reactor.CompletionReady, reactor.HandlerFunc(func(rd reactor.Ready) {
+			if comp, ok := rd.Data.(*events.Completion); ok {
+				comp.Process()
+			}
+		}))
+		s.shards[i] = sh
 	}
-	s.reactor = r
+	s.reactor = s.shards[0].reactor
+	s.timers = s.shards[0].timers
+	s.reactive = s.shards[0].reactive
+
+	// Bounded work stealing between the shard queues: only wired when
+	// more than one shard exists, so the single-shard worker loop stays
+	// the pre-sharding one.
+	if nShards > 1 && o.SeparateThreadPool {
+		procs := make([]*eventproc.Processor, nShards)
+		for i, sh := range s.shards {
+			procs[i] = sh.reactive
+		}
+		for _, sh := range s.shards {
+			sh.reactive.SetPeers(procs)
+		}
+	}
 
 	// O6: the Cache class exists only when a policy is selected; the
 	// file-I/O Event Processor emulates non-blocking disk access.
@@ -208,14 +291,24 @@ func New(cfg Config) (*Server, error) {
 	}
 	var sink aio.Sink
 	if o.Completion == options.AsynchronousCompletion {
-		if s.reactive != nil {
+		switch {
+		case s.reactive != nil && nShards == 1:
 			sink = s.reactive.Submit
-		} else {
+		case s.reactive != nil:
+			// Completions round-robin across the shard processors: the
+			// completion handler re-enters the owning Conn, which takes
+			// its own pipeline lock, so any shard's worker may run it.
+			sink = func(ev events.Event) error {
+				i := s.aioShard.Add(1)
+				return s.shards[int(i)%nShards].reactive.Submit(ev)
+			}
+		default:
 			// Without a separate pool, completions re-enter through the
 			// event source and are dispatched inline.
 			sink = func(ev events.Event) error {
 				comp := ev.(*events.Completion)
-				return s.reactor.Source().Emit(reactor.Ready{
+				sh := s.shards[int(s.aioShard.Add(1))%nShards]
+				return sh.reactor.Source().Emit(reactor.Ready{
 					Type: reactor.CompletionReady,
 					Data: comp,
 					Prio: comp.Prio,
@@ -240,21 +333,20 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.fileio = svc
 
-	// Inline completion dispatch (only reachable when O2 is off).
-	s.reactor.RegisterType(reactor.CompletionReady, reactor.HandlerFunc(func(rd reactor.Ready) {
-		if comp, ok := rd.Data.(*events.Completion); ok {
-			comp.Process()
-		}
-	}))
-
 	// O9: the overload controller exists only when selected. It watches
-	// the reactive event queue (CPU bottleneck) and the file-I/O queue
-	// (disk bottleneck) — "overload situations that can be caused by
-	// multiple bottlenecks, such as CPU and disk".
+	// every shard's reactive event queue (CPU bottleneck) and the global
+	// file-I/O queue (disk bottleneck) — "overload situations that can
+	// be caused by multiple bottlenecks, such as CPU and disk". The
+	// watermarks are evaluated per shard queue; any shard over its high
+	// watermark pauses the (global) accept gate, and accepting resumes
+	// only once every watched queue is back at its low watermark.
 	if o.OverloadControl {
 		s.overload = eventproc.NewOverload(s.profile, s.trace)
-		if s.reactive != nil {
-			if err := s.overload.Watch("reactive", s.reactive, o.HighWatermark, o.LowWatermark); err != nil {
+		for i, sh := range s.shards {
+			if sh.reactive == nil {
+				continue
+			}
+			if err := s.overload.Watch(shardName("reactive", i, nShards), sh.reactive, o.HighWatermark, o.LowWatermark); err != nil {
 				return nil, err
 			}
 		}
@@ -265,11 +357,27 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Options returns the option assignment the server was built with.
+// shardName labels a per-shard component: the bare name for the
+// single-shard runtime (matching the paper's single-reactor layout) and
+// "name-<i>" once sharding multiplies the component.
+func shardName(name string, i, n int) string {
+	if n == 1 {
+		return name
+	}
+	return fmt.Sprintf("%s-%d", name, i)
+}
+
+// Options returns the option assignment the server was built with (with
+// Shards resolved to the effective shard count).
 func (s *Server) Options() options.Options { return s.opts }
 
-// Profile returns the profiling counters (nil unless O11 is on).
-func (s *Server) Profile() *profiling.Profile { return s.profile }
+// Profile returns the sharded profiling group (nil unless O11 is on).
+// Snapshot and StageSnapshot aggregate lazily across shards; Shard(i)
+// exposes the per-shard breakdown.
+func (s *Server) Profile() *profiling.Group { return s.profiles }
+
+// Shards returns the effective shard count of the runtime.
+func (s *Server) Shards() int { return len(s.shards) }
 
 // Trace returns the debug trace (nil unless O10 is Debug).
 func (s *Server) Trace() *logging.Trace { return s.trace }
@@ -286,13 +394,14 @@ func (s *Server) Logger() *logging.Logger {
 // logging is on and a logger was supplied).
 func (s *Server) RequestTrace() *logging.RequestTrace { return s.reqTrace }
 
-// Deferred returns the acceptor's cumulative deferred/shed connection
-// count (0 before Start).
+// Deferred returns the cumulative deferred/shed connection count across
+// every acceptor (0 before Start).
 func (s *Server) Deferred() uint64 {
-	if s.acceptor == nil {
-		return 0
+	var total uint64
+	for _, acc := range s.acceptors {
+		total += acc.Deferred()
 	}
-	return s.acceptor.Deferred()
+	return total
 }
 
 // Cache returns the file cache (nil unless O6 selects a policy).
@@ -301,41 +410,68 @@ func (s *Server) Cache() *cache.Cache { return s.fcache }
 // AIO returns the emulated asynchronous file I/O service.
 func (s *Server) AIO() *aio.Service { return s.fileio }
 
-// Timers returns the timer event source for application timers.
+// Timers returns the timer event source for application timers (they
+// live on shard 0).
 func (s *Server) Timers() *reactor.TimerSource { return s.timers }
 
 // Overload returns the overload controller (nil unless O9 is on).
 func (s *Server) Overload() *eventproc.Overload { return s.overload }
 
-// ActiveConns returns the number of live connections.
+// ActiveConns returns the number of live connections across all shards.
 func (s *Server) ActiveConns() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.conns)
+	total := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		total += len(sh.conns)
+		sh.mu.Unlock()
+	}
+	return total
 }
 
-// Addr returns the listening address (nil before Start).
+// ShardConns returns the live connection count of one shard (0 for an
+// out-of-range index).
+func (s *Server) ShardConns(i int) int {
+	if i < 0 || i >= len(s.shards) {
+		return 0
+	}
+	sh := s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return len(sh.conns)
+}
+
+// Addr returns the listening address (nil before Start). With multiple
+// SO_REUSEPORT listeners all share one address.
 func (s *Server) Addr() net.Addr {
-	if s.acceptor == nil {
+	if len(s.acceptors) == 0 {
 		return nil
 	}
-	return s.acceptor.Addr()
+	return s.acceptors[0].Addr()
 }
 
-// Start begins serving connections accepted from ln. It returns
-// immediately; use Shutdown to stop. Start may be called once.
+// pickShard selects the shard for a fan-out-accepted connection
+// (round-robin, the cheapest placement that is provably balanced for
+// homogeneous connections; work stealing covers the rest).
+func (s *Server) pickShard() *shard {
+	if len(s.shards) == 1 {
+		return s.shards[0]
+	}
+	return s.shards[int(s.nextShard.Add(1)-1)%len(s.shards)]
+}
+
+// Start begins serving connections accepted from ln through the
+// portable single-listener path: one acceptor fans accepted transports
+// out across the shards round-robin. It returns immediately; use
+// Shutdown to stop. Start may be called once (use StartListeners for
+// per-shard SO_REUSEPORT listeners).
 func (s *Server) Start(ln net.Listener) error {
 	if !s.started.CompareAndSwap(false, true) {
 		return errors.New("nserver: already started")
 	}
-	var gate acceptor.Gate
-	if s.overload != nil {
-		gate = s.overload
-	}
 	acc, err := acceptor.New(acceptor.Config{
 		Listener:         ln,
-		Reactor:          s.reactor,
-		Gate:             gate,
+		Reactor:          s.shards[0].reactor,
+		Gate:             s.gate(),
 		MaxConns:         s.opts.MaxConnections,
 		GatePollInterval: s.gatePoll,
 		Shed:             s.shed,
@@ -346,34 +482,119 @@ func (s *Server) Start(ln net.Listener) error {
 		return err
 	}
 	s.acceptor = acc
+	s.acceptors = []*acceptor.Acceptor{acc}
+	for _, sh := range s.shards {
+		sh.acceptor = acc
+	}
 	// The Acceptor Event Handler: wrap each accepted transport in a
-	// Communicator and start its pipeline.
-	s.reactor.Register(acc.Handle(), reactor.HandlerFunc(func(rd reactor.Ready) {
+	// Communicator on the next shard and start its pipeline.
+	s.shards[0].reactor.Register(acc.Handle(), reactor.HandlerFunc(func(rd reactor.Ready) {
 		if rd.Type == reactor.AcceptReady {
-			s.attach(rd.Data.(net.Conn))
+			s.attach(s.pickShard(), rd.Data.(net.Conn))
 		}
 	}))
-	s.fileio.Start()
-	s.reactor.Run()
+	s.startRuntime()
 	s.acceptWG.Add(1)
 	go func() {
 		defer s.acceptWG.Done()
 		acc.Run()
 	}()
-	// O7: the idle reaper exists only when selected. The same scavenger
-	// doubles as the slow-client reaper whenever a ReadTimeout bounds
-	// request assembly, so a slowloris peer that keeps refreshing its
-	// activity timestamp with one-byte reads still gets collected.
-	if s.opts.ShutdownLongIdle || s.opts.ReadTimeout > 0 {
-		s.reaperDone = make(chan struct{})
-		go s.reap()
-	}
 	s.trace.Record("server", "serving on %s", ln.Addr())
 	return nil
 }
 
-// ListenAndServe binds addr on TCP and starts the server.
+// StartListeners begins serving with one listener per shard (typically
+// SO_REUSEPORT siblings bound to one address): each shard runs its own
+// acceptor on its own reactor, so connection establishment shares no
+// lock across shards. len(lns) must equal the shard count.
+func (s *Server) StartListeners(lns []net.Listener) error {
+	if len(lns) != len(s.shards) {
+		return fmt.Errorf("nserver: got %d listeners for %d shards", len(lns), len(s.shards))
+	}
+	if !s.started.CompareAndSwap(false, true) {
+		return errors.New("nserver: already started")
+	}
+	gate := s.gate()
+	for i, sh := range s.shards {
+		sh := sh
+		acc, err := acceptor.New(acceptor.Config{
+			Listener: lns[i],
+			Reactor:  sh.reactor,
+			Gate:     gate,
+			MaxConns: s.opts.MaxConnections,
+			// The connection bound is machine-wide: every shard acceptor
+			// compares against the global live count.
+			Active:           s.ActiveConns,
+			GatePollInterval: s.gatePoll,
+			Shed:             s.shed,
+			Profile:          sh.profile,
+			Trace:            s.trace,
+		})
+		if err != nil {
+			for _, a := range s.acceptors {
+				_ = a.Close()
+			}
+			return err
+		}
+		sh.acceptor = acc
+		s.acceptors = append(s.acceptors, acc)
+		sh.reactor.Register(acc.Handle(), reactor.HandlerFunc(func(rd reactor.Ready) {
+			if rd.Type == reactor.AcceptReady {
+				s.attach(sh, rd.Data.(net.Conn))
+			}
+		}))
+	}
+	s.acceptor = s.acceptors[0]
+	s.startRuntime()
+	for _, acc := range s.acceptors {
+		acc := acc
+		s.acceptWG.Add(1)
+		go func() {
+			defer s.acceptWG.Done()
+			acc.Run()
+		}()
+	}
+	s.trace.Record("server", "serving on %s across %d shard listeners", lns[0].Addr(), len(lns))
+	return nil
+}
+
+// gate returns the O9 accept gate (nil when overload control is off).
+func (s *Server) gate() acceptor.Gate {
+	if s.overload == nil {
+		return nil
+	}
+	return s.overload
+}
+
+// startRuntime starts the global file-I/O pool, every shard's reactor
+// and the per-shard scavengers.
+func (s *Server) startRuntime() {
+	s.fileio.Start()
+	for _, sh := range s.shards {
+		sh.reactor.Run()
+	}
+	// O7: the idle reaper exists only when selected. The same scavenger
+	// doubles as the slow-client reaper whenever a ReadTimeout bounds
+	// request assembly, so a slowloris peer that keeps refreshing its
+	// activity timestamp with one-byte reads still gets collected. Each
+	// shard scavenges its own connection table.
+	if s.opts.ShutdownLongIdle || s.opts.ReadTimeout > 0 {
+		for _, sh := range s.shards {
+			sh.reaperDone = make(chan struct{})
+			go s.reap(sh)
+		}
+	}
+}
+
+// ListenAndServe binds addr on TCP and starts the server. With more
+// than one shard it prefers per-shard SO_REUSEPORT listeners (Linux),
+// falling back to the portable single-listener fan-out.
 func (s *Server) ListenAndServe(addr string) error {
+	if len(s.shards) > 1 {
+		if lns, err := reuseport.Listeners(addr, len(s.shards)); err == nil {
+			return s.StartListeners(lns)
+		}
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -387,64 +608,79 @@ func (s *Server) Shutdown() {
 	if !s.stopped.CompareAndSwap(false, true) {
 		return
 	}
-	if s.acceptor != nil {
-		_ = s.acceptor.Close()
-		s.acceptWG.Wait()
+	for _, acc := range s.acceptors {
+		_ = acc.Close()
 	}
-	if s.reaperDone != nil {
-		close(s.reaperDone)
+	s.acceptWG.Wait()
+	for _, sh := range s.shards {
+		if sh.reaperDone != nil {
+			close(sh.reaperDone)
+		}
 	}
-	s.mu.Lock()
-	conns := make([]*Conn, 0, len(s.conns))
-	for _, c := range s.conns {
-		conns = append(conns, c)
-	}
-	s.mu.Unlock()
-	for _, c := range conns {
-		c.teardown(nil)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		conns := make([]*Conn, 0, len(sh.conns))
+		for _, c := range sh.conns {
+			conns = append(conns, c)
+		}
+		sh.mu.Unlock()
+		for _, c := range conns {
+			c.teardown(nil)
+		}
 	}
 	// Give teardown events a chance to be queued, then stop dispatch.
 	s.fileio.Stop()
-	s.reactor.Stop()
+	for _, sh := range s.shards {
+		sh.reactor.Stop()
+	}
 	s.trace.Record("server", "shutdown complete")
 }
 
-// attach wraps an accepted transport in a Communicator, registers its
-// handler and starts the Read Request loop.
-func (s *Server) attach(nc net.Conn) {
+// attach wraps an accepted transport in a Communicator owned by sh,
+// registers its handler and starts the Read Request loop.
+func (s *Server) attach(sh *shard, nc net.Conn) {
+	if tc, ok := nc.(*net.TCPConn); ok {
+		// Keep-alive request streams answer with many small replies;
+		// Nagle coalescing against delayed ACKs would serialize them.
+		// Go's dialer defaults to no-delay, but wrapped or non-default
+		// transports may not — set it explicitly at the one choke point.
+		_ = tc.SetNoDelay(true)
+	}
 	c := &Conn{
 		srv:    s,
+		sh:     sh,
 		conn:   nc,
-		handle: s.reactor.NewHandle(),
-		id:     s.connSeq.Add(1),
+		handle: sh.reactor.NewHandle(),
+		id:     (sh.connK.Add(1)-1)*uint64(len(s.shards)) + uint64(sh.idx) + 1,
 	}
 	c.touch()
 	if s.priority != nil {
 		c.SetPriority(s.priority(c))
 	}
-	s.mu.Lock()
-	s.conns[c.handle] = c
-	s.mu.Unlock()
-	s.reactor.Register(c.handle, reactor.HandlerFunc(c.handleReady))
-	s.trace.Record("server", "communicator attached for %s (handle %d, prio %d)",
-		nc.RemoteAddr(), c.handle, c.Priority())
+	sh.mu.Lock()
+	sh.conns[c.handle] = c
+	sh.mu.Unlock()
+	sh.reactor.Register(c.handle, reactor.HandlerFunc(c.handleReady))
+	s.trace.Record("server", "communicator attached for %s (shard %d, handle %d, prio %d)",
+		nc.RemoteAddr(), sh.idx, c.handle, c.Priority())
 	s.app.OnConnect(c)
 	go c.readLoop()
 }
 
-// detach removes a finished connection.
+// detach removes a finished connection from its shard.
 func (s *Server) detach(c *Conn) {
-	s.mu.Lock()
-	delete(s.conns, c.handle)
-	s.mu.Unlock()
-	s.reactor.Deregister(c.handle)
-	if s.acceptor != nil {
-		s.acceptor.ConnClosed()
+	sh := c.sh
+	sh.mu.Lock()
+	delete(sh.conns, c.handle)
+	sh.mu.Unlock()
+	sh.reactor.Deregister(c.handle)
+	if sh.acceptor != nil {
+		sh.acceptor.ConnClosed()
 	}
 }
 
 // handleRequest runs the application's Handle Request hook with panic
-// isolation and per-request profiling.
+// isolation and per-request profiling (on the owning shard's counters).
 func (s *Server) handleRequest(c *Conn, req any) {
 	rid := c.nextRequestID()
 	start := time.Now()
@@ -456,8 +692,8 @@ func (s *Server) handleRequest(c *Conn, req any) {
 	}()
 	s.app.Handle(c, req)
 	d := time.Since(start)
-	s.profile.RequestServed(d)
-	s.profile.ObserveStage(profiling.StageHandle, d)
+	c.sh.profile.RequestServed(d)
+	c.sh.profile.ObserveStage(profiling.StageHandle, d)
 	s.reqTrace.Sample(c.id, rid, d)
 }
 
@@ -480,11 +716,12 @@ func (s *Server) encode(reply any) (data []byte, err error) {
 	return data, nil
 }
 
-// reap is the connection scavenger: the idle reaper of option O7 (long
-// inactivity) plus the slow-client reaper (a partially assembled request
-// older than ReadTimeout — the slowloris defense). Either bound may be
-// active alone; the sampling interval follows the tighter of the two.
-func (s *Server) reap() {
+// reap is one shard's connection scavenger: the idle reaper of option O7
+// (long inactivity) plus the slow-client reaper (a partially assembled
+// request older than ReadTimeout — the slowloris defense). Either bound
+// may be active alone; the sampling interval follows the tighter of the
+// two.
+func (s *Server) reap(sh *shard) {
 	idle := time.Duration(0)
 	if s.opts.ShutdownLongIdle {
 		idle = s.opts.IdleTimeout
@@ -501,14 +738,14 @@ func (s *Server) reap() {
 	defer ticker.Stop()
 	for {
 		select {
-		case <-s.reaperDone:
+		case <-sh.reaperDone:
 			return
 		case <-ticker.C:
 		}
-		s.mu.Lock()
+		sh.mu.Lock()
 		idleVictims := make([]*Conn, 0)
 		slowVictims := make([]*Conn, 0)
-		for _, c := range s.conns {
+		for _, c := range sh.conns {
 			switch {
 			case idle > 0 && c.IdleFor() > idle:
 				idleVictims = append(idleVictims, c)
@@ -516,16 +753,16 @@ func (s *Server) reap() {
 				slowVictims = append(slowVictims, c)
 			}
 		}
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		for _, c := range idleVictims {
 			s.trace.Record("server", "idle shutdown of handle %d after %v", c.handle, c.IdleFor())
-			s.profile.IdleShutdown()
+			sh.profile.IdleShutdown()
 			c.teardown(nil)
 		}
 		for _, c := range slowVictims {
 			s.trace.Record("server", "slow-client shutdown of handle %d (request pending %v)",
 				c.handle, c.RequestPendingFor())
-			s.profile.IdleShutdown()
+			sh.profile.IdleShutdown()
 			c.teardown(ErrSlowClient)
 		}
 	}

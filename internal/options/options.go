@@ -296,6 +296,16 @@ type Options struct {
 	// connections (the paper's "trivial" first overload mechanism).
 	MaxConnections int
 
+	// Shards is the multi-reactor shard count: the runtime (and the
+	// generated framework) instantiates this many independent
+	// Reactor + Event Processor + scavenger groups, each owning a
+	// disjoint subset of the connections, so accept, dispatch and event
+	// processing never share a lock across shards. The file-I/O pool
+	// stays global. 0 means "one shard per processor"
+	// (runtime.NumCPU(), resolved at assembly time); 1 reproduces the
+	// paper's single-reactor runtime exactly. Negative is invalid.
+	Shards int
+
 	// O10: generation mode.
 	Mode Mode
 
@@ -321,6 +331,7 @@ var (
 	ErrFileIOThreads     = errors.New("O6: file cache requires a positive number of file I/O threads")
 	ErrHardening         = errors.New("hardening: read/write timeouts and max request bytes must be non-negative")
 	ErrLargeFile         = errors.New("large files: threshold must be non-negative")
+	ErrShards            = errors.New("sharding: shard count must be non-negative (0 = one per processor)")
 )
 
 // Validate checks the option assignment against the legal values of
@@ -361,6 +372,9 @@ func (o *Options) Validate() error {
 	}
 	if o.LargeFileThreshold < 0 {
 		return fmt.Errorf("%w (got %d)", ErrLargeFile, o.LargeFileThreshold)
+	}
+	if o.Shards < 0 {
+		return fmt.Errorf("%w (got %d)", ErrShards, o.Shards)
 	}
 	if o.EventScheduling {
 		if o.PriorityLevels < 2 {
@@ -503,6 +517,26 @@ func (o Options) WithHardening(read, write time.Duration, maxRequestBytes int) O
 func (o Options) WithLargeFiles(threshold int64) Options {
 	o.LargeFileThreshold = threshold
 	return o
+}
+
+// WithShards returns a copy of o with the multi-reactor shard count set
+// (0 resolves to one shard per processor at assembly time).
+func (o Options) WithShards(n int) Options {
+	o.Shards = n
+	return o
+}
+
+// ResolveShards returns the effective shard count: Shards when positive,
+// otherwise one per processor (numCPU is injected so generation and
+// assembly resolve identically; pass runtime.NumCPU()).
+func (o *Options) ResolveShards(numCPU int) int {
+	if o.Shards > 0 {
+		return o.Shards
+	}
+	if numCPU < 1 {
+		numCPU = 1
+	}
+	return numCPU
 }
 
 // AllOptionIDs lists O1..O12 in table order.

@@ -1,0 +1,34 @@
+//go:build linux
+
+package reuseport
+
+import (
+	"context"
+	"net"
+	"syscall"
+)
+
+const available = true
+
+// soReusePort is SO_REUSEPORT on Linux (present since 3.9). The syscall
+// package does not export the constant, so it is spelled here; the value
+// is part of the stable kernel ABI.
+const soReusePort = 0xf
+
+// listenReusePort binds one TCP listener with SO_REUSEPORT set before
+// bind, via the ListenConfig control hook — no extra dependencies, no
+// raw socket management.
+func listenReusePort(addr string) (net.Listener, error) {
+	lc := net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			if err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			}); err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+	return lc.Listen(context.Background(), "tcp", addr)
+}

@@ -1,0 +1,11 @@
+//go:build !linux
+
+package reuseport
+
+import "net"
+
+const available = false
+
+func listenReusePort(addr string) (net.Listener, error) {
+	return nil, ErrUnsupported
+}
