@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos bench bench-allocs bench-shed bench-metrics bench-sendfile bench-shards experiments examples cover clean
+.PHONY: all build vet test race chaos bench bench-allocs bench-shed bench-metrics bench-sendfile bench-shards bench-idle experiments examples cover clean
 
 all: build vet test
 
@@ -18,6 +18,11 @@ test: vet chaos
 	# The sharded runtime must degenerate cleanly on one core: the shard
 	# loops, work stealing and fan-out accept paths re-run serialized.
 	GOMAXPROCS=1 $(GO) test -count=1 ./internal/nserver ./internal/eventproc ./internal/reactor
+	# The kernel-event read path must hold the same invariants as the
+	# goroutine path: the runtime suites re-run with epoll forced on,
+	# both free-running and serialized onto one core.
+	NSERVER_EVENT_DRIVEN=1 $(GO) test -count=1 ./internal/nserver ./internal/eventproc ./internal/reactor
+	NSERVER_EVENT_DRIVEN=1 GOMAXPROCS=1 $(GO) test -count=1 ./internal/nserver ./internal/eventproc ./internal/reactor
 
 race:
 	$(GO) test -race ./...
@@ -70,6 +75,16 @@ bench-shards:
 	$(GO) test -run TestHotPathAllocs -bench BenchmarkShardScaling -benchmem . \
 		| $(GO) run ./cmd/benchjson > BENCH_PR5.json
 	@cat BENCH_PR5.json
+
+# The idle-connection snapshot: park as many keep-alive connections as
+# the descriptor limit allows (100k target, honestly clamped) in both
+# read-path modes and record goroutine growth, resident bytes per
+# connection and wakeup-to-reply latency, plus the shard-scaling rerun
+# and the alloc-pinned hot path, recorded as JSON.
+bench-idle:
+	$(GO) test -run TestHotPathAllocs -bench 'BenchmarkIdleParkedConns|BenchmarkShardScaling' -benchmem . \
+		| $(GO) run ./cmd/benchjson > BENCH_PR6.json
+	@cat BENCH_PR6.json
 
 # Regenerate every table and figure at full virtual length.
 experiments:

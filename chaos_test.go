@@ -14,6 +14,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"os"
 	"path/filepath"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/nserver"
 	"repro/internal/options"
+	"repro/internal/reactor"
 )
 
 // chaosRoot materializes a small document root: an index page and a body
@@ -736,5 +738,211 @@ func TestChaosShardedRuntimeSurvivesFaults(t *testing.T) {
 	resp, err := httpGet(t, addr, "/index.html", 3*time.Second)
 	if err != nil || !bytes.Contains(resp, []byte(" 200 ")) {
 		t.Fatalf("sharded server unhealthy after chaos: err=%v resp=%.60q", err, resp)
+	}
+}
+
+// TestChaosFaultnetFallsBackUnderEventDriven: the chaos suite and the
+// kernel-event read path must compose. A faultnet transport embeds the
+// net.Conn interface and hides its descriptor, so under -event-driven
+// every wrapped connection transparently falls back to the goroutine
+// read path — the epoll tables stay empty while the scenario keeps
+// injecting faults and every defense above keeps holding.
+func TestChaosFaultnetFallsBackUnderEventDriven(t *testing.T) {
+	if !reactor.PollerSupported {
+		t.Skip("no kernel poller on this platform")
+	}
+	dir, _ := chaosRoot(t)
+	opts := options.COPSHTTP().
+		WithHardening(200*time.Millisecond, 500*time.Millisecond, 1<<20).
+		WithEventDriven(true)
+	srv, ln, addr := startChaosHTTP(t,
+		copshttp.Config{DocRoot: dir, Options: &opts},
+		faultnet.Scenario{Seed: 31, CorruptEvery: 1},
+	)
+	fw := srv.Framework()
+	if !fw.EventDriven() {
+		t.Fatal("EventDriven() = false on a supported platform")
+	}
+
+	const clients = 8
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := httpGet(t, addr, fmt.Sprintf("/index.html?c=%d", i), 3*time.Second); err != nil &&
+				!strings.Contains(err.Error(), "reset") && !strings.Contains(err.Error(), "EOF") {
+				t.Errorf("client %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// The faults landed: the corrupting scenario was live the whole time.
+	if ln.Stats().Corrupted.Load() < clients {
+		t.Fatalf("only %d corrupted chunks for %d clients — chaos not injected under -event-driven",
+			ln.Stats().Corrupted.Load(), clients)
+	}
+	// No wrapped transport ever parked: the fd-less conns all fell back.
+	if n := fw.ParkedConns(); n != 0 {
+		t.Fatalf("ParkedConns = %d for descriptor-hiding transports, want 0", n)
+	}
+	// And the fallback connections still drain like the goroutine suite.
+	deadline := time.Now().Add(3 * time.Second)
+	for fw.ActiveConns() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d fallback connections wedged after corruption", fw.ActiveConns())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestChaosEventDrivenShardsDrainPollTables drives raw-TCP chaos — the
+// transports expose their descriptors, so connections genuinely park in
+// the per-shard epoll tables — against four event-driven shards. A
+// fixed-seed schedule mixes clean exchanges, mid-read hard resets
+// (SO_LINGER 0) and silent stalls reaped by the scavenger's read-timeout
+// sweep. Afterwards every fd must be gone from every shard's epoll set
+// and connection table, and the poller counters must stay monotonic.
+func TestChaosEventDrivenShardsDrainPollTables(t *testing.T) {
+	if !reactor.PollerSupported {
+		t.Skip("no kernel poller on this platform")
+	}
+	dir, _ := chaosRoot(t)
+	opts := options.COPSHTTP().
+		WithHardening(200*time.Millisecond, 500*time.Millisecond, 1<<20).
+		WithShards(4).
+		WithEventDriven(true)
+	opts.Profiling = true
+	srv, err := copshttp.New(copshttp.Config{DocRoot: dir, Options: &opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raw TCP listener: no faultnet wrapper, so every accepted conn
+	// carries a descriptor and parks.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Framework().Start(ln); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Shutdown)
+	addr := ln.Addr().String()
+	fw := srv.Framework()
+	if !fw.EventDriven() {
+		t.Fatal("EventDriven() = false on a supported platform")
+	}
+
+	ms, err := metrics.NewServer("127.0.0.1:0", metrics.Config{
+		Profile:     fw.Profile(),
+		EventDriven: fw.EventDriven,
+		Parked:      fw.ParkedConns,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ms.Close() })
+	scrape := func() map[string]float64 {
+		t.Helper()
+		raw, err := httpGet(t, ms.Addr().String(), "/metrics", 3*time.Second)
+		if err != nil {
+			t.Fatalf("metrics endpoint unreachable mid-chaos: %v", err)
+		}
+		_, body, ok := bytes.Cut(raw, []byte("\r\n\r\n"))
+		if !ok {
+			t.Fatalf("unframed metrics response: %.120q", raw)
+		}
+		if !bytes.Contains(body, []byte("nserver_event_driven 1")) {
+			t.Fatal("metrics missing nserver_event_driven gauge mid-chaos")
+		}
+		return metrics.ParseCounters(string(body))
+	}
+
+	// The fault schedule is a fixed-seed permutation: which connection
+	// gets a clean exchange, a mid-read RST or a silent stall replays
+	// identically run to run.
+	rng := rand.New(rand.NewSource(42))
+	monotonic := []string{
+		"nserver_connections_accepted_total",
+		"nserver_requests_total",
+		"nserver_epoll_wakeups_total",
+		"nserver_epoll_ready_events_total",
+	}
+	prev := scrape()
+	for round := 0; round < 3; round++ {
+		const conns = 8
+		peers := make([]net.Conn, 0, conns)
+		for i := 0; i < conns; i++ {
+			c, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			peers = append(peers, c)
+		}
+		// Round-robin placement parks two conns per shard; wait for all
+		// of them to reach the epoll tables before injecting faults.
+		deadline := time.Now().Add(3 * time.Second)
+		for fw.ParkedConns() < conns {
+			if time.Now().After(deadline) {
+				t.Fatalf("round %d: only %d/%d conns parked", round, fw.ParkedConns(), conns)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		for i, c := range peers {
+			switch rng.Intn(3) {
+			case 0: // clean keep-alive exchange, then client close
+				c.SetDeadline(time.Now().Add(3 * time.Second))
+				fmt.Fprint(c, "GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n")
+				if _, err := bufio.NewReader(c).ReadString('\n'); err != nil {
+					t.Errorf("round %d conn %d: clean exchange failed: %v", round, i, err)
+				}
+				c.Close()
+			case 1: // hard reset mid-request: half a request, then RST
+				fmt.Fprint(c, "GET /index.h")
+				if tc, ok := c.(*net.TCPConn); ok {
+					tc.SetLinger(0)
+				}
+				c.Close()
+			case 2: // silent stall: the scavenger's read-timeout sweep reaps it
+				fmt.Fprint(c, "GET /stalled")
+				defer c.Close()
+			}
+		}
+		// Every fd drains from the epoll sets and the conn tables — the
+		// stalled third takes until the 200ms ReadTimeout sweep fires.
+		deadline = time.Now().Add(5 * time.Second)
+		for fw.ParkedConns() > 0 || fw.ActiveConns() > 0 {
+			if time.Now().After(deadline) {
+				for i := 0; i < fw.Shards(); i++ {
+					t.Logf("shard %d: parked=%d conns=%d", i, fw.ShardParked(i), fw.ShardConns(i))
+				}
+				t.Fatalf("round %d: tables not drained: parked=%d active=%d",
+					round, fw.ParkedConns(), fw.ActiveConns())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		cur := scrape()
+		for _, k := range monotonic {
+			if cur[k] < prev[k] {
+				t.Fatalf("round %d: counter %s went backwards: %v -> %v", round, k, prev[k], cur[k])
+			}
+		}
+		prev = cur
+	}
+
+	if prev["nserver_epoll_wakeups_total"] == 0 {
+		t.Fatal("no epoll wakeups recorded — connections never parked")
+	}
+	// Per-shard epoll tables are all empty, not just the sum.
+	for i := 0; i < fw.Shards(); i++ {
+		if n := fw.ShardParked(i); n != 0 {
+			t.Errorf("shard %d: %d fds left in epoll table", i, n)
+		}
+	}
+	// The event-driven sharded server is healthy after the storm.
+	resp, err := httpGet(t, addr, "/index.html", 3*time.Second)
+	if err != nil || !bytes.Contains(resp, []byte(" 200 ")) {
+		t.Fatalf("event-driven server unhealthy after chaos: err=%v resp=%.60q", err, resp)
 	}
 }

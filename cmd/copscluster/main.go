@@ -30,6 +30,7 @@ func main() {
 		strategy = flag.String("strategy", "round-robin", "round-robin or least-connections")
 		cooldown = flag.Duration("cooldown", time.Second, "how long a failed backend is skipped")
 		shards   = flag.Int("shards", 0, "accept loops on the front end (SO_REUSEPORT listeners on Linux); 0 = one per CPU")
+		eventDrv = flag.Bool("event-driven", false, "mark this deployment's backends as running the kernel-event read path (copshttp/copsftp -event-driven); surfaces the nserver_event_driven gauge on the front end's /metrics — the splice forwards themselves keep their goroutine pairs")
 		mAddr    = flag.String("metrics-addr", "", "serve Prometheus/JSON metrics on this address (/metrics, /metrics.json); empty disables")
 	)
 	flag.Parse()
@@ -69,10 +70,11 @@ func main() {
 	fmt.Printf("%s on %s (accept shards=%d)\n", lb, lb.Addr(), lb.AcceptShards())
 
 	if *mAddr != "" {
-		ms, err := metrics.NewServer(*mAddr, metrics.Config{
-			Profile: prof,
-			Cluster: lb,
-		})
+		cfg := metrics.Config{Profile: prof, Cluster: lb}
+		if *eventDrv {
+			cfg.EventDriven = func() bool { return true }
+		}
+		ms, err := metrics.NewServer(*mAddr, cfg)
 		if err != nil {
 			fatal(err)
 		}

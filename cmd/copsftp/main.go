@@ -32,6 +32,7 @@ func main() {
 		idle      = flag.Duration("idle-timeout", 5*time.Minute, "shut down connections idle this long (O7)")
 		largeFile = flag.Int64("large-file-threshold", 1<<20, "stream RETR files of at least this many bytes through pooled buffers without full-file reads; 0 disables")
 		shards    = flag.Int("shards", 0, "runtime shards (reactor + event pool per shard); 0 = one per CPU, 1 = the paper's single-reactor layout")
+		eventDrv  = flag.Bool("event-driven", false, "park idle control connections in a per-shard kernel epoll set instead of a reader goroutine each (Linux; elsewhere the goroutine path is the transparent fallback)")
 		profile   = flag.Bool("profile", false, "enable performance profiling (O11)")
 		mAddr     = flag.String("metrics-addr", "", "serve Prometheus/JSON metrics on this address (/metrics, /metrics.json); empty disables")
 		debug     = flag.Bool("debug", false, "generate in debug mode (O10)")
@@ -64,6 +65,7 @@ func main() {
 		opts.Profiling = true
 	}
 	opts.Shards = *shards
+	opts.EventDriven = *eventDrv
 	if *debug {
 		opts.Mode = options.Debug
 	}
@@ -80,14 +82,16 @@ func main() {
 	if err := srv.ListenAndServe(*addr); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("COPS-FTP exporting %s on %s (readonly=%v, shards=%d)\n",
-		*root, srv.Addr(), *readOnly, srv.Framework().Shards())
+	fmt.Printf("COPS-FTP exporting %s on %s (readonly=%v, shards=%d, event-driven=%v)\n",
+		*root, srv.Addr(), *readOnly, srv.Framework().Shards(), srv.Framework().EventDriven())
 
 	if *mAddr != "" {
 		ms, err := metrics.NewServer(*mAddr, metrics.Config{
-			Profile:  srv.Framework().Profile(),
-			Cache:    srv.Framework().Cache(),
-			Deferred: srv.Framework().Deferred,
+			Profile:     srv.Framework().Profile(),
+			Cache:       srv.Framework().Cache(),
+			Deferred:    srv.Framework().Deferred,
+			EventDriven: srv.Framework().EventDriven,
+			Parked:      srv.Framework().ParkedConns,
 		})
 		if err != nil {
 			fatal(err)

@@ -44,6 +44,7 @@ func main() {
 		shed        = flag.Bool("shed", false, "with -overload: answer 503+Retry-After while the gate is paused instead of postponing accepts")
 		retryAfter  = flag.Duration("retry-after", 0, "Retry-After delay on shed 503 replies (default 1s)")
 		shards      = flag.Int("shards", 0, "runtime shards (reactor + event pool per shard); 0 = one per CPU, 1 = the paper's single-reactor layout")
+		eventDriven = flag.Bool("event-driven", false, "park idle connections in a per-shard kernel epoll set instead of a reader goroutine each (Linux; elsewhere and for descriptor-hiding transports the goroutine path is the transparent fallback)")
 		profile     = flag.Bool("profile", false, "enable performance profiling (O11)")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus/JSON metrics on this address (/metrics, /metrics.json); empty disables")
 		debug       = flag.Bool("debug", false, "generate in debug mode (O10): print the internal event trace on exit")
@@ -80,6 +81,7 @@ func main() {
 	}
 	opts.Profiling = *profile
 	opts.Shards = *shards
+	opts.EventDriven = *eventDriven
 	if *debug {
 		opts.Mode = options.Debug
 	}
@@ -133,15 +135,17 @@ func main() {
 	if err := srv.ListenAndServe(*addr); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("COPS-HTTP serving %s on %s (cache=%s, shards=%d)\n",
-		*root, srv.Addr(), policy, srv.Framework().Shards())
+	fmt.Printf("COPS-HTTP serving %s on %s (cache=%s, shards=%d, event-driven=%v)\n",
+		*root, srv.Addr(), policy, srv.Framework().Shards(), srv.Framework().EventDriven())
 
 	if *metricsAddr != "" {
 		ms, err := metrics.NewServer(*metricsAddr, metrics.Config{
-			Profile:  srv.Framework().Profile(),
-			Cache:    srv.Framework().Cache(),
-			Deferred: srv.Framework().Deferred,
-			Shed:     srv.Shed,
+			Profile:     srv.Framework().Profile(),
+			Cache:       srv.Framework().Cache(),
+			Deferred:    srv.Framework().Deferred,
+			Shed:        srv.Shed,
+			EventDriven: srv.Framework().EventDriven,
+			Parked:      srv.Framework().ParkedConns,
 		})
 		if err != nil {
 			fatal(err)

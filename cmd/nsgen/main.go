@@ -34,6 +34,7 @@ func main() {
 		emitConfig = flag.String("emit-config", "", "print the JSON configuration for a preset and exit")
 		largeFile  = flag.Int64("large-file", 0, "weave the large-file streaming crosscut with this byte threshold; 0 omits it")
 		shards     = flag.Int("shards", 0, "weave the multi-reactor sharding crosscut with this many shards; 0 or 1 omits it")
+		eventDrive = flag.Bool("event-driven", false, "weave the kernel-event read path crosscut (epoll on linux, goroutine fallback elsewhere)")
 	)
 	flag.Parse()
 
@@ -75,6 +76,9 @@ func main() {
 	}
 	if *shards > 0 {
 		opts = opts.WithShards(*shards)
+	}
+	if *eventDrive {
+		opts = opts.WithEventDriven(true)
 	}
 
 	if *scaffold {

@@ -1,0 +1,158 @@
+package repro
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/copshttp"
+	"repro/internal/options"
+	"repro/internal/reactor"
+)
+
+// BenchmarkIdleParkedConns is the C1M fence for the kernel-event read
+// path: park as many idle keep-alive connections as the process rlimit
+// allows (the target is 100k; each loopback connection burns two
+// descriptors, so the count clamps to (RLIMIT_NOFILE-headroom)/2 and the
+// honest clamp is recorded as the "conns" metric), then measure what an
+// idle connection costs in each read-path mode.
+//
+// Reported per variant:
+//
+//	conns       parked keep-alive connections (post-clamp)
+//	goroutines  goroutine growth over the empty server — the goroutine
+//	            path pays one reader per conn, the event-driven path a
+//	            constant few per shard
+//	bytes/conn  (HeapInuse+StackInuse) growth per connection; both
+//	            variants carry the same in-process client cost, so the
+//	            delta between them is the server-side saving
+//	ns/op       wakeup-to-reply latency: one op sends a request on a
+//	            long-idle connection and reads the full response, so the
+//	            epoll wakeup (or goroutine unblock) is on the measured
+//	            path
+func BenchmarkIdleParkedConns(b *testing.B) {
+	for _, mode := range []struct {
+		name        string
+		eventDriven bool
+	}{
+		{"goroutine", false},
+		{"event-driven", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			benchIdleParked(b, mode.eventDriven)
+		})
+	}
+}
+
+func benchIdleParked(b *testing.B, eventDriven bool) {
+	if eventDriven && !reactor.PollerSupported {
+		b.Skip("no kernel poller on this platform")
+	}
+	target := 100_000
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err == nil {
+		if lim := (int(rl.Cur) - 512) / 2; lim < target {
+			b.Logf("RLIMIT_NOFILE=%d: clamping 100000 idle conns to %d", rl.Cur, lim)
+			target = lim
+		}
+	}
+	if target < 1 {
+		b.Skip("descriptor limit too low to park connections")
+	}
+
+	dir := b.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "index.html"), []byte("<html>idle</html>"), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	opts := options.COPSHTTP()
+	opts.EventDriven = eventDriven
+	srv, err := copshttp.New(copshttp.Config{DocRoot: dir, Options: &opts})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(srv.Shutdown)
+	fw := srv.Framework()
+	addr := srv.Addr()
+
+	// Empty-server baseline, after a settle GC.
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	gBefore := runtime.NumGoroutine()
+
+	conns := make([]net.Conn, 0, target)
+	b.Cleanup(func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	})
+	for i := 0; i < target; i++ {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			b.Fatalf("dial %d/%d: %v", i, target, err)
+		}
+		conns = append(conns, c)
+	}
+	// Wait until the server has attached (and, event-driven, parked)
+	// every connection before measuring.
+	settled := func() bool {
+		if eventDriven {
+			return fw.ParkedConns() >= target
+		}
+		return fw.ActiveConns() >= target
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for !settled() {
+		if time.Now().After(deadline) {
+			b.Fatalf("only %d/%d conns attached (parked=%d)",
+				fw.ActiveConns(), target, fw.ParkedConns())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	resident := int64(after.HeapInuse+after.StackInuse) -
+		int64(before.HeapInuse+before.StackInuse)
+	goroutines := runtime.NumGoroutine() - gBefore
+	parked := fw.ParkedConns()
+
+	// Wakeup-to-reply: each op picks the next long-parked connection,
+	// sends one request and reads the whole response. (ResetTimer wipes
+	// user metrics, so the idle-cost numbers are reported after the loop.)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := conns[i%len(conns)]
+		if _, err := fmt.Fprintf(c, "GET /index.html HTTP/1.1\r\nHost: idle\r\n\r\n"); err != nil {
+			b.Fatal(err)
+		}
+		r := bufio.NewReader(c)
+		cl, err := readResponseHead(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cl > 0 {
+			if _, err := io.CopyN(io.Discard, r, cl); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(target), "conns")
+	b.ReportMetric(float64(goroutines), "goroutines")
+	b.ReportMetric(float64(resident)/float64(target), "bytes/conn")
+	if eventDriven {
+		b.ReportMetric(float64(parked), "parked")
+	}
+}

@@ -35,9 +35,11 @@ type Artifact struct {
 
 // templates are parsed once.
 var (
-	docTmpl       = template.Must(template.New("doc").Parse(docTemplate))
-	frameworkTmpl = template.Must(template.New("framework").Parse(frameworkTemplate))
-	cacheTmpl     = template.Must(template.New("cache").Parse(cacheTemplate))
+	docTmpl         = template.Must(template.New("doc").Parse(docTemplate))
+	frameworkTmpl   = template.Must(template.New("framework").Parse(frameworkTemplate))
+	cacheTmpl       = template.Must(template.New("cache").Parse(cacheTemplate))
+	pollerLinuxTmpl = template.Must(template.New("poller_linux").Parse(pollerLinuxTemplate))
+	pollerOtherTmpl = template.Must(template.New("poller_other").Parse(pollerOtherTemplate))
 )
 
 // tmplData is the template context derived from an option assignment.
@@ -106,6 +108,21 @@ type tmplData struct {
 	// crosscut existed.
 	Sharded bool
 	Shards  int
+
+	// Kernel-event read path crosscut: woven only when the event-driven
+	// option is selected. The generated framework then ships a platform
+	// poller pair (poller_linux.go / poller_other.go): on Linux an
+	// edge-triggered epoll instance parks idle connections in the kernel
+	// with no reader goroutine; elsewhere — and for transports hiding
+	// their descriptor — connections fall back to the goroutine read
+	// path. Without the option the generated source is byte-identical
+	// to before the crosscut existed.
+	EventDriven bool
+	// TrackActivity gates the per-connection activity stamp: needed by
+	// the idle reaper (O7 long-idle) and by the polled-connection
+	// read-timeout sweep (a parked socket performs no read for a
+	// deadline to bound).
+	TrackActivity bool
 }
 
 // Generate validates opts and emits the specialized framework under the
@@ -158,7 +175,9 @@ func Generate(pkg string, opts options.Options) (*Artifact, error) {
 		LargeFileThreshold: opts.LargeFileThreshold,
 		Sharded:            opts.Shards > 1,
 		Shards:             opts.Shards,
+		EventDriven:        opts.EventDriven,
 	}
+	d.TrackActivity = d.Idle || (d.EventDriven && d.ReadDeadline)
 	if d.FileIOThreads <= 0 {
 		d.FileIOThreads = 2
 	}
@@ -191,6 +210,14 @@ func Generate(pkg string, opts options.Options) (*Artifact, error) {
 	}
 	if d.Cache {
 		if err := emit("cache.go", cacheTmpl); err != nil {
+			return nil, err
+		}
+	}
+	if d.EventDriven {
+		if err := emit("poller_linux.go", pollerLinuxTmpl); err != nil {
+			return nil, err
+		}
+		if err := emit("poller_other.go", pollerOtherTmpl); err != nil {
 			return nil, err
 		}
 	}

@@ -52,6 +52,13 @@ type Config struct {
 	// Shed reports application-level shed replies (e.g. the COPS-HTTP
 	// 503 fast path).
 	Shed func() uint64
+	// EventDriven reports whether the kernel-event read path is active
+	// (nserver.Server.EventDriven). Nil omits the gauge.
+	EventDriven func() bool
+	// Parked reports connections resident in the shard epoll tables with
+	// no reader goroutine (nserver.Server.ParkedConns). Nil omits the
+	// gauge.
+	Parked func() int
 }
 
 // Handler returns the HTTP handler serving the metrics endpoint:
@@ -155,21 +162,39 @@ type ShardJSON struct {
 	Counters profiling.Snapshot `json:"counters"`
 }
 
+// PollJSON is the kernel-poller section of the JSON rendering.
+type PollJSON struct {
+	Wakeups   uint64  `json:"wakeups"`
+	Events    uint64  `json:"events"`
+	MeanBatch float64 `json:"mean_batch"`
+	WaitP50Ns int64   `json:"wait_p50_ns"`
+	WaitP99Ns int64   `json:"wait_p99_ns"`
+}
+
 // Payload is the complete JSON document.
 type Payload struct {
-	Server   *profiling.Snapshot `json:"server,omitempty"`
-	Shards   []ShardJSON         `json:"shards,omitempty"`
-	Stages   []StageJSON         `json:"stages,omitempty"`
-	Cache    *CacheJSON          `json:"cache,omitempty"`
-	Deferred *uint64             `json:"deferred,omitempty"`
-	Shed     *uint64             `json:"shed,omitempty"`
-	Cluster  []BackendJSON       `json:"cluster,omitempty"`
+	Server      *profiling.Snapshot `json:"server,omitempty"`
+	Shards      []ShardJSON         `json:"shards,omitempty"`
+	Stages      []StageJSON         `json:"stages,omitempty"`
+	Poll        *PollJSON           `json:"poll,omitempty"`
+	Cache       *CacheJSON          `json:"cache,omitempty"`
+	Deferred    *uint64             `json:"deferred,omitempty"`
+	Shed        *uint64             `json:"shed,omitempty"`
+	EventDriven *bool               `json:"event_driven,omitempty"`
+	Parked      *int                `json:"parked_connections,omitempty"`
+	Cluster     []BackendJSON       `json:"cluster,omitempty"`
 }
 
 // sharder is implemented by profile sources with a per-shard breakdown
 // (*profiling.Group).
 type sharder interface {
 	ShardSnapshots() []profiling.Snapshot
+}
+
+// pollSharder is implemented by profile sources with a per-shard kernel
+// poller breakdown (*profiling.Group).
+type pollSharder interface {
+	ShardPollSnapshots() []profiling.PollSnapshot
 }
 
 // profileEnabled guards the interface-typed Profile field: both the
@@ -216,6 +241,15 @@ func collect(cfg Config) Payload {
 			}
 			p.Stages = append(p.Stages, sj)
 		}
+		if pp := cfg.Profile.PollSnapshot(); pp.Wakeups > 0 {
+			p.Poll = &PollJSON{
+				Wakeups:   pp.Wakeups,
+				Events:    pp.Events,
+				MeanBatch: pp.Batch.Mean(),
+				WaitP50Ns: int64(pp.Wait.Quantile(0.50)),
+				WaitP99Ns: int64(pp.Wait.Quantile(0.99)),
+			}
+		}
 	}
 	if cfg.Cache != nil {
 		agg := cfg.Cache.Stats()
@@ -240,6 +274,14 @@ func collect(cfg Config) Payload {
 		v := cfg.Shed()
 		p.Shed = &v
 	}
+	if cfg.EventDriven != nil {
+		v := cfg.EventDriven()
+		p.EventDriven = &v
+	}
+	if cfg.Parked != nil {
+		v := cfg.Parked()
+		p.Parked = &v
+	}
 	if cfg.Cluster != nil {
 		for _, bs := range cfg.Cluster.BackendStates() {
 			bj := BackendJSON{
@@ -263,6 +305,14 @@ func promLe(i int) string {
 	return strconv.FormatFloat(profiling.BucketBound(i).Seconds(), 'g', -1, 64)
 }
 
+// sizeLe renders a batch-size bucket upper bound for the le label.
+func sizeLe(i int) string {
+	if i >= profiling.SizeBuckets-1 {
+		return "+Inf"
+	}
+	return strconv.FormatUint(profiling.SizeBucketBound(i), 10)
+}
+
 // RenderPrometheus renders every configured source in the Prometheus text
 // exposition format.
 func RenderPrometheus(cfg Config) string {
@@ -273,6 +323,47 @@ func RenderPrometheus(cfg Config) string {
 	gauge := func(name, help string, v float64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
 			name, help, name, name, strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	// waitHist and batchHist append one histogram series; label is either
+	// empty (aggregate) or a single `shard="n"` pair.
+	waitHist := func(name, label string, hs profiling.HistogramSnapshot) {
+		var cum uint64
+		for i, c := range hs.Buckets {
+			cum += c
+			if c == 0 && i != profiling.NumBuckets-1 {
+				continue
+			}
+			if label == "" {
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, promLe(i), cum)
+			} else {
+				fmt.Fprintf(&b, "%s_bucket{%s,le=%q} %d\n", name, label, promLe(i), cum)
+			}
+		}
+		sum := strconv.FormatFloat(hs.Sum.Seconds(), 'g', -1, 64)
+		if label == "" {
+			fmt.Fprintf(&b, "%s_sum %s\n%s_count %d\n", name, sum, name, hs.Count)
+		} else {
+			fmt.Fprintf(&b, "%s_sum{%s} %s\n%s_count{%s} %d\n", name, label, sum, name, label, hs.Count)
+		}
+	}
+	batchHist := func(name, label string, bs profiling.SizeSnapshot) {
+		var cum uint64
+		for i, c := range bs.Buckets {
+			cum += c
+			if c == 0 && i != profiling.SizeBuckets-1 {
+				continue
+			}
+			if label == "" {
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, sizeLe(i), cum)
+			} else {
+				fmt.Fprintf(&b, "%s_bucket{%s,le=%q} %d\n", name, label, sizeLe(i), cum)
+			}
+		}
+		if label == "" {
+			fmt.Fprintf(&b, "%s_sum %d\n%s_count %d\n", name, bs.Sum, name, bs.Count)
+		} else {
+			fmt.Fprintf(&b, "%s_sum{%s} %d\n%s_count{%s} %d\n", name, label, bs.Sum, name, label, bs.Count)
+		}
 	}
 	if profileEnabled(cfg) {
 		s := cfg.Profile.Snapshot()
@@ -324,6 +415,30 @@ func RenderPrometheus(cfg Config) string {
 				}
 			}
 		}
+		if pp := cfg.Profile.PollSnapshot(); pp.Wakeups > 0 {
+			counter("nserver_epoll_wakeups_total", "Kernel poller wait returns that delivered events.", pp.Wakeups)
+			counter("nserver_epoll_ready_events_total", "Connection readiness events delivered by the kernel poller.", pp.Events)
+			const wname = "nserver_epoll_wait_duration_seconds"
+			fmt.Fprintf(&b, "# HELP %s Time spent blocked in the kernel wait per wakeup.\n# TYPE %s histogram\n", wname, wname)
+			waitHist(wname, "", pp.Wait)
+			const bsname = "nserver_epoll_batch_size"
+			fmt.Fprintf(&b, "# HELP %s Readiness events drained per kernel wakeup.\n# TYPE %s histogram\n", bsname, bsname)
+			batchHist(bsname, "", pp.Batch)
+			if g, ok := cfg.Profile.(pollSharder); ok {
+				if shards := g.ShardPollSnapshots(); len(shards) > 1 {
+					const swname = "nserver_shard_epoll_wait_duration_seconds"
+					fmt.Fprintf(&b, "# HELP %s Per-shard kernel wait time per wakeup.\n# TYPE %s histogram\n", swname, swname)
+					for i, sp := range shards {
+						waitHist(swname, fmt.Sprintf("shard=%q", strconv.Itoa(i)), sp.Wait)
+					}
+					const sbname = "nserver_shard_epoll_batch_size"
+					fmt.Fprintf(&b, "# HELP %s Per-shard readiness events drained per wakeup.\n# TYPE %s histogram\n", sbname, sbname)
+					for i, sp := range shards {
+						batchHist(sbname, fmt.Sprintf("shard=%q", strconv.Itoa(i)), sp.Batch)
+					}
+				}
+			}
+		}
 	}
 	if cfg.Cache != nil {
 		agg := cfg.Cache.Stats()
@@ -351,6 +466,16 @@ func RenderPrometheus(cfg Config) string {
 	}
 	if cfg.Shed != nil {
 		counter("nserver_shed_replies_total", "Requests answered by the overload shed fast path.", cfg.Shed())
+	}
+	if cfg.EventDriven != nil {
+		v := 0.0
+		if cfg.EventDriven() {
+			v = 1
+		}
+		gauge("nserver_event_driven", "1 when the kernel-event read path is active, 0 on the goroutine path.", v)
+	}
+	if cfg.Parked != nil {
+		gauge("nserver_parked_connections", "Connections resident in the shard epoll tables with no reader goroutine.", float64(cfg.Parked()))
 	}
 	if cfg.Cluster != nil {
 		states := cfg.Cluster.BackendStates()

@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/bufpool"
@@ -70,6 +71,16 @@ type Conn struct {
 	// invocations for one connection never run concurrently.
 	pipeMu sync.Mutex
 	inbuf  []byte
+
+	// Kernel-event read path state (Options.EventDriven): polled marks a
+	// connection whose reads are driven by the shard poller instead of a
+	// readLoop goroutine; fd and raw are its descriptor and the
+	// lifetime-safe read capability. pollState serializes edge-triggered
+	// drains (see pollDrain).
+	polled    atomic.Bool
+	fd        int
+	raw       syscall.RawConn
+	pollState atomic.Int32
 
 	writeMu sync.Mutex
 	closed  atomic.Bool
@@ -254,6 +265,12 @@ func (c *Conn) teardown(cause error) {
 	c.closeOnce.Do(func() {
 		c.closed.Store(true)
 		c.closeErr = cause
+		// Leave the epoll interest set before the descriptor closes: the
+		// kernel would drop the interest itself, but the shard's fd table
+		// entry must go with it.
+		if c.polled.Load() {
+			c.sh.poller.Del(c.fd)
+		}
 		c.conn.Close()
 		_ = c.sh.reactor.Source().Emit(reactor.Ready{
 			Type:   reactor.CloseReady,
@@ -331,8 +348,120 @@ func (c *Conn) handleReady(rd reactor.Ready) {
 			// Raw chunks remain accepted for tests and external emitters.
 			c.processChunk(data)
 		}
+	case reactor.PollReady:
+		c.pollDrain()
 	case reactor.CloseReady:
 		c.finalize()
+	}
+}
+
+// Poll-drain states. An edge-triggered readiness event repeats only when
+// new bytes arrive, so concurrent drains for one connection must be
+// serialized without ever discarding a wakeup: a discarded wakeup whose
+// bytes the running drain has already passed would strand data in the
+// socket until the peer sends more.
+const (
+	pollArmed    int32 = iota // no drain in flight; the next event claims the socket
+	pollDraining              // a drain owns the socket
+	pollRearm                 // a drain owns the socket and must go around once more
+)
+
+// pollAttach registers the connection with its shard's kernel poller.
+// Transports that expose no raw descriptor (faultnet wrappers, TLS-like
+// decorators) fail the syscall.Conn assertion and report false, sending
+// just this connection down the portable goroutine read path.
+func (c *Conn) pollAttach() bool {
+	if c.sh.poller == nil {
+		return false
+	}
+	sc, ok := c.conn.(syscall.Conn)
+	if !ok {
+		return false
+	}
+	fd, raw, err := reactor.ConnFD(sc)
+	if err != nil {
+		return false
+	}
+	c.fd, c.raw = fd, raw
+	if err := c.sh.poller.Add(fd, c.handle, c.Priority()); err != nil {
+		return false
+	}
+	c.polled.Store(true)
+	if c.closed.Load() {
+		// A teardown raced the registration and missed the table entry
+		// (it read polled before the store above): sweep it ourselves.
+		c.sh.poller.Del(fd)
+		return false
+	}
+	return true
+}
+
+// pollDrain handles one PollReady event: claim the socket and drain it, or
+// leave a re-drain request for the drain already running.
+func (c *Conn) pollDrain() {
+	for {
+		switch c.pollState.Load() {
+		case pollArmed:
+			if c.pollState.CompareAndSwap(pollArmed, pollDraining) {
+				c.drainUntilBlocked()
+				return
+			}
+		case pollDraining:
+			if c.pollState.CompareAndSwap(pollDraining, pollRearm) {
+				return
+			}
+		default: // pollRearm: a re-drain is already queued behind the owner.
+			return
+		}
+	}
+}
+
+// drainUntilBlocked drains the socket, then releases ownership — unless a
+// readiness event landed mid-drain (pollRearm), in which case it takes the
+// request and drains again. The CAS failure/retry pair guarantees the
+// handoff never loses a wakeup.
+func (c *Conn) drainUntilBlocked() {
+	for {
+		c.drainReadable()
+		if c.pollState.CompareAndSwap(pollDraining, pollArmed) {
+			return
+		}
+		c.pollState.Store(pollDraining)
+	}
+}
+
+// drainReadable is the event-driven Read Request step: non-blocking reads
+// into leased pool buffers until the socket would block (EAGAIN — the
+// edge-triggered stop condition), feeding each chunk to the same Decode
+// Request path as the goroutine read loop. EOF and transport errors end
+// the connection with the same cause mapping as readLoop.
+func (c *Conn) drainReadable() {
+	for {
+		if c.closed.Load() {
+			return
+		}
+		lease := bufpool.Get(readChunkSize)
+		readStart := c.sh.profile.StageStart()
+		n, again, err := reactor.NonblockRead(c.raw, lease.Bytes())
+		if n > 0 {
+			c.sh.profile.ObserveSince(profiling.StageRead, readStart)
+			lease.SetLen(n)
+			c.sh.profile.BytesRead(n)
+			c.touch()
+			c.processChunk(lease.Bytes())
+		}
+		lease.Release()
+		if again {
+			return
+		}
+		if err != nil || n == 0 {
+			if err == nil || errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) || c.closed.Load() {
+				c.teardown(nil)
+			} else {
+				c.teardown(err)
+			}
+			return
+		}
 	}
 }
 

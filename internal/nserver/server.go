@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -86,6 +87,12 @@ type shard struct {
 	// shared fan-out acceptor otherwise.
 	acceptor *acceptor.Acceptor
 
+	// poller is the shard's kernel readiness poller (EventDriven on a
+	// supported platform; nil otherwise). Connections whose transport
+	// exposes a raw descriptor park here instead of holding a reader
+	// goroutine.
+	poller *reactor.Poller
+
 	// connK counts connections attached to this shard; conn IDs are
 	// strided (idx+1, idx+1+N, ...) so `c<conn>-r<req>` trace IDs stay
 	// unique across shards without a shared sequence. With one shard
@@ -144,7 +151,18 @@ type Server struct {
 	started  atomic.Bool
 	stopped  atomic.Bool
 	acceptWG sync.WaitGroup
+
+	// eventDriven records whether the kernel-event read path is active:
+	// Options.EventDriven on a platform with a poller, with every shard's
+	// epoll instance successfully created.
+	eventDriven bool
 }
+
+// eventDrivenSweep forces Options.EventDriven on at assembly time. It is
+// set by the NSERVER_EVENT_DRIVEN=1 environment variable so `make test`
+// can run the package suites over the kernel-event read path without
+// duplicating every test body.
+var eventDrivenSweep = os.Getenv("NSERVER_EVENT_DRIVEN") == "1"
 
 // New validates the configuration and assembles (but does not start) a
 // server — the library analogue of template instantiation: every
@@ -164,6 +182,9 @@ func New(cfg Config) (*Server, error) {
 		return nil, errors.New("nserver: Codec supplied but O3 disables encoding/decoding")
 	}
 	o := cfg.Options
+	if eventDrivenSweep {
+		o.EventDriven = true
+	}
 	nShards := o.ResolveShards(runtime.NumCPU())
 	o.Shards = nShards
 
@@ -257,6 +278,32 @@ func New(cfg Config) (*Server, error) {
 	s.reactor = s.shards[0].reactor
 	s.timers = s.shards[0].timers
 	s.reactive = s.shards[0].reactive
+
+	// Kernel-event read path: one epoll instance per shard. If any shard's
+	// poller cannot be created (fd pressure, unsupported kernel), the whole
+	// server falls back to goroutine-per-connection reads — a half-polled
+	// runtime would split the read-timeout semantics across shards.
+	if o.EventDriven && reactor.PollerSupported {
+		s.eventDriven = true
+		for _, sh := range s.shards {
+			p, err := reactor.NewPoller()
+			if err != nil {
+				s.eventDriven = false
+				for _, prev := range s.shards {
+					if prev.poller != nil {
+						prev.poller.Close()
+						prev.poller = nil
+					}
+				}
+				break
+			}
+			profile := sh.profile
+			p.OnBatch = func(batch int, wait time.Duration) {
+				profile.ObservePollBatch(batch, wait)
+			}
+			sh.poller = p
+		}
+	}
 
 	// Bounded work stealing between the shard queues: only wired when
 	// more than one shard exists, so the single-shard worker loop stays
@@ -428,6 +475,34 @@ func (s *Server) ActiveConns() int {
 	return total
 }
 
+// EventDriven reports whether the kernel-event read path is active
+// (Options.EventDriven on a platform with a poller). Individual
+// connections may still use the goroutine read path when their transport
+// exposes no raw descriptor.
+func (s *Server) EventDriven() bool { return s.eventDriven }
+
+// ParkedConns returns the number of connections currently resident in the
+// shard epoll tables — event-driven connections parked without a reader
+// goroutine. Always 0 when the event path is inactive.
+func (s *Server) ParkedConns() int {
+	total := 0
+	for _, sh := range s.shards {
+		if sh.poller != nil {
+			total += sh.poller.Len()
+		}
+	}
+	return total
+}
+
+// ShardParked returns the parked-connection count of one shard (0 for an
+// out-of-range index or a non-event-driven runtime).
+func (s *Server) ShardParked(i int) int {
+	if i < 0 || i >= len(s.shards) || s.shards[i].poller == nil {
+		return 0
+	}
+	return s.shards[i].poller.Len()
+}
+
 // ShardConns returns the live connection count of one shard (0 for an
 // out-of-range index).
 func (s *Server) ShardConns(i int) int {
@@ -573,6 +648,21 @@ func (s *Server) startRuntime() {
 	for _, sh := range s.shards {
 		sh.reactor.Run()
 	}
+	// The per-shard kernel drain loops: each batches readiness from its
+	// epoll instance into the shard's event queue as PollReady events.
+	for _, sh := range s.shards {
+		if sh.poller == nil {
+			continue
+		}
+		sh := sh
+		go sh.poller.Run(func(h reactor.Handle, prio events.Priority) {
+			_ = sh.reactor.Source().Emit(reactor.Ready{
+				Type:   reactor.PollReady,
+				Handle: h,
+				Prio:   prio,
+			})
+		})
+	}
 	// O7: the idle reaper exists only when selected. The same scavenger
 	// doubles as the slow-client reaper whenever a ReadTimeout bounds
 	// request assembly, so a slowloris peer that keeps refreshing its
@@ -628,6 +718,12 @@ func (s *Server) Shutdown() {
 			c.teardown(nil)
 		}
 	}
+	// Stop the kernel drain loops once every connection has deregistered.
+	for _, sh := range s.shards {
+		if sh.poller != nil {
+			sh.poller.Close()
+		}
+	}
 	// Give teardown events a chance to be queued, then stop dispatch.
 	s.fileio.Stop()
 	for _, sh := range s.shards {
@@ -664,6 +760,13 @@ func (s *Server) attach(sh *shard, nc net.Conn) {
 	s.trace.Record("server", "communicator attached for %s (shard %d, handle %d, prio %d)",
 		nc.RemoteAddr(), sh.idx, c.handle, c.Priority())
 	s.app.OnConnect(c)
+	// Kernel-event read path: park the connection in the shard poller when
+	// the transport exposes a raw descriptor. Wrapped transports (faultnet,
+	// TLS-like decorators) fail the assertion inside pollAttach and fall
+	// back to the goroutine read path — per connection, not per server.
+	if s.eventDriven && c.pollAttach() {
+		return
+	}
 	go c.readLoop()
 }
 
@@ -750,6 +853,13 @@ func (s *Server) reap(sh *shard) {
 			case idle > 0 && c.IdleFor() > idle:
 				idleVictims = append(idleVictims, c)
 			case slow > 0 && c.RequestPendingFor() > slow:
+				slowVictims = append(slowVictims, c)
+			case slow > 0 && c.polled.Load() && c.IdleFor() > slow:
+				// Event-driven connections carry no per-read deadline (a
+				// parked socket performs no read to deadline against), so
+				// the scavenger enforces the O7 ReadTimeout budget by
+				// sweeping the table — the same bound the goroutine path
+				// gets from SetReadDeadline.
 				slowVictims = append(slowVictims, c)
 			}
 		}

@@ -18,6 +18,7 @@ type Source interface {
 	Enabled() bool
 	Snapshot() Snapshot
 	StageSnapshot(Stage) HistogramSnapshot
+	PollSnapshot() PollSnapshot
 }
 
 // Group is a set of per-shard Profiles plus one global Profile for

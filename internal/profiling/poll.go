@@ -1,0 +1,166 @@
+package profiling
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// This file adds the kernel-event read path quantities to option O11: how
+// often each shard's poller woke from epoll_wait, how many ready
+// connections each wakeup delivered (the batch-size histogram — the C1M
+// efficiency quantity: bigger batches amortize the wakeup), and how long
+// the drain loop spent blocked in the kernel.
+
+// SizeBuckets is the fixed bucket count of SizeHistogram. Buckets are
+// powers of two: bucket i covers sizes up to 1<<i (inclusive), spanning 1
+// to 16384 ready events per wakeup; the final bucket is the +Inf overflow.
+const SizeBuckets = 16
+
+// SizeBucketBound returns the inclusive upper bound of bucket i; the last
+// bucket is unbounded and reports math.MaxUint64.
+func SizeBucketBound(i int) uint64 {
+	if i >= SizeBuckets-1 {
+		return math.MaxUint64
+	}
+	return 1 << uint(i)
+}
+
+// sizeBucketIndex maps a size to its bucket.
+func sizeBucketIndex(n uint64) int {
+	if n <= 1 {
+		return 0
+	}
+	idx := bits.Len64(n - 1)
+	if idx >= SizeBuckets {
+		return SizeBuckets - 1
+	}
+	return idx
+}
+
+// SizeHistogram is the count analogue of Histogram: lock-free fixed
+// power-of-two buckets, one atomic add per field touched, nil-safe.
+type SizeHistogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [SizeBuckets]atomic.Uint64
+}
+
+// Observe records one size (negative clamps to zero).
+func (h *SizeHistogram) Observe(n int) {
+	if h == nil {
+		return
+	}
+	if n < 0 {
+		n = 0
+	}
+	h.buckets[sizeBucketIndex(uint64(n))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(n))
+}
+
+// SizeSnapshot is a point-in-time copy of a SizeHistogram, with the same
+// per-counter monotonicity caveat as HistogramSnapshot.
+type SizeSnapshot struct {
+	Count   uint64
+	Sum     uint64
+	Buckets [SizeBuckets]uint64
+}
+
+// Snapshot copies the counters; the zero snapshot for nil.
+func (h *SizeHistogram) Snapshot() SizeSnapshot {
+	var s SizeSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// Mean returns the average observed size (0 when empty).
+func (s SizeSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// ObservePollBatch records one productive epoll_wait return against the
+// poller histograms: batch ready connections delivered after wait blocked
+// in the kernel.
+func (p *Profile) ObservePollBatch(batch int, wait time.Duration) {
+	if p == nil {
+		return
+	}
+	p.pollBatch.Observe(batch)
+	p.pollWait.Observe(wait)
+}
+
+// PollSnapshot is the kernel poller section of a profile: wakeups and
+// total ready events (the count and sum of the batch histogram) plus the
+// full batch-size and wait-duration distributions.
+type PollSnapshot struct {
+	Wakeups uint64
+	Events  uint64
+	Batch   SizeSnapshot
+	Wait    HistogramSnapshot
+}
+
+// PollSnapshot returns the poller quantities; the zero value for nil.
+func (p *Profile) PollSnapshot() PollSnapshot {
+	if p == nil {
+		return PollSnapshot{}
+	}
+	b := p.pollBatch.Snapshot()
+	return PollSnapshot{
+		Wakeups: b.Count,
+		Events:  b.Sum,
+		Batch:   b,
+		Wait:    p.pollWait.Snapshot(),
+	}
+}
+
+// addPoll accumulates one poll snapshot into another.
+func addPoll(agg *PollSnapshot, s PollSnapshot) {
+	agg.Wakeups += s.Wakeups
+	agg.Events += s.Events
+	agg.Batch.Count += s.Batch.Count
+	agg.Batch.Sum += s.Batch.Sum
+	for i := range s.Batch.Buckets {
+		agg.Batch.Buckets[i] += s.Batch.Buckets[i]
+	}
+	agg.Wait.Count += s.Wait.Count
+	agg.Wait.Sum += s.Wait.Sum
+	for i := range s.Wait.Buckets {
+		agg.Wait.Buckets[i] += s.Wait.Buckets[i]
+	}
+}
+
+// PollSnapshot merges the poller quantities across shards and the global
+// profile; the zero value for nil.
+func (g *Group) PollSnapshot() PollSnapshot {
+	var agg PollSnapshot
+	if g == nil {
+		return agg
+	}
+	g.all(func(p *Profile) { addPoll(&agg, p.PollSnapshot()) })
+	return agg
+}
+
+// ShardPollSnapshots returns one poll snapshot per shard (the global
+// profile excluded, as in ShardSnapshots); nil for a nil Group.
+func (g *Group) ShardPollSnapshots() []PollSnapshot {
+	if g == nil {
+		return nil
+	}
+	out := make([]PollSnapshot, len(g.shards))
+	for i, p := range g.shards {
+		out[i] = p.PollSnapshot()
+	}
+	return out
+}

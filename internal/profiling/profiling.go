@@ -46,6 +46,10 @@ type Profile struct {
 	// (see histogram.go): the five Fig. 1 steps plus queue wait and AIO
 	// completion latency.
 	stages [NumStages]Histogram
+	// Kernel poller quantities (EventDriven runtimes, see poll.go):
+	// ready-batch sizes per epoll_wait wakeup and time blocked waiting.
+	pollBatch SizeHistogram
+	pollWait  Histogram
 	// stageSeen drives the 1-in-StageSampleEvery lattice of StageStart.
 	stageSeen atomic.Uint64
 }

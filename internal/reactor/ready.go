@@ -50,6 +50,11 @@ const (
 	// CloseReady: the peer closed or the transport failed; Data is the
 	// error (possibly nil for clean EOF).
 	CloseReady
+	// PollReady: the kernel poller reports the handle's descriptor
+	// readable (edge-triggered); the handler drains the socket until it
+	// would block. Data is nil — the bytes stay in the kernel until the
+	// drain reads them.
+	PollReady
 )
 
 func (t EventType) String() string {
@@ -68,6 +73,8 @@ func (t EventType) String() string {
 		return "user"
 	case CloseReady:
 		return "close"
+	case PollReady:
+		return "poll"
 	}
 	return fmt.Sprintf("EventType(%d)", int(t))
 }
