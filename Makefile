@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos bench bench-allocs bench-shed bench-metrics bench-sendfile bench-shards bench-idle experiments examples cover clean
+.PHONY: all build vet test race chaos bench bench-allocs bench-shed bench-metrics bench-sendfile bench-shards bench-idle bench-overload experiments examples cover clean
 
 all: build vet test
 
@@ -23,6 +23,12 @@ test: vet chaos
 	# both free-running and serialized onto one core.
 	NSERVER_EVENT_DRIVEN=1 $(GO) test -count=1 ./internal/nserver ./internal/eventproc ./internal/reactor
 	NSERVER_EVENT_DRIVEN=1 GOMAXPROCS=1 $(GO) test -count=1 ./internal/nserver ./internal/eventproc ./internal/reactor
+	# The adaptive admission limiter must hold the same invariants when it
+	# replaces the watermark gate as the default: the runtime suites re-run
+	# with AdaptiveShed forced on wherever overload control is configured,
+	# alone and combined with the kernel-event read path.
+	NSERVER_ADAPTIVE_SHED=1 $(GO) test -count=1 ./internal/nserver ./internal/eventproc ./internal/reactor
+	NSERVER_ADAPTIVE_SHED=1 NSERVER_EVENT_DRIVEN=1 $(GO) test -count=1 ./internal/nserver ./internal/eventproc ./internal/reactor
 
 race:
 	$(GO) test -race ./...
@@ -85,6 +91,17 @@ bench-idle:
 	$(GO) test -run TestHotPathAllocs -bench 'BenchmarkIdleParkedConns|BenchmarkShardScaling' -benchmem . \
 		| $(GO) run ./cmd/benchjson > BENCH_PR6.json
 	@cat BENCH_PR6.json
+
+# The overload-control snapshot: the saturated closed-loop comparison of
+# the static watermark gate against the adaptive admission limiter
+# (goodput, p99, per-class survival — the limiter must keep the
+# high-priority class flowing while shedding the rest), plus the
+# idle-connection park rerun, recorded as JSON.
+bench-overload:
+	{ $(GO) test -run '^$$' -bench BenchmarkAdaptiveOverload -benchtime 10000x -benchmem . ; \
+	  $(GO) test -run '^$$' -bench BenchmarkIdleParkedConns -benchmem . ; } \
+		| $(GO) run ./cmd/benchjson > BENCH_PR7.json
+	@cat BENCH_PR7.json
 
 # Regenerate every table and figure at full virtual length.
 experiments:

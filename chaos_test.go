@@ -20,11 +20,13 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/copshttp"
+	"repro/internal/events"
 	"repro/internal/faultnet"
 	"repro/internal/metrics"
 	"repro/internal/nserver"
@@ -351,6 +353,158 @@ func TestChaosOverloadShedsPrebuilt503(t *testing.T) {
 			t.Fatalf("service never resumed after gate reopened: err=%v resp=%.80q", err, resp)
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestChaosAdaptiveLimiterShedsByPriorityAndRecovers drives the adaptive
+// admission limiter through a full congestion storm while the transport
+// clogs every write to a handful of bytes (the overload itself is the
+// principal fault, as in the watermark chaos test). The test pins the
+// limiter's three chaos guarantees: shedding is priority-aware end to
+// end (a portal-class connection is re-admitted and served while
+// homepage-class connections get the 503 with the limiter's dynamic
+// Retry-After), the per-level shed counters stay monotonic throughout,
+// and the limit recovers after the storm so admission can never latch
+// shut.
+func TestChaosAdaptiveLimiterShedsByPriorityAndRecovers(t *testing.T) {
+	dir, _ := chaosRoot(t)
+	opts := options.COPSHTTP().
+		WithOverloadControl(20, 5).
+		WithHardening(10*time.Second, 5*time.Second, 1<<20).
+		WithAdaptiveShed(true)
+	// portal marks the next classified connection high-priority; the
+	// classifier runs on the raw conn before any bytes are read.
+	var portal atomic.Bool
+	srv, ln, addr := startChaosHTTP(t,
+		copshttp.Config{
+			DocRoot:        dir,
+			Options:        &opts,
+			ShedOnOverload: true,
+			RetryAfter:     7 * time.Second, // static fallback; the limiter overrides it
+			ShedPriority: func(net.Conn) events.Priority {
+				if portal.Load() {
+					return 0
+				}
+				return 1
+			},
+		},
+		faultnet.Scenario{Seed: 41, MaxWritePerCall: 9},
+	)
+	lim := srv.Framework().Admission()
+	if lim == nil {
+		t.Fatal("AdaptiveShed selected but Admission() is nil")
+	}
+
+	// Establish the no-load queue-wait baseline, exactly as a healthy
+	// server's sampled submissions would.
+	for i := 0; i < 32; i++ {
+		lim.Observe(time.Millisecond)
+	}
+
+	// Park keep-alive connections so the in-flight count stays above the
+	// limit once the storm drives it down.
+	const held = 8
+	for i := 0; i < held; i++ {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		c.SetDeadline(time.Now().Add(10 * time.Second))
+		fmt.Fprint(c, "GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n")
+		if line, err := bufio.NewReader(c).ReadString('\n'); err != nil || !strings.Contains(line, "200") {
+			t.Fatalf("held conn %d: %q err=%v", i, line, err)
+		}
+	}
+
+	// The storm: congested queue-wait samples cut the limit
+	// multiplicatively (rate-limited, so this takes a dozen-odd decrease
+	// intervals) while the per-level shed counters must never go
+	// backwards. The cadence matches the 1-in-16 sampling of a loaded
+	// pipeline — flooding samples orders of magnitude faster would let
+	// the baseline's slow upward creep absorb the congestion signal.
+	prevShed := [2]uint64{lim.ShedCount(0), lim.ShedCount(1)}
+	deadline := time.Now().Add(15 * time.Second)
+	for lim.Limit() > held-2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("limit stuck at %d after congested storm", lim.Limit())
+		}
+		lim.Observe(80 * time.Millisecond)
+		for i, lvl := range []int{0, 1} {
+			if n := lim.ShedCount(lvl); n < prevShed[i] {
+				t.Fatalf("level-%d shed counter went backwards: %d -> %d", lvl, prevShed[i], n)
+			} else {
+				prevShed[i] = n
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if !lim.Engaged() {
+		t.Fatal("limit below max but limiter not engaged")
+	}
+
+	// A homepage-class connection is shed with the 503 fast path; the
+	// Retry-After value is the limiter's backoff horizon, not the static
+	// fallback. The shed reply races the RST a close-with-unread-request
+	// provokes (the fast path never reads the doomed request), and the
+	// clogged transport widens that race — so retry until the 503 bytes
+	// land. Keep observing congestion so the recovery clock cannot
+	// reopen admission mid-assertion.
+	var resp []byte
+	var err error
+	shedBy := time.Now().Add(5 * time.Second)
+	for {
+		lim.Observe(80 * time.Millisecond)
+		resp, _ = httpGet(t, addr, "/index.html", 3*time.Second)
+		if bytes.Contains(resp, []byte(" 503 ")) {
+			break
+		}
+		if time.Now().After(shedBy) {
+			t.Fatalf("engaged limiter never shed a homepage-class conn: %.120q", resp)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !bytes.Contains(resp, []byte("Retry-After: ")) {
+		t.Fatalf("shed 503 missing Retry-After: %.200q", resp)
+	}
+	if lim.ShedCount(1) == 0 {
+		t.Fatal("homepage-class shed not counted at level 1")
+	}
+
+	// A portal-class connection is re-admitted through the same overload
+	// and fully served.
+	portal.Store(true)
+	lim.Observe(80 * time.Millisecond)
+	resp, err = httpGet(t, addr, "/index.html", 3*time.Second)
+	portal.Store(false)
+	if err != nil || !bytes.Contains(resp, []byte(" 200 ")) {
+		t.Fatalf("portal-class conn not re-admitted under shed: err=%v resp=%.120q", err, resp)
+	}
+	if snap := lim.Snapshot(); snap.Admitted[0] == 0 {
+		t.Fatalf("portal re-admission not counted: %+v", snap)
+	}
+
+	// Post-storm: healthy samples grow the limit additively and service
+	// resumes — the limiter never latches admission shut.
+	for i := 0; i < 4096 && lim.Limit() <= held; i++ {
+		lim.Observe(time.Millisecond)
+	}
+	if lim.Limit() <= held {
+		t.Fatalf("limit did not recover past %d held conns: %d", held, lim.Limit())
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		resp, err = httpGet(t, addr, "/index.html", 3*time.Second)
+		if err == nil && bytes.Contains(resp, []byte(" 200 ")) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("service never resumed post-storm: err=%v resp=%.120q", err, resp)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if ln.Stats().Accepted.Load() == 0 {
+		t.Fatal("faultnet accepted nothing — chaos never saw traffic")
 	}
 }
 

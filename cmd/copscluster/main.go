@@ -29,6 +29,8 @@ func main() {
 		backends = flag.String("backends", "", "comma-separated backend addresses (required)")
 		strategy = flag.String("strategy", "round-robin", "round-robin or least-connections")
 		cooldown = flag.Duration("cooldown", time.Second, "how long a failed backend is skipped")
+		hedge    = flag.Bool("hedge", false, "issue a budgeted hedged dial to a second backend when the primary dial exceeds the observed p95 latency; the losing dial is canceled")
+		hedgeDel = flag.Duration("hedge-delay", 0, "fixed hedge delay override; 0 derives it from the dial-latency p95")
 		shards   = flag.Int("shards", 0, "accept loops on the front end (SO_REUSEPORT listeners on Linux); 0 = one per CPU")
 		eventDrv = flag.Bool("event-driven", false, "mark this deployment's backends as running the kernel-event read path (copshttp/copsftp -event-driven); surfaces the nserver_event_driven gauge on the front end's /metrics — the splice forwards themselves keep their goroutine pairs")
 		mAddr    = flag.String("metrics-addr", "", "serve Prometheus/JSON metrics on this address (/metrics, /metrics.json); empty disables")
@@ -60,6 +62,8 @@ func main() {
 		CoolDown:     *cooldown,
 		AcceptShards: nShards,
 		Profile:      prof,
+		Hedge:        *hedge,
+		HedgeDelay:   *hedgeDel,
 	})
 	if err != nil {
 		fatal(err)
@@ -73,6 +77,9 @@ func main() {
 		cfg := metrics.Config{Profile: prof, Cluster: lb}
 		if *eventDrv {
 			cfg.EventDriven = func() bool { return true }
+		}
+		if *hedge {
+			cfg.Hedge = lb.HedgeStats
 		}
 		ms, err := metrics.NewServer(*mAddr, cfg)
 		if err != nil {

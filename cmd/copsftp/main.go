@@ -33,6 +33,7 @@ func main() {
 		largeFile = flag.Int64("large-file-threshold", 1<<20, "stream RETR files of at least this many bytes through pooled buffers without full-file reads; 0 disables")
 		shards    = flag.Int("shards", 0, "runtime shards (reactor + event pool per shard); 0 = one per CPU, 1 = the paper's single-reactor layout")
 		eventDrv  = flag.Bool("event-driven", false, "park idle control connections in a per-shard kernel epoll set instead of a reader goroutine each (Linux; elsewhere the goroutine path is the transparent fallback)")
+		adaptive  = flag.Bool("adaptive-shed", false, "postpone accepts under overload with the AIMD admission limiter (enables O9 with watermarks 20,5 as the backstop)")
 		profile   = flag.Bool("profile", false, "enable performance profiling (O11)")
 		mAddr     = flag.String("metrics-addr", "", "serve Prometheus/JSON metrics on this address (/metrics, /metrics.json); empty disables")
 		debug     = flag.Bool("debug", false, "generate in debug mode (O10)")
@@ -66,6 +67,9 @@ func main() {
 	}
 	opts.Shards = *shards
 	opts.EventDriven = *eventDrv
+	if *adaptive {
+		opts = opts.WithOverloadControl(20, 5).WithAdaptiveShed(true)
+	}
 	if *debug {
 		opts.Mode = options.Debug
 	}
@@ -86,13 +90,17 @@ func main() {
 		*root, srv.Addr(), *readOnly, srv.Framework().Shards(), srv.Framework().EventDriven())
 
 	if *mAddr != "" {
-		ms, err := metrics.NewServer(*mAddr, metrics.Config{
+		mcfg := metrics.Config{
 			Profile:     srv.Framework().Profile(),
 			Cache:       srv.Framework().Cache(),
 			Deferred:    srv.Framework().Deferred,
 			EventDriven: srv.Framework().EventDriven,
 			Parked:      srv.Framework().ParkedConns,
-		})
+		}
+		if l := srv.Framework().Admission(); l != nil {
+			mcfg.Admission = l.Snapshot
+		}
+		ms, err := metrics.NewServer(*mAddr, mcfg)
 		if err != nil {
 			fatal(err)
 		}

@@ -42,7 +42,8 @@ func main() {
 		maxReq      = flag.Int("max-request", 0, "max buffered request bytes per connection; 0 is unlimited")
 		largeFile   = flag.Int64("large-file-threshold", 1<<20, "stream files of at least this many bytes from a descriptor (sendfile on Linux), bypassing the cache; 0 buffers everything")
 		shed        = flag.Bool("shed", false, "with -overload: answer 503+Retry-After while the gate is paused instead of postponing accepts")
-		retryAfter  = flag.Duration("retry-after", 0, "Retry-After delay on shed 503 replies (default 1s)")
+		adaptive    = flag.Bool("adaptive-shed", false, "with -overload: replace the static watermark gate with the AIMD admission limiter (priority-aware shedding, dynamic Retry-After)")
+		retryAfter  = flag.Duration("retry-after", 0, "Retry-After delay on shed 503 replies (default 1s; with -adaptive-shed the limiter's backoff horizon overrides it)")
 		shards      = flag.Int("shards", 0, "runtime shards (reactor + event pool per shard); 0 = one per CPU, 1 = the paper's single-reactor layout")
 		eventDriven = flag.Bool("event-driven", false, "park idle connections in a per-shard kernel epoll set instead of a reader goroutine each (Linux; elsewhere and for descriptor-hiding transports the goroutine path is the transparent fallback)")
 		profile     = flag.Bool("profile", false, "enable performance profiling (O11)")
@@ -114,6 +115,23 @@ func main() {
 		}
 		opts = opts.WithOverloadControl(wm[0], wm[1])
 	}
+	var shedPrio func(net.Conn) events.Priority
+	if *adaptive {
+		opts = opts.WithAdaptiveShed(true)
+		// Classify raw connections for priority-aware shedding with the
+		// same rule the scheduler uses: even final octet = portal.
+		shedPrio = func(c net.Conn) events.Priority {
+			host, _, err := net.SplitHostPort(c.RemoteAddr().String())
+			if err != nil {
+				return 1
+			}
+			ip := net.ParseIP(host).To4()
+			if ip != nil && ip[3]%2 == 0 {
+				return 0
+			}
+			return 1
+		}
+	}
 	if *readTO > 0 || *writeTO > 0 || *maxReq > 0 {
 		opts = opts.WithHardening(*readTO, *writeTO, *maxReq)
 	}
@@ -128,6 +146,7 @@ func main() {
 		DecodeDelay:    *decodeDelay,
 		ShedOnOverload: *shed,
 		RetryAfter:     *retryAfter,
+		ShedPriority:   shedPrio,
 	})
 	if err != nil {
 		fatal(err)
@@ -139,14 +158,18 @@ func main() {
 		*root, srv.Addr(), policy, srv.Framework().Shards(), srv.Framework().EventDriven())
 
 	if *metricsAddr != "" {
-		ms, err := metrics.NewServer(*metricsAddr, metrics.Config{
+		mcfg := metrics.Config{
 			Profile:     srv.Framework().Profile(),
 			Cache:       srv.Framework().Cache(),
 			Deferred:    srv.Framework().Deferred,
 			Shed:        srv.Shed,
 			EventDriven: srv.Framework().EventDriven,
 			Parked:      srv.Framework().ParkedConns,
-		})
+		}
+		if l := srv.Framework().Admission(); l != nil {
+			mcfg.Admission = l.Snapshot
+		}
+		ms, err := metrics.NewServer(*metricsAddr, mcfg)
 		if err != nil {
 			fatal(err)
 		}

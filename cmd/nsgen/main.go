@@ -35,6 +35,7 @@ func main() {
 		largeFile  = flag.Int64("large-file", 0, "weave the large-file streaming crosscut with this byte threshold; 0 omits it")
 		shards     = flag.Int("shards", 0, "weave the multi-reactor sharding crosscut with this many shards; 0 or 1 omits it")
 		eventDrive = flag.Bool("event-driven", false, "weave the kernel-event read path crosscut (epoll on linux, goroutine fallback elsewhere)")
+		adaptive   = flag.Bool("adaptive-shed", false, "weave the adaptive admission crosscut: an AIMD limiter over sampled queue waits layered on the O9 watermark gate (requires overload control)")
 	)
 	flag.Parse()
 
@@ -79,6 +80,9 @@ func main() {
 	}
 	if *eventDrive {
 		opts = opts.WithEventDriven(true)
+	}
+	if *adaptive {
+		opts = opts.WithAdaptiveShed(true)
 	}
 
 	if *scaffold {

@@ -31,6 +31,20 @@ type Gate interface {
 	AcceptAllowed() bool
 }
 
+// PriorityGate is an optional Gate extension for priority-aware load
+// shedding (the adaptive admission limiter implements it). When a gate
+// refuses admission on the shed path but the MaxConns bound still has
+// room, the acceptor hands the raw connection to AdmitOverloaded: a true
+// return re-admits it into the normal attach path (high-priority traffic
+// keeps flowing through overload), false sheds it. The gate classifies
+// the connection itself — it sees the conn before any handler is
+// attached, so classification must come from transport facts (peer
+// address) rather than request contents.
+type PriorityGate interface {
+	Gate
+	AdmitOverloaded(net.Conn) bool
+}
+
 // Config configures an Acceptor.
 type Config struct {
 	// Listener is the bound listening socket. Required.
@@ -70,6 +84,7 @@ type Acceptor struct {
 	r        *reactor.Reactor
 	handle   reactor.Handle
 	gate     Gate
+	pgate    PriorityGate
 	maxConns int
 	active   func() int
 	shed     func(net.Conn)
@@ -95,11 +110,13 @@ func New(cfg Config) (*Acceptor, error) {
 	if poll <= 0 {
 		poll = time.Millisecond
 	}
+	pgate, _ := cfg.Gate.(PriorityGate)
 	return &Acceptor{
 		ln:       cfg.Listener,
 		r:        cfg.Reactor,
 		handle:   cfg.Reactor.NewHandle(),
 		gate:     cfg.Gate,
+		pgate:    pgate,
 		maxConns: cfg.MaxConns,
 		active:   cfg.Active,
 		shed:     cfg.Shed,
@@ -144,11 +161,18 @@ func (a *Acceptor) Run() {
 			return
 		}
 		if a.shed != nil && !a.admissibleNow() {
-			a.deferred.Add(1)
-			a.profile.ConnectionRefused()
-			a.trace.Record("acceptor", "shedding %s (overload)", conn.RemoteAddr())
-			a.shed(conn)
-			continue
+			// Priority-aware shedding: the gate may re-admit a
+			// high-priority connection as long as the hard connection
+			// bound still has room.
+			if a.pgate != nil && a.boundOK() && a.pgate.AdmitOverloaded(conn) {
+				a.trace.Record("acceptor", "re-admitting %s (priority)", conn.RemoteAddr())
+			} else {
+				a.deferred.Add(1)
+				a.profile.ConnectionRefused()
+				a.trace.Record("acceptor", "shedding %s (overload)", conn.RemoteAddr())
+				a.shed(conn)
+				continue
+			}
 		}
 		a.live.Add(1)
 		a.profile.ConnectionAccepted()
@@ -187,8 +211,13 @@ func (a *Acceptor) admissible() bool {
 // waiting.
 func (a *Acceptor) admissibleNow() bool {
 	gateOK := a.gate == nil || a.gate.AcceptAllowed()
-	boundOK := a.maxConns <= 0 || a.activeCount() < a.maxConns
-	return gateOK && boundOK
+	return gateOK && a.boundOK()
+}
+
+// boundOK evaluates the hard MaxConns bound alone. Priority re-admission
+// may override the gate but never this bound.
+func (a *Acceptor) boundOK() bool {
+	return a.maxConns <= 0 || a.activeCount() < a.maxConns
 }
 
 // ConnClosed informs the acceptor's internal live counter that one
@@ -201,6 +230,15 @@ func (a *Acceptor) ConnClosed() {
 // Active returns the live connection count the MaxConns bound is compared
 // against.
 func (a *Acceptor) Active() int { return a.activeCount() }
+
+// Live returns the acceptor's own accept-time counter, ignoring any
+// Active override: it is incremented the moment a connection is admitted
+// and decremented by ConnClosed. Admission gates meter against this
+// count rather than the shard registries — a registry only learns about
+// a connection once its AcceptReady event is processed, so during a
+// synchronized dial burst the registry lags far behind what the acceptor
+// has already let in.
+func (a *Acceptor) Live() int { return int(a.live.Load()) }
 
 func (a *Acceptor) activeCount() int {
 	if a.active != nil {

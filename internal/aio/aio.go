@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/eventproc"
@@ -47,6 +48,9 @@ type Config struct {
 	Cache *cache.Cache
 	// Profile receives cache hit/miss counts (nil when O11 is off).
 	Profile *profiling.Profile
+	// WaitObserver receives sampled file-I/O queue waits (the adaptive
+	// admission limiter's disk-bottleneck signal); nil when unused.
+	WaitObserver func(time.Duration)
 	// Trace receives internal events in debug mode.
 	Trace *logging.Trace
 }
@@ -75,10 +79,11 @@ func New(cfg Config) (*Service, error) {
 		return nil, fmt.Errorf("aio: workers must be positive (got %d)", cfg.Workers)
 	}
 	proc, err := eventproc.New(eventproc.Config{
-		Name:    "file-io",
-		Workers: cfg.Workers,
-		Profile: cfg.Profile,
-		Trace:   cfg.Trace,
+		Name:         "file-io",
+		Workers:      cfg.Workers,
+		Profile:      cfg.Profile,
+		WaitObserver: cfg.WaitObserver,
+		Trace:        cfg.Trace,
 	})
 	if err != nil {
 		return nil, err

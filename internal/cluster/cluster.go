@@ -23,6 +23,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -90,6 +91,18 @@ type Config struct {
 	// kernel spreads incoming connections across them; elsewhere the loops
 	// share one listener. 0 and 1 both mean a single loop.
 	AcceptShards int
+	// Hedge enables hedged backend connects: when a dial has not
+	// completed within the hedge delay — the p95 of recent successful
+	// dial latencies, clamped between 1ms and half the dial timeout — a
+	// second attempt is launched to the next-healthiest backend and the
+	// first connection wins; the loser is canceled. A canceled dial is
+	// never charged to the loser's circuit breaker. Hedging is capped by
+	// a budget (about 10% of primary dials plus a small burst) so a
+	// uniformly slow fleet cannot double its own dial load.
+	Hedge bool
+	// HedgeDelay overrides the p95-derived hedge delay (tests, or a
+	// known latency SLO). Zero derives the delay from observation.
+	HedgeDelay time.Duration
 	// Seed fixes the backoff jitter sequence for deterministic tests.
 	// Zero seeds from CoolDown (still deterministic per config).
 	Seed int64
@@ -114,6 +127,25 @@ type Balancer struct {
 
 	backends []*backend
 	next     atomic.Uint64
+
+	// Hedged-dial state: dialLat records successful dial latencies (the
+	// p95 source of the hedge delay); primaries counts first attempts
+	// and hedgeIssued the extra hedge dials launched, which together
+	// implement the hedge budget. hedgeWon counts hedges that beat their
+	// primary, hedgeCanceled the losing attempts discarded after a
+	// winner emerged, and hedgeDenied the hedge opportunities the budget
+	// refused.
+	hedge      bool
+	hedgeDelay time.Duration
+	dialLat    profiling.Histogram
+	// dialFn performs one backend dial; it honors ctx cancellation (the
+	// hedge race cancels the loser through it). Tests substitute it.
+	dialFn        func(ctx context.Context, addr string) (net.Conn, error)
+	primaries     atomic.Uint64
+	hedgeIssued   atomic.Uint64
+	hedgeWon      atomic.Uint64
+	hedgeCanceled atomic.Uint64
+	hedgeDenied   atomic.Uint64
 
 	// rng draws backoff jitter; mu serializes it.
 	rngMu sync.Mutex
@@ -145,6 +177,14 @@ type backend struct {
 	live atomic.Int64
 	// forwarded counts total connections placed here.
 	forwarded atomic.Uint64
+	// mu serializes the compound breaker transitions (backendFailed and
+	// backendHealthy each write fails, openUntil and state as one
+	// logical step). Without it a probe success racing a concurrent
+	// forward failure could interleave — the success's state swap
+	// landing between the failure's openUntil and state stores — and
+	// leave the circuit open with fails already reset to zero. Readers
+	// stay lock-free on the atomics; only transitions take the lock.
+	mu sync.Mutex
 	// state is the circuit breaker state (stateClosed/Open/HalfOpen).
 	state atomic.Int32
 	// fails counts consecutive dial failures (reset on success); it
@@ -211,11 +251,17 @@ func New(cfg Config) (*Balancer, error) {
 		probeInterval: cfg.ProbeInterval,
 		retryBudget:   budget,
 		drainTimeout:  drain,
+		hedge:         cfg.Hedge,
+		hedgeDelay:    cfg.HedgeDelay,
 		rng:           rand.New(rand.NewSource(seed)),
 		inflight:      make(map[net.Conn]struct{}),
 		proberDone:    make(chan struct{}),
 		profile:       cfg.Profile,
 		trace:         cfg.Trace,
+	}
+	b.dialFn = func(ctx context.Context, addr string) (net.Conn, error) {
+		d := net.Dialer{Timeout: b.dialTimeout}
+		return d.DialContext(ctx, "tcp", addr)
 	}
 	for _, addr := range cfg.Backends {
 		if addr == "" {
@@ -465,7 +511,8 @@ func (b *Balancer) forward(client net.Conn) {
 // most the retry budget. Attempts are deduplicated: each backend is
 // dialed at most once per accepted client, so a single bad backend
 // (repeatedly re-eligible after its backoff expires) cannot exhaust the
-// attempt loop the way the old cool-down logic allowed.
+// attempt loop the way the old cool-down logic allowed. Hedged dials
+// consume budget entries like any other attempt.
 func (b *Balancer) connect() (*backend, net.Conn, error) {
 	tried := make(map[*backend]bool, b.retryBudget)
 	for len(tried) < b.retryBudget {
@@ -474,16 +521,175 @@ func (b *Balancer) connect() (*backend, net.Conn, error) {
 			break
 		}
 		tried[be] = true
-		conn, err := net.DialTimeout("tcp", be.addr, b.dialTimeout)
-		if err != nil {
-			b.backendFailed(be, err)
+		win, conn := b.dialMaybeHedged(be, tried)
+		if conn == nil {
 			continue
 		}
-		b.backendHealthy(be)
-		be.forwarded.Add(1)
-		return be, conn, nil
+		win.forwarded.Add(1)
+		return win, conn, nil
 	}
 	return nil, nil, errAllDown
+}
+
+// dialMaybeHedged dials primary, optionally racing a hedge attempt, and
+// returns the winning backend and connection (nil when every attempt
+// failed; breaker accounting has already happened).
+func (b *Balancer) dialMaybeHedged(primary *backend, tried map[*backend]bool) (*backend, net.Conn) {
+	b.primaries.Add(1)
+	if !b.hedge {
+		return primary, b.dialOne(primary)
+	}
+	return b.dialHedged(primary, tried)
+}
+
+// dialOne is the plain (non-hedged) dial: it settles the breaker and
+// feeds the dial-latency histogram that the hedge delay derives from.
+func (b *Balancer) dialOne(be *backend) net.Conn {
+	start := time.Now()
+	conn, err := b.dialFn(context.Background(), be.addr)
+	if err != nil {
+		b.backendFailed(be, err)
+		return nil
+	}
+	b.dialLat.Observe(time.Since(start))
+	b.backendHealthy(be)
+	return conn
+}
+
+// dialResult is one settled attempt of a hedged dial race.
+type dialResult struct {
+	be   *backend
+	conn net.Conn
+	err  error
+	took time.Duration
+}
+
+// dialHedged races the primary dial against one hedge attempt launched
+// after the hedge delay. The first successful connection wins and the
+// other attempt is canceled through its dial context; every launched
+// attempt is settled here — a genuine error charges the breaker, a
+// canceled loser does not (the backend was never shown to be unhealthy),
+// and a loser that connected anyway is closed.
+func (b *Balancer) dialHedged(primary *backend, tried map[*backend]bool) (*backend, net.Conn) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch := make(chan dialResult, 2)
+	launch := func(be *backend) {
+		start := time.Now()
+		conn, err := b.dialFn(ctx, be.addr)
+		ch <- dialResult{be: be, conn: conn, err: err, took: time.Since(start)}
+	}
+	go launch(primary)
+	timer := time.NewTimer(b.currentHedgeDelay())
+	defer timer.Stop()
+
+	var hedgeBe *backend
+	var winner dialResult
+	outstanding := 1
+	for outstanding > 0 {
+		select {
+		case <-timer.C:
+			// The primary is slow: launch the hedge if the budget and
+			// the retry budget allow and another backend is eligible.
+			if !b.hedgeAllowed() {
+				b.hedgeDenied.Add(1)
+				continue
+			}
+			if len(tried) >= b.retryBudget {
+				continue
+			}
+			if hedgeBe = b.pick(tried); hedgeBe == nil {
+				continue
+			}
+			tried[hedgeBe] = true
+			b.hedgeIssued.Add(1)
+			b.trace.Record("cluster", "hedging %s with %s", primary.addr, hedgeBe.addr)
+			outstanding++
+			go launch(hedgeBe)
+		case r := <-ch:
+			outstanding--
+			switch {
+			case r.err == nil && winner.conn == nil:
+				winner = r
+				b.dialLat.Observe(r.took)
+				b.backendHealthy(r.be)
+				if r.be == hedgeBe {
+					b.hedgeWon.Add(1)
+				}
+				// Abort the other attempt; the race stays open only to
+				// settle it.
+				cancel()
+			case r.err == nil:
+				// The loser connected after the winner: discard it.
+				r.conn.Close()
+				b.backendHealthy(r.be)
+				b.hedgeCanceled.Add(1)
+			case errors.Is(r.err, context.Canceled):
+				// Canceled by the winner — says nothing about the
+				// backend's health, so the breaker is not charged.
+				b.hedgeCanceled.Add(1)
+			default:
+				b.backendFailed(r.be, r.err)
+			}
+		}
+	}
+	return winner.be, winner.conn
+}
+
+// hedgeAllowed enforces the hedge budget: hedges may run at about 10% of
+// primary dials, plus a burst allowance so the first slow dials of a
+// quiet balancer can still hedge.
+const hedgeBurst = 16
+
+func (b *Balancer) hedgeAllowed() bool {
+	return b.hedgeIssued.Load() < b.primaries.Load()/10+hedgeBurst
+}
+
+// currentHedgeDelay returns the configured fixed delay, or the p95 of
+// observed successful dial latencies clamped between 1ms and half the
+// dial timeout (an unobserved balancer hedges conservatively late).
+func (b *Balancer) currentHedgeDelay() time.Duration {
+	if b.hedgeDelay > 0 {
+		return b.hedgeDelay
+	}
+	lo, hi := time.Millisecond, b.dialTimeout/2
+	if hi < lo {
+		hi = lo
+	}
+	d := b.dialLat.Snapshot().Quantile(0.95)
+	if d == 0 {
+		return hi
+	}
+	if d < lo {
+		d = lo
+	}
+	if d > hi {
+		d = hi
+	}
+	return d
+}
+
+// HedgeSnapshot is the hedged-dial counter set (exported on /metrics).
+type HedgeSnapshot struct {
+	// Issued counts hedge attempts launched.
+	Issued uint64 `json:"issued"`
+	// Won counts hedges whose connection beat the primary's.
+	Won uint64 `json:"won"`
+	// Canceled counts losing attempts discarded after a winner emerged.
+	Canceled uint64 `json:"canceled"`
+	// BudgetDenied counts hedge opportunities the budget refused.
+	BudgetDenied uint64 `json:"budget_denied"`
+}
+
+// HedgeStats snapshots the hedged-dial counters. Each counter is
+// individually monotonic.
+func (b *Balancer) HedgeStats() HedgeSnapshot {
+	return HedgeSnapshot{
+		Issued:       b.hedgeIssued.Load(),
+		Won:          b.hedgeWon.Load(),
+		Canceled:     b.hedgeCanceled.Load(),
+		BudgetDenied: b.hedgeDenied.Load(),
+	}
 }
 
 // pick selects the next untried backend under the strategy. Closed
@@ -527,7 +733,12 @@ func (b *Balancer) pick(tried map[*backend]bool) *backend {
 // backoff with jitter (doubling per consecutive failure past the
 // threshold), so a flapping backend is retried politely instead of on a
 // fixed cadence.
+// The transition is one critical section under the backend's mutex, so
+// a concurrent backendHealthy (probe success) cannot interleave between
+// the failure-count, deadline and state writes.
 func (b *Balancer) backendFailed(be *backend, err error) {
+	be.mu.Lock()
+	defer be.mu.Unlock()
 	fails := int(be.fails.Add(1))
 	if fails < b.failThreshold {
 		b.trace.Record("cluster", "backend %s failed (%d/%d): %v", be.addr, fails, b.failThreshold, err)
@@ -551,7 +762,11 @@ func (b *Balancer) backendFailed(be *backend, err error) {
 }
 
 // backendHealthy closes the circuit after a successful dial or probe.
+// It takes the backend's transition mutex so the reset of fails and the
+// state change form one atomic step with respect to backendFailed.
 func (b *Balancer) backendHealthy(be *backend) {
+	be.mu.Lock()
+	defer be.mu.Unlock()
 	be.fails.Store(0)
 	if be.state.Swap(stateClosed) != stateClosed {
 		b.trace.Record("cluster", "circuit closed for %s", be.addr)

@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBreakerTransitionIsAtomic pins the half-open race regression: a
+// probe success (backendHealthy) and a concurrent forward failure
+// (backendFailed) used to interleave their compound stores, leaving the
+// circuit open with the consecutive-failure count already reset to zero
+// — a state neither transition alone can produce. With the per-backend
+// transition mutex the observable state is always one of the two serial
+// orders; run under -race this also exercises the locking itself.
+func TestBreakerTransitionIsAtomic(t *testing.T) {
+	b, err := New(Config{Backends: []string{"127.0.0.1:1"}, FailureThreshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := b.backends[0]
+	errDial := errors.New("dial refused")
+	for i := 0; i < 2000; i++ {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); b.backendFailed(be, errDial) }()
+		go func() { defer wg.Done(); b.backendHealthy(be) }()
+		wg.Wait()
+		st, fails := be.state.Load(), be.fails.Load()
+		if st == stateOpen && fails == 0 {
+			t.Fatalf("iteration %d: circuit open with zero consecutive failures (torn transition)", i)
+		}
+		if st == stateClosed && fails != 0 {
+			t.Fatalf("iteration %d: circuit closed with %d stale failures (torn transition)", i, fails)
+		}
+		b.backendHealthy(be)
+	}
+	if got := be.state.Load(); got != stateClosed {
+		t.Fatalf("final state %s, want closed", stateName(got))
+	}
+}
+
+// pipeConn returns one live end of an in-memory connection, its peer
+// parked so the conn stays open until the test closes it.
+func pipeConn(t *testing.T) net.Conn {
+	t.Helper()
+	c1, c2 := net.Pipe()
+	t.Cleanup(func() { c1.Close(); c2.Close() })
+	return c1
+}
+
+// TestHedgeWinsWhenPrimaryStalls: the primary dial hangs, the hedge
+// delay expires, the hedge connects to the next backend and wins, and
+// the canceled primary is NOT charged to its circuit breaker.
+func TestHedgeWinsWhenPrimaryStalls(t *testing.T) {
+	b, err := New(Config{
+		Backends:   []string{"primary:1", "hedge:1"},
+		Hedge:      true,
+		HedgeDelay: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hedgeConn := pipeConn(t)
+	b.dialFn = func(ctx context.Context, addr string) (net.Conn, error) {
+		if addr == "primary:1" {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		return hedgeConn, nil
+	}
+	be, conn, err := b.connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if be.addr != "hedge:1" {
+		t.Errorf("winner %s, want hedge:1", be.addr)
+	}
+	s := b.HedgeStats()
+	if s.Issued != 1 || s.Won != 1 {
+		t.Errorf("hedge stats issued=%d won=%d, want 1/1", s.Issued, s.Won)
+	}
+	if s.Canceled != 1 {
+		t.Errorf("canceled=%d, want 1 (the stalled primary)", s.Canceled)
+	}
+	primary := b.backends[0]
+	if st := primary.state.Load(); st != stateClosed {
+		t.Errorf("canceled primary's circuit %s, want closed (cancellation is not a failure)", stateName(st))
+	}
+	if fails := primary.fails.Load(); fails != 0 {
+		t.Errorf("canceled primary charged %d failures", fails)
+	}
+	if fwd := b.Forwarded()["hedge:1"]; fwd != 1 {
+		t.Errorf("winner forwarded count %d, want 1", fwd)
+	}
+}
+
+// TestHedgeFallsBackToPrimaryOnHedgeFailure: the hedge launches but its
+// dial fails outright; the slow primary still wins and the hedge's
+// genuine failure DOES charge its breaker.
+func TestHedgeFallsBackToPrimaryOnHedgeFailure(t *testing.T) {
+	b, err := New(Config{
+		Backends:   []string{"primary:1", "hedge:1"},
+		Hedge:      true,
+		HedgeDelay: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	primaryConn := pipeConn(t)
+	errDown := errors.New("connection refused")
+	hedgeLaunched := make(chan struct{})
+	b.dialFn = func(ctx context.Context, addr string) (net.Conn, error) {
+		if addr == "hedge:1" {
+			close(hedgeLaunched)
+			return nil, errDown
+		}
+		// The primary connects only after the hedge has been tried, so
+		// the race deterministically involves both attempts.
+		<-hedgeLaunched
+		return primaryConn, nil
+	}
+	be, conn, err := b.connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if be.addr != "primary:1" {
+		t.Errorf("winner %s, want primary:1", be.addr)
+	}
+	s := b.HedgeStats()
+	if s.Issued != 1 || s.Won != 0 {
+		t.Errorf("hedge stats issued=%d won=%d, want 1/0", s.Issued, s.Won)
+	}
+	if st := b.backends[1].state.Load(); st != stateOpen {
+		t.Errorf("failed hedge backend's circuit %s, want open", stateName(st))
+	}
+}
+
+// TestHedgeBudgetDenies: once issued hedges exhaust the 10%-plus-burst
+// budget, the hedge timer declines and only the denial counter moves.
+func TestHedgeBudgetDenies(t *testing.T) {
+	b, err := New(Config{
+		Backends:   []string{"primary:1", "hedge:1"},
+		Hedge:      true,
+		HedgeDelay: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.primaries.Store(100)
+	b.hedgeIssued.Store(100/10 + hedgeBurst) // budget exactly spent
+	primaryConn := pipeConn(t)
+	b.dialFn = func(ctx context.Context, addr string) (net.Conn, error) {
+		if addr != "primary:1" {
+			t.Errorf("unexpected dial of %s with budget exhausted", addr)
+			return nil, errors.New("unexpected")
+		}
+		time.Sleep(5 * time.Millisecond) // slow enough for the timer to fire
+		return primaryConn, nil
+	}
+	be, conn, err := b.connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if be.addr != "primary:1" {
+		t.Errorf("winner %s, want primary:1", be.addr)
+	}
+	s := b.HedgeStats()
+	if s.BudgetDenied == 0 {
+		t.Error("budget-denied counter did not move")
+	}
+	if s.Issued != uint64(100/10+hedgeBurst) {
+		t.Errorf("issued moved to %d past the budget", s.Issued)
+	}
+}
+
+// TestHedgeDelayDerivation: the hedge delay clamps to half the dial
+// timeout when unobserved, follows the p95 once fed, never drops below
+// the 1ms floor, and a fixed configuration overrides derivation.
+func TestHedgeDelayDerivation(t *testing.T) {
+	b, err := New(Config{Backends: []string{"x:1"}, DialTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.currentHedgeDelay(); got != 50*time.Millisecond {
+		t.Errorf("unobserved delay %v, want DialTimeout/2", got)
+	}
+	for i := 0; i < 100; i++ {
+		b.dialLat.Observe(10 * time.Microsecond)
+	}
+	if got := b.currentHedgeDelay(); got != time.Millisecond {
+		t.Errorf("fast-fleet delay %v, want the 1ms floor", got)
+	}
+	for i := 0; i < 10000; i++ {
+		b.dialLat.Observe(4 * time.Millisecond)
+	}
+	got := b.currentHedgeDelay()
+	if got < 4*time.Millisecond || got > 16*time.Millisecond {
+		t.Errorf("derived delay %v not tracking the ~4ms p95", got)
+	}
+	b.hedgeDelay = 7 * time.Millisecond
+	if got := b.currentHedgeDelay(); got != 7*time.Millisecond {
+		t.Errorf("fixed delay %v, want the 7ms override", got)
+	}
+}

@@ -68,8 +68,18 @@ type Config struct {
 	// clients as a fast explicit refusal they can back off from.
 	ShedOnOverload bool
 	// RetryAfter is the Retry-After delay stamped on shed 503 replies
-	// (rounded up to whole seconds). Zero means 1 second.
+	// (rounded up to whole seconds). Zero means 1 second. When the
+	// adaptive limiter (Options.AdaptiveShed) is on, shed replies derive
+	// Retry-After from the limiter's live backoff horizon instead and
+	// this value is only the fallback.
 	RetryAfter time.Duration
+	// ShedPriority classifies a raw connection for the adaptive
+	// limiter's priority-aware shedding (Options.AdaptiveShed): it maps
+	// the transport to an O8 priority level before any request has been
+	// read — so from transport facts such as the peer address — and
+	// level-0 connections keep flowing while lower priorities shed. Nil
+	// marks every connection fully sheddable.
+	ShedPriority func(net.Conn) events.Priority
 }
 
 // DynamicHandler computes one response for a dynamic-content request. It
@@ -153,6 +163,7 @@ func New(cfg Config) (*Server, error) {
 		Logger:           cfg.AccessLog,
 		GatePollInterval: cfg.GatePollInterval,
 		Shed:             shed,
+		ShedPriority:     cfg.ShedPriority,
 	})
 	if err != nil {
 		return nil, err
@@ -203,16 +214,23 @@ func ceilSeconds(d time.Duration) int64 {
 // entirely: a pooled Response carrying the shared prebuilt 503 page and a
 // Retry-After header is rendered into a pooled head buffer and written
 // with one writev, bounded by the write timeout, then the connection is
-// closed. Nothing here allocates per shed beyond the kernel's accept.
+// closed. With the static gate nothing here allocates per shed beyond the
+// kernel's accept; under the adaptive limiter the Retry-After value is
+// derived from the limiter's live backoff horizon (longer overloads
+// advertise longer backoffs), costing one small header-value render.
 func (s *Server) shed(conn net.Conn) {
 	s.shedCount.Add(1)
 	_ = conn.SetWriteDeadline(time.Now().Add(s.shedTimeout))
+	ra := s.retryAfter
+	if l := s.ns.Admission(); l != nil {
+		ra = strconv.FormatInt(ceilSeconds(l.RetryAfter()), 10)
+	}
 	resp := httpproto.AcquireResponse()
 	resp.Status = 503
 	resp.Close = true
 	resp.Body = httpproto.ErrorPage(503)
 	resp.Headers.Set("Content-Type", "text/html")
-	resp.Headers.Set("Retry-After", s.retryAfter)
+	resp.Headers.Set("Retry-After", ra)
 	n, _ := httpproto.WriteResponse(conn, resp)
 	// The shed reply bypasses Conn.Send, so it must count its own egress
 	// for the O11 byte totals (every egress path counts exactly once).

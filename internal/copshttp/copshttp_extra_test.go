@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -183,12 +184,15 @@ func TestConditionalGetReturns304(t *testing.T) {
 
 func TestDynamicContentHandlers(t *testing.T) {
 	root := buildDocRoot(t)
-	hits := 0
+	// Written by handler goroutines, read by the test goroutine; the
+	// response round-trips order the accesses in real time but TCP is
+	// not a synchronization edge, so the counter must be atomic.
+	var hits atomic.Int64
 	s := startHTTP(t, Config{
 		DocRoot: root,
 		Dynamic: map[string]DynamicHandler{
 			"/api/": func(req *httpproto.Request) *httpproto.Response {
-				hits++
+				hits.Add(1)
 				return httpproto.NewResponse(200, "application/json",
 					[]byte(`{"path":"`+req.Path+`","query":"`+req.Query+`"}`))
 			},
@@ -230,8 +234,8 @@ func TestDynamicContentHandlers(t *testing.T) {
 	if status != 404 {
 		t.Errorf("nil handler: %d", status)
 	}
-	if hits != 1 {
-		t.Errorf("api hits = %d", hits)
+	if n := hits.Load(); n != 1 {
+		t.Errorf("api hits = %d", n)
 	}
 	// A panicking handler returns 500 and closes only that connection.
 	status, _, _ = get(t, conn, r, "GET", "/boom/now", "")

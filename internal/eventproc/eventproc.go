@@ -47,6 +47,12 @@ type Config struct {
 	ControlInterval time.Duration
 	// Profile receives EventProcessed counts (nil when O11 is off).
 	Profile *profiling.Profile
+	// WaitObserver, when non-nil, receives sampled queue-wait durations
+	// (the adaptive admission limiter's congestion signal). It rides the
+	// O11 timing lattice when profiling is on and an equivalent 1-in-N
+	// lattice of its own when profiling is off, so the feed works in
+	// either configuration without touching the unsampled Submit path.
+	WaitObserver func(time.Duration)
 	// Trace receives internal events in debug mode (nil in production).
 	Trace *logging.Trace
 }
@@ -56,7 +62,11 @@ type Processor struct {
 	name    string
 	queue   events.Queue
 	profile *profiling.Profile
-	trace   *logging.Trace
+	waitObs func(time.Duration)
+	// waitSeen is the observer's own sampling lattice, used only when
+	// profiling is off (StageStart never fires).
+	waitSeen atomic.Uint64
+	trace    *logging.Trace
 
 	dynamic  bool
 	min, max int
@@ -111,6 +121,7 @@ func New(cfg Config) (*Processor, error) {
 		name:     cfg.Name,
 		queue:    q,
 		profile:  cfg.Profile,
+		waitObs:  cfg.WaitObserver,
 		trace:    cfg.Trace,
 		dynamic:  cfg.Allocation == options.DynamicAllocation,
 		min:      cfg.MinWorkers,
@@ -222,12 +233,17 @@ func (p *Processor) Start() {
 type timedEvent struct {
 	ev      events.Event
 	profile *profiling.Profile
+	obs     func(time.Duration)
 	enq     time.Time
 }
 
 // Process records the queue wait and delegates to the wrapped event.
 func (t *timedEvent) Process() {
-	t.profile.ObserveStage(profiling.StageQueueWait, time.Since(t.enq))
+	wait := time.Since(t.enq)
+	t.profile.ObserveStage(profiling.StageQueueWait, wait)
+	if t.obs != nil {
+		t.obs(wait)
+	}
 	t.ev.Process()
 }
 
@@ -240,7 +256,12 @@ func (p *Processor) Submit(ev events.Event) error {
 		return ErrNotStarted
 	}
 	if enq := p.profile.StageStart(); !enq.IsZero() {
-		ev = &timedEvent{ev: ev, profile: p.profile, enq: enq}
+		ev = &timedEvent{ev: ev, profile: p.profile, obs: p.waitObs, enq: enq}
+	} else if p.waitObs != nil && p.waitSeen.Add(1)%profiling.StageSampleEvery == 0 {
+		// Profiling off (or this submit missed its lattice): sample on
+		// the observer's own 1-in-N lattice so the limiter still sees
+		// queue waits with O11 deselected.
+		ev = &timedEvent{ev: ev, obs: p.waitObs, enq: time.Now()}
 	}
 	if err := p.queue.Push(ev); err != nil {
 		return err

@@ -1,6 +1,7 @@
 package events
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 )
@@ -27,6 +28,10 @@ type PriorityQueue struct {
 	quotas []int
 	total  int
 	closed bool
+	// capacity, when > 0, switches the queue into shedding mode (see
+	// Bound); shed counts drops per level.
+	capacity int
+	shed     []uint64
 }
 
 type levelQueue struct {
@@ -34,6 +39,27 @@ type levelQueue struct {
 	head   int
 	credit int
 }
+
+// popFront removes and returns the level's oldest event, compacting the
+// consumed prefix once it dominates the buffer. The caller holds the
+// queue lock and has checked the level is non-empty.
+func (l *levelQueue) popFront() Event {
+	ev := l.buf[l.head]
+	l.buf[l.head] = nil
+	l.head++
+	if l.head > 64 && l.head*2 >= len(l.buf) {
+		n := copy(l.buf, l.buf[l.head:])
+		for j := n; j < len(l.buf); j++ {
+			l.buf[j] = nil
+		}
+		l.buf = l.buf[:n]
+		l.head = 0
+	}
+	return ev
+}
+
+// len returns the level's pending-event count.
+func (l *levelQueue) len() int { return len(l.buf) - l.head }
 
 // NewPriorityQueue creates a queue with len(quotas) priority levels; level
 // 0 is the highest priority. Each quota must be positive.
@@ -58,8 +84,34 @@ func NewPriorityQueue(quotas []int) (*PriorityQueue, error) {
 // Levels returns the number of priority levels.
 func (q *PriorityQueue) Levels() int { return len(q.levels) }
 
+// Bound switches the queue into shedding mode with a shared capacity
+// across all levels. A Push that finds the queue full evicts the oldest
+// event from the lowest-priority backlogged level strictly below the
+// incoming event's priority (shedding is priority-aware: old low-
+// priority work makes room for new high-priority work); when only
+// events at or above the incoming priority are queued, the push itself
+// is refused with ErrShed. Shed events — evicted or refused — are
+// dropped, counted per level, and never processed, so shedding mode is
+// for queues whose events tolerate loss under overload (the framework
+// pairs it with connection-level shedding). Capacity <= 0 restores the
+// unbounded paper behavior.
+func (q *PriorityQueue) Bound(capacity int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.capacity = capacity
+	if q.shed == nil {
+		q.shed = make([]uint64, len(q.levels))
+	}
+}
+
+// ErrShed is returned by Push in shedding mode when the queue is at
+// capacity and holds nothing of lower priority to evict.
+var ErrShed = errors.New("events: event shed (queue at capacity)")
+
 // Push enqueues an event at its own priority. Priorities outside
-// [0, Levels) are clamped to the nearest level.
+// [0, Levels) are clamped to the nearest level. In shedding mode (see
+// Bound) a push against a full queue either evicts lower-priority work
+// or returns ErrShed.
 func (q *PriorityQueue) Push(ev Event) error {
 	lvl := int(ev.Priority())
 	if lvl < 0 {
@@ -73,10 +125,34 @@ func (q *PriorityQueue) Push(ev Event) error {
 	if q.closed {
 		return ErrClosed
 	}
+	if q.capacity > 0 && q.total >= q.capacity {
+		if !q.evictBelowLocked(lvl) {
+			q.shed[lvl]++
+			return ErrShed
+		}
+	}
 	q.levels[lvl].buf = append(q.levels[lvl].buf, ev)
 	q.total++
 	q.cond.Signal()
 	return nil
+}
+
+// evictBelowLocked drops the oldest event of the lowest-priority
+// backlogged level strictly below lvl (numerically greater), returning
+// false when no such level has pending events. This ordering gives the
+// shedding invariant: a push at level i can only fail while the queue
+// holds nothing below level i, so high-priority pushes never fail
+// before low-priority ones.
+func (q *PriorityQueue) evictBelowLocked(lvl int) bool {
+	for i := len(q.levels) - 1; i > lvl; i-- {
+		if q.levels[i].len() > 0 {
+			q.levels[i].popFront()
+			q.shed[i]++
+			q.total--
+			return true
+		}
+	}
+	return false
 }
 
 // Pop blocks for the next event under the quota discipline.
@@ -106,21 +182,10 @@ func (q *PriorityQueue) popLocked() Event {
 	for {
 		for i := range q.levels {
 			l := &q.levels[i]
-			if l.head < len(l.buf) && l.credit > 0 {
+			if l.len() > 0 && l.credit > 0 {
 				l.credit--
-				ev := l.buf[l.head]
-				l.buf[l.head] = nil
-				l.head++
-				if l.head > 64 && l.head*2 >= len(l.buf) {
-					n := copy(l.buf, l.buf[l.head:])
-					for j := n; j < len(l.buf); j++ {
-						l.buf[j] = nil
-					}
-					l.buf = l.buf[:n]
-					l.head = 0
-				}
 				q.total--
-				return ev
+				return l.popFront()
 			}
 		}
 		// Every backlogged level has exhausted its quota: start a new
@@ -145,7 +210,19 @@ func (q *PriorityQueue) LevelLen(level int) int {
 	if level < 0 || level >= len(q.levels) {
 		return 0
 	}
-	return len(q.levels[level].buf) - q.levels[level].head
+	return q.levels[level].len()
+}
+
+// ShedCount returns how many events have been shed at one priority
+// level — evicted to make room for higher-priority work, or refused at
+// push time. Zero outside shedding mode or for out-of-range levels.
+func (q *PriorityQueue) ShedCount(level int) uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.shed == nil || level < 0 || level >= len(q.shed) {
+		return 0
+	}
+	return q.shed[level]
 }
 
 // Close closes the queue, waking all blocked Pops.

@@ -27,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/cache"
 	"repro/internal/cluster"
 	"repro/internal/profiling"
@@ -59,6 +60,14 @@ type Config struct {
 	// no reader goroutine (nserver.Server.ParkedConns). Nil omits the
 	// gauge.
 	Parked func() int
+	// Admission reports the adaptive admission limiter's state
+	// (nserver.Server.Admission().Snapshot). Nil omits the
+	// nserver_admission_* series.
+	Admission func() admission.Snapshot
+	// Hedge reports the cluster's hedged-dial counters
+	// (cluster.Balancer.HedgeStats). Nil omits the nserver_hedge_*
+	// series.
+	Hedge func() cluster.HedgeSnapshot
 }
 
 // Handler returns the HTTP handler serving the metrics endpoint:
@@ -173,16 +182,18 @@ type PollJSON struct {
 
 // Payload is the complete JSON document.
 type Payload struct {
-	Server      *profiling.Snapshot `json:"server,omitempty"`
-	Shards      []ShardJSON         `json:"shards,omitempty"`
-	Stages      []StageJSON         `json:"stages,omitempty"`
-	Poll        *PollJSON           `json:"poll,omitempty"`
-	Cache       *CacheJSON          `json:"cache,omitempty"`
-	Deferred    *uint64             `json:"deferred,omitempty"`
-	Shed        *uint64             `json:"shed,omitempty"`
-	EventDriven *bool               `json:"event_driven,omitempty"`
-	Parked      *int                `json:"parked_connections,omitempty"`
-	Cluster     []BackendJSON       `json:"cluster,omitempty"`
+	Server      *profiling.Snapshot    `json:"server,omitempty"`
+	Shards      []ShardJSON            `json:"shards,omitempty"`
+	Stages      []StageJSON            `json:"stages,omitempty"`
+	Poll        *PollJSON              `json:"poll,omitempty"`
+	Cache       *CacheJSON             `json:"cache,omitempty"`
+	Deferred    *uint64                `json:"deferred,omitempty"`
+	Shed        *uint64                `json:"shed,omitempty"`
+	EventDriven *bool                  `json:"event_driven,omitempty"`
+	Parked      *int                   `json:"parked_connections,omitempty"`
+	Admission   *admission.Snapshot    `json:"admission,omitempty"`
+	Hedge       *cluster.HedgeSnapshot `json:"hedge,omitempty"`
+	Cluster     []BackendJSON          `json:"cluster,omitempty"`
 }
 
 // sharder is implemented by profile sources with a per-shard breakdown
@@ -281,6 +292,14 @@ func collect(cfg Config) Payload {
 	if cfg.Parked != nil {
 		v := cfg.Parked()
 		p.Parked = &v
+	}
+	if cfg.Admission != nil {
+		v := cfg.Admission()
+		p.Admission = &v
+	}
+	if cfg.Hedge != nil {
+		v := cfg.Hedge()
+		p.Hedge = &v
 	}
 	if cfg.Cluster != nil {
 		for _, bs := range cfg.Cluster.BackendStates() {
@@ -476,6 +495,36 @@ func RenderPrometheus(cfg Config) string {
 	}
 	if cfg.Parked != nil {
 		gauge("nserver_parked_connections", "Connections resident in the shard epoll tables with no reader goroutine.", float64(cfg.Parked()))
+	}
+	if cfg.Admission != nil {
+		s := cfg.Admission()
+		gauge("nserver_admission_limit", "Adaptive admission limiter's current concurrency limit.", float64(s.Limit))
+		engaged := 0.0
+		if s.Engaged {
+			engaged = 1
+		}
+		gauge("nserver_admission_engaged", "1 while the limiter holds the limit below its maximum.", engaged)
+		gauge("nserver_admission_baseline_wait_seconds", "Estimated no-load queue-wait baseline.", s.BaselineWait.Seconds())
+		gauge("nserver_admission_recent_wait_seconds", "Recent queue-wait estimate the limiter compares against baseline.", s.RecentWait.Seconds())
+		gauge("nserver_admission_retry_after_seconds", "Backoff horizon advertised on shed replies.", s.RetryAfter.Seconds())
+		counter("nserver_admission_observed_samples_total", "Queue-wait samples fed to the limiter.", s.Observed)
+		const shname = "nserver_admission_shed_total"
+		fmt.Fprintf(&b, "# HELP %s Connections shed by the limiter per priority level.\n# TYPE %s counter\n", shname, shname)
+		for i, v := range s.Shed {
+			fmt.Fprintf(&b, "%s{level=\"%d\"} %d\n", shname, i, v)
+		}
+		const adname = "nserver_admission_admitted_total"
+		fmt.Fprintf(&b, "# HELP %s Connections re-admitted by priority during overload per level.\n# TYPE %s counter\n", adname, adname)
+		for i, v := range s.Admitted {
+			fmt.Fprintf(&b, "%s{level=\"%d\"} %d\n", adname, i, v)
+		}
+	}
+	if cfg.Hedge != nil {
+		h := cfg.Hedge()
+		counter("nserver_hedge_issued_total", "Hedge dial attempts launched.", h.Issued)
+		counter("nserver_hedge_won_total", "Hedge attempts whose connection beat the primary.", h.Won)
+		counter("nserver_hedge_canceled_total", "Losing dial attempts discarded after a winner emerged.", h.Canceled)
+		counter("nserver_hedge_budget_denied_total", "Hedge opportunities refused by the hedge budget.", h.BudgetDenied)
 	}
 	if cfg.Cluster != nil {
 		states := cfg.Cluster.BackendStates()

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/acceptor"
+	"repro/internal/admission"
 	"repro/internal/aio"
 	"repro/internal/cache"
 	"repro/internal/eventproc"
@@ -53,6 +54,13 @@ type Config struct {
 	// must close them) instead of waiting in the listen backlog.
 	// COPS-HTTP uses this to serve a prebuilt "503 + Retry-After".
 	Shed func(net.Conn)
+	// ShedPriority classifies a not-yet-attached connection for the
+	// adaptive limiter's priority-aware shedding (Options.AdaptiveShed):
+	// it maps the raw transport to an O8 priority level — from transport
+	// facts like the peer address, since no request has been read yet —
+	// and connections at level 0 keep flowing while the limiter sheds.
+	// Nil marks every connection fully sheddable.
+	ShedPriority func(net.Conn) events.Priority
 	// TraceSampleEvery sets the O12 request-trace sampling interval: one
 	// completed request in every N is written to the Logger as a
 	// structured "trace id=c<conn>-r<req> service=..." line. Zero means
@@ -127,6 +135,10 @@ type Server struct {
 	fileio   *aio.Service
 	fcache   *cache.Cache
 	overload *eventproc.Overload
+	// limiter is the adaptive admission controller (nil unless
+	// Options.AdaptiveShed): it replaces the static watermark pair as the
+	// accept gate, keeping the watermarks wired in as its hard backstop.
+	limiter  *admission.Limiter
 	profiles *profiling.Group
 	// profile is the global profile of the group (nil unless O11): the
 	// sink for components that are not sharded (file I/O, acceptors).
@@ -164,6 +176,12 @@ type Server struct {
 // duplicating every test body.
 var eventDrivenSweep = os.Getenv("NSERVER_EVENT_DRIVEN") == "1"
 
+// adaptiveShedSweep forces Options.AdaptiveShed on for every server whose
+// option set already selects overload control, so `make test` can run the
+// O9 suites over the adaptive limiter (the watermark backstop keeps the
+// static gate's guarantees intact). Set by NSERVER_ADAPTIVE_SHED=1.
+var adaptiveShedSweep = os.Getenv("NSERVER_ADAPTIVE_SHED") == "1"
+
 // New validates the configuration and assembles (but does not start) a
 // server — the library analogue of template instantiation: every
 // component below exists or not according to the option set, mirroring
@@ -184,6 +202,9 @@ func New(cfg Config) (*Server, error) {
 	o := cfg.Options
 	if eventDrivenSweep {
 		o.EventDriven = true
+	}
+	if adaptiveShedSweep && o.OverloadControl {
+		o.AdaptiveShed = true
 	}
 	nShards := o.ResolveShards(runtime.NumCPU())
 	o.Shards = nShards
@@ -221,6 +242,35 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 
+	// Adaptive admission (O9 + AdaptiveShed): the AIMD limiter becomes
+	// the accept gate with the watermark controller as its hard backstop.
+	// It is built before the shards so their event processors can feed it
+	// queue-wait samples; the backstop adapter reads s.overload lazily
+	// because the watermark controller is assembled further down.
+	if o.AdaptiveShed {
+		levels := 1
+		if o.EventScheduling {
+			levels = o.PriorityLevels
+		}
+		var classify func(net.Conn) int
+		if cfg.ShedPriority != nil {
+			sp := cfg.ShedPriority
+			classify = func(c net.Conn) int { return int(sp(c)) }
+			// A classifier implies at least two shed classes even without
+			// O8 (one level would clamp everything to 0 and re-admit it).
+			if levels < 2 {
+				levels = 2
+			}
+		}
+		s.limiter = admission.New(admission.Config{
+			MaxLimit: o.MaxConnections,
+			Inflight: s.inflightNow,
+			Backstop: backstopGate{s},
+			Levels:   levels,
+			Classify: classify,
+		})
+	}
+
 	// Assemble the shards: each gets its own event source chain,
 	// reactive Event Processor (O2/O5/O8 queue discipline) and Reactor.
 	s.shards = make([]*shard, nShards)
@@ -240,14 +290,15 @@ func New(cfg Config) (*Server, error) {
 				return nil, err
 			}
 			proc, err := eventproc.New(eventproc.Config{
-				Name:       shardName("reactive", i, nShards),
-				Queue:      queue,
-				Workers:    o.EventThreads,
-				Allocation: o.Allocation,
-				MinWorkers: o.MinEventThreads,
-				MaxWorkers: o.MaxEventThreads,
-				Profile:    sh.profile,
-				Trace:      s.trace,
+				Name:         shardName("reactive", i, nShards),
+				Queue:        queue,
+				Workers:      o.EventThreads,
+				Allocation:   o.Allocation,
+				MinWorkers:   o.MinEventThreads,
+				MaxWorkers:   o.MaxEventThreads,
+				Profile:      sh.profile,
+				WaitObserver: s.waitObserver(),
+				Trace:        s.trace,
 			})
 			if err != nil {
 				return nil, err
@@ -368,12 +419,13 @@ func New(cfg Config) (*Server, error) {
 		ioWorkers = 2
 	}
 	svc, err := aio.New(aio.Config{
-		Workers: ioWorkers,
-		Mode:    o.Completion,
-		Sink:    sink,
-		Cache:   s.fcache,
-		Profile: s.profile,
-		Trace:   s.trace,
+		Workers:      ioWorkers,
+		Mode:         o.Completion,
+		Sink:         sink,
+		Cache:        s.fcache,
+		Profile:      s.profile,
+		WaitObserver: s.waitObserver(),
+		Trace:        s.trace,
 	})
 	if err != nil {
 		return nil, err
@@ -402,6 +454,25 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	return s, nil
+}
+
+// backstopGate adapts the server's static overload controller as the
+// adaptive limiter's hard backstop. It reads s.overload at call time:
+// the limiter is assembled before the watermark controller, and no
+// accept runs until both exist.
+type backstopGate struct{ s *Server }
+
+func (g backstopGate) AcceptAllowed() bool {
+	return g.s.overload == nil || g.s.overload.AcceptAllowed()
+}
+
+// waitObserver returns the queue-wait sample feed for the adaptive
+// limiter (nil when AdaptiveShed is off, keeping Submit untouched).
+func (s *Server) waitObserver() func(time.Duration) {
+	if s.limiter == nil {
+		return nil
+	}
+	return s.limiter.Observe
 }
 
 // shardName labels a per-shard component: the bare name for the
@@ -463,6 +534,28 @@ func (s *Server) Timers() *reactor.TimerSource { return s.timers }
 
 // Overload returns the overload controller (nil unless O9 is on).
 func (s *Server) Overload() *eventproc.Overload { return s.overload }
+
+// Admission returns the adaptive admission limiter (nil unless
+// Options.AdaptiveShed is on).
+func (s *Server) Admission() *admission.Limiter { return s.limiter }
+
+// inflightNow is the connection count the adaptive limiter meters
+// against: the acceptors' own accept-time counters. The shard registries
+// (ActiveConns) only learn about a connection once its AcceptReady event
+// is processed, so during a synchronized dial burst they lag far behind
+// what the acceptors have already admitted — metering on them lets the
+// whole burst through before the gate ever reads a non-zero count.
+func (s *Server) inflightNow() int {
+	accs := s.acceptors
+	if len(accs) == 0 {
+		return s.ActiveConns()
+	}
+	total := 0
+	for _, a := range accs {
+		total += a.Live()
+	}
+	return total
+}
 
 // ActiveConns returns the number of live connections across all shards.
 func (s *Server) ActiveConns() int {
@@ -633,8 +726,14 @@ func (s *Server) StartListeners(lns []net.Listener) error {
 	return nil
 }
 
-// gate returns the O9 accept gate (nil when overload control is off).
+// gate returns the O9 accept gate: the adaptive limiter when
+// AdaptiveShed is on (with the watermark controller as its backstop),
+// the watermark controller alone otherwise, nil when overload control
+// is off.
 func (s *Server) gate() acceptor.Gate {
+	if s.limiter != nil {
+		return s.limiter
+	}
 	if s.overload == nil {
 		return nil
 	}

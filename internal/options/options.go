@@ -296,6 +296,16 @@ type Options struct {
 	// connections (the paper's "trivial" first overload mechanism).
 	MaxConnections int
 
+	// AdaptiveShed upgrades O9 from the static watermark gate to a
+	// gradient/AIMD admission limiter: the runtime estimates the no-load
+	// queue-wait baseline from the O5 queue_wait samples and sheds when
+	// measured waits turn upward, instead of pausing accept at a fixed
+	// queue depth. The watermark pair stays as a hard backstop, so the
+	// static gate's guarantees still hold. Requires OverloadControl.
+	// When O8 scheduling is also selected, shedding is priority-aware:
+	// low-priority levels shed first and level 0 keeps flowing.
+	AdaptiveShed bool
+
 	// Shards is the multi-reactor shard count: the runtime (and the
 	// generated framework) instantiates this many independent
 	// Reactor + Event Processor + scavenger groups, each owning a
@@ -340,6 +350,7 @@ var (
 	ErrHardening         = errors.New("hardening: read/write timeouts and max request bytes must be non-negative")
 	ErrLargeFile         = errors.New("large files: threshold must be non-negative")
 	ErrShards            = errors.New("sharding: shard count must be non-negative (0 = one per processor)")
+	ErrAdaptiveShed      = errors.New("O9: adaptive shedding requires overload control to be enabled")
 )
 
 // Validate checks the option assignment against the legal values of
@@ -401,6 +412,9 @@ func (o *Options) Validate() error {
 		if o.LowWatermark <= 0 || o.HighWatermark <= o.LowWatermark {
 			return fmt.Errorf("%w (got low=%d high=%d)", ErrWatermarks, o.LowWatermark, o.HighWatermark)
 		}
+	}
+	if o.AdaptiveShed && !o.OverloadControl {
+		return ErrAdaptiveShed
 	}
 	return nil
 }
@@ -539,6 +553,14 @@ func (o Options) WithShards(n int) Options {
 // is accepted and the runtime falls back to goroutine-per-conn reads).
 func (o Options) WithEventDriven(on bool) Options {
 	o.EventDriven = on
+	return o
+}
+
+// WithAdaptiveShed returns a copy of o with the gradient/AIMD admission
+// limiter selected as the O9 gate (the watermark pair stays as a
+// backstop). Validate rejects the combination without OverloadControl.
+func (o Options) WithAdaptiveShed(on bool) Options {
+	o.AdaptiveShed = on
 	return o
 }
 
