@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos bench bench-allocs bench-shed bench-metrics bench-sendfile bench-shards bench-idle bench-overload experiments examples cover clean
+.PHONY: all build vet test race chaos model bench bench-allocs bench-shed bench-metrics bench-sendfile bench-shards bench-idle bench-overload experiments examples cover clean
 
 all: build vet test
 
@@ -29,6 +29,9 @@ test: vet chaos
 	# alone and combined with the kernel-event read path.
 	NSERVER_ADAPTIVE_SHED=1 $(GO) test -count=1 ./internal/nserver ./internal/eventproc ./internal/reactor
 	NSERVER_ADAPTIVE_SHED=1 NSERVER_EVENT_DRIVEN=1 $(GO) test -count=1 ./internal/nserver ./internal/eventproc ./internal/reactor
+	# A medium model-based conformance run rides along with every test
+	# sweep; `make model` runs the full 10k-program batch.
+	$(MAKE) model MODEL_PROGRAMS=400
 
 race:
 	$(GO) test -race ./...
@@ -38,6 +41,16 @@ race:
 # race detector. Part of `make test`.
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos' .
+
+# The model-based HTTP/1.1 conformance run: MODEL_PROGRAMS seeded client
+# programs (plus every corner program and the persisted counterexample
+# traces) executed against a live COPS-HTTP server and diffed against
+# the executable specification in internal/model, always under the race
+# detector. Deterministic: the same seed generates the same programs.
+MODEL_PROGRAMS ?= 10000
+model:
+	MODEL_PROGRAMS=$(MODEL_PROGRAMS) $(GO) test -race -count=1 \
+		-run 'TestModel|TestReplaySavedTraces|TestShedContract|TestSpec' ./internal/model
 
 # One benchmark per table/figure plus ablations and micro-benches.
 bench:

@@ -80,6 +80,11 @@ type Config struct {
 	// level-0 connections keep flowing while lower priorities shed. Nil
 	// marks every connection fully sheddable.
 	ShedPriority func(net.Conn) events.Priority
+	// Codec overrides the wire codec (the Decode Request / Encode Reply
+	// hooks); nil means the httpproto codec. The model-based conformance
+	// harness (internal/model) injects historical parser behavior here to
+	// replay fixed wire bugs against an otherwise identical server.
+	Codec nserver.Codec
 }
 
 // DynamicHandler computes one response for a dynamic-content request. It
@@ -108,6 +113,10 @@ type Server struct {
 type connState struct {
 	conn *nserver.Conn
 	req  *httpproto.Request
+	// q and seq are the connection's reply sequencer and this request's
+	// claimed reply turn (pipelined responses leave in request order).
+	q   *sequencer
+	seq uint64
 	// full is the resolved filesystem path being served.
 	full string
 	// modTime and size are the file's metadata from the stat hop.
@@ -151,12 +160,15 @@ func New(cfg Config) (*Server, error) {
 	}
 
 	var codec nserver.Codec = httpproto.Codec{}
+	if cfg.Codec != nil {
+		codec = cfg.Codec
+	}
 	if cfg.DecodeDelay > 0 {
 		codec = delayCodec{inner: codec, delay: cfg.DecodeDelay}
 	}
 	ns, err := nserver.New(nserver.Config{
 		Options:          opts,
-		App:              nserver.AppFuncs{Request: s.handle},
+		App:              nserver.AppFuncs{Request: s.handle, Close: s.connClosed},
 		Codec:            codec,
 		Priority:         cfg.Priority,
 		Trace:            cfg.Trace,
@@ -252,30 +264,53 @@ func (s *Server) handle(c *nserver.Conn, req any) {
 		c.Close()
 		return
 	}
+	// Claim this request's reply turn before any asynchronous hop: the
+	// framework serializes Handle per connection, so claim order is
+	// request order, and every reply path below goes out through the
+	// sequencer in exactly that order — a synchronous 405 computed for
+	// request N+1 can no longer overtake request N's file completion on
+	// a pipelined connection.
+	q := s.sequencer(c)
+	seq := q.claim()
+	if r.Refuse != 0 {
+		// The parser answered but could not frame the body (unsupported
+		// Transfer-Encoding): reply with the refusal status and close —
+		// the rest of the stream is poisoned.
+		s.errorReply(c, r, q, seq, r.Refuse, true)
+		return
+	}
 	if h := s.lookupDynamic(r.Path); h != nil {
-		s.serveDynamic(c, r, h)
+		s.serveDynamic(c, r, q, seq, h)
 		return
 	}
 	if r.Method != "GET" && r.Method != "HEAD" {
-		s.errorReply(c, r, 405, !r.KeepAlive())
+		s.errorReply(c, r, q, seq, 405, !r.KeepAlive())
 		return
 	}
 	full, err := s.resolve(r.Path)
 	if err != nil {
-		s.errorReply(c, r, 403, !r.KeepAlive())
+		s.errorReply(c, r, q, seq, 403, !r.KeepAlive())
 		return
 	}
-	st := &connState{conn: c, req: r, full: full}
+	st := &connState{conn: c, req: r, q: q, seq: seq, full: full}
 	if _, err := s.ns.AIO().Stat(full, st, c.Priority(), s.statDone); err != nil {
-		s.errorReply(c, r, 503, true)
+		s.errorReply(c, r, q, seq, 503, true)
 		c.Close()
+	}
+}
+
+// connClosed is the OnClose hook: tear down the reply sequencer so parked
+// buffers are dropped and parked streamers never leak.
+func (s *Server) connClosed(c *nserver.Conn, _ error) {
+	if q, ok := c.UserData().(*sequencer); ok {
+		q.shutdown()
 	}
 }
 
 // errorReply sends a canned error page. A HEAD reply strips the body but
 // keeps the Content-Length a GET would have carried, so the two methods
 // are wire-identical up to the body (RFC 9110 §9.3.2).
-func (s *Server) errorReply(c *nserver.Conn, r *httpproto.Request, status int, close bool) {
+func (s *Server) errorReply(c *nserver.Conn, r *httpproto.Request, q *sequencer, seq uint64, status int, close bool) {
 	page := httpproto.ErrorPage(status)
 	resp := httpproto.AcquireResponse()
 	resp.Status = status
@@ -286,7 +321,7 @@ func (s *Server) errorReply(c *nserver.Conn, r *httpproto.Request, status int, c
 	} else {
 		resp.Body = page
 	}
-	s.reply(c, r, resp)
+	s.reply(c, r, q, seq, resp)
 	httpproto.ReleaseResponse(resp)
 }
 
@@ -295,7 +330,8 @@ func (s *Server) errorReply(c *nserver.Conn, r *httpproto.Request, status int, c
 // relative links inside the index page resolve). The Location echoes the
 // raw request target — query string stripped, never the decoded path, so
 // percent-escapes survive and no decoded byte can reach the header.
-func (s *Server) redirectDir(c *nserver.Conn, r *httpproto.Request) {
+func (s *Server) redirectDir(c *nserver.Conn, st *connState) {
+	r := st.req
 	loc, _, _ := strings.Cut(r.Target, "?")
 	page := httpproto.ErrorPage(301)
 	resp := httpproto.AcquireResponse()
@@ -308,7 +344,7 @@ func (s *Server) redirectDir(c *nserver.Conn, r *httpproto.Request) {
 	} else {
 		resp.Body = page
 	}
-	s.reply(c, r, resp)
+	s.reply(c, r, st.q, st.seq, resp)
 	httpproto.ReleaseResponse(resp)
 }
 
@@ -325,13 +361,13 @@ func (s *Server) statDone(tok events.Token, info os.FileInfo, err error) {
 		if errors.Is(err, fs.ErrPermission) {
 			status = 403
 		}
-		s.errorReply(c, r, status, !r.KeepAlive())
+		s.errorReply(c, r, st.q, st.seq, status, !r.KeepAlive())
 		return
 	}
 	if info.IsDir() {
 		// A trailing-slash path already resolved to the index file, so a
 		// directory here means the slash is missing.
-		s.redirectDir(c, r)
+		s.redirectDir(c, st)
 		return
 	}
 	st.modTime = info.ModTime()
@@ -344,7 +380,7 @@ func (s *Server) statDone(tok events.Token, info os.FileInfo, err error) {
 		resp.Status = 304
 		resp.Headers.Set("Last-Modified", httpproto.FormatHTTPDateCached(st.modTime))
 		resp.Close = !r.KeepAlive()
-		s.reply(c, r, resp)
+		s.reply(c, r, st.q, st.seq, resp)
 		httpproto.ReleaseResponse(resp)
 		return
 	}
@@ -367,7 +403,7 @@ func (s *Server) statDone(tok events.Token, info os.FileInfo, err error) {
 			} else {
 				resp.Body = page
 			}
-			s.reply(c, r, resp)
+			s.reply(c, r, st.q, st.seq, resp)
 			httpproto.ReleaseResponse(resp)
 			return
 		default:
@@ -377,13 +413,13 @@ func (s *Server) statDone(tok events.Token, info os.FileInfo, err error) {
 	}
 	if s.largeFile > 0 && st.size >= s.largeFile {
 		if _, err := s.ns.AIO().Open(st.full, st, c.Priority(), s.openDone); err != nil {
-			s.errorReply(c, r, 503, true)
+			s.errorReply(c, r, st.q, st.seq, 503, true)
 			c.Close()
 		}
 		return
 	}
 	if _, err := s.ns.AIO().ReadFile(st.full, st, c.Priority(), s.fileDone); err != nil {
-		s.errorReply(c, r, 503, true)
+		s.errorReply(c, r, st.q, st.seq, 503, true)
 		c.Close()
 	}
 }
@@ -399,7 +435,7 @@ func (s *Server) fileDone(tok events.Token, data []byte, err error) {
 		if errors.Is(err, fs.ErrPermission) {
 			status = 403
 		}
-		s.errorReply(c, r, status, !r.KeepAlive())
+		s.errorReply(c, r, st.q, st.seq, status, !r.KeepAlive())
 		return
 	}
 	// The cached-file fast path: a pooled Response carries the cache's
@@ -430,7 +466,7 @@ func (s *Server) fileDone(tok events.Token, data []byte, err error) {
 		resp.Body = nil
 	}
 	resp.Close = !r.KeepAlive()
-	s.reply(c, r, resp)
+	s.reply(c, r, st.q, st.seq, resp)
 	httpproto.ReleaseResponse(resp)
 }
 
@@ -446,10 +482,9 @@ func (s *Server) openDone(tok events.Token, f *os.File, info os.FileInfo, err er
 		if errors.Is(err, fs.ErrPermission) {
 			status = 403
 		}
-		s.errorReply(c, r, status, !r.KeepAlive())
+		s.errorReply(c, r, st.q, st.seq, status, !r.KeepAlive())
 		return
 	}
-	defer f.Close()
 	// Serve what is open now: the stat hop's size may be stale, and the
 	// advertised Content-Length must match the descriptor being streamed.
 	size := info.Size()
@@ -473,23 +508,55 @@ func (s *Server) openDone(tok events.Token, f *os.File, info os.FileInfo, err er
 	// advertised explicitly.
 	resp.Headers.Set("Content-Length", strconv.FormatInt(length, 10))
 	if r.Method == "HEAD" {
-		s.reply(c, r, resp)
+		f.Close()
+		s.reply(c, r, st.q, st.seq, resp)
 		httpproto.ReleaseResponse(resp)
 		return
 	}
+	// A stream cannot be parked as rendered bytes, so an out-of-turn
+	// streaming reply hands descriptor, response and turn to a waiter
+	// goroutine instead of blocking this completion worker; the flusher
+	// wakes it when its turn arrives, and shutdown aborts it if the
+	// connection dies first (the descriptor never leaks).
+	q := st.q
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		f.Close()
+		httpproto.ReleaseResponse(resp)
+		return
+	}
+	if st.seq != q.next {
+		p := &pendingReply{turn: make(chan struct{})}
+		q.pending[st.seq] = p
+		q.mu.Unlock()
+		go func() {
+			<-p.turn
+			if p.aborted {
+				f.Close()
+				httpproto.ReleaseResponse(resp)
+				return
+			}
+			s.streamFile(c, st, resp, f, offset, length)
+		}()
+		return
+	}
+	q.mu.Unlock()
+	s.streamFile(c, st, resp, f, offset, length)
+}
+
+// streamFile writes one in-turn streaming reply — sendfile(2) on Linux
+// TCP transports, pooled copy elsewhere — then advances the reply
+// sequence. It owns and closes f and releases resp.
+func (s *Server) streamFile(c *nserver.Conn, st *connState, resp *httpproto.Response, f *os.File, offset, length int64) {
+	r := st.req
 	closeAfter := resp.Close
 	status := resp.Status
 	serr := c.ReplyFile(resp, f, offset, length)
+	f.Close()
 	httpproto.ReleaseResponse(resp)
-	if lg := s.ns.Logger(); lg != nil {
-		lg.Infof("%s \"%s %s %s\" %d %d id=%s",
-			c.RemoteAddr(), r.Method, r.Target, r.Proto, status, length, c.RequestID())
-	}
-	// A streaming error already tore the connection down; only a clean
-	// non-persistent reply still needs the close.
-	if serr == nil && closeAfter {
-		c.Close()
-	}
+	s.logAccess(c, r, status, int(length), c.RequestID())
+	st.q.advanceAfterStream(s, c, closeAfter, serr)
 }
 
 // lookupDynamic returns the handler with the longest matching path
@@ -507,7 +574,7 @@ func (s *Server) lookupDynamic(path string) DynamicHandler {
 }
 
 // serveDynamic runs a dynamic-content handler with panic isolation.
-func (s *Server) serveDynamic(c *nserver.Conn, r *httpproto.Request, h DynamicHandler) {
+func (s *Server) serveDynamic(c *nserver.Conn, r *httpproto.Request, q *sequencer, seq uint64, h DynamicHandler) {
 	resp := func() (resp *httpproto.Response) {
 		defer func() {
 			if rec := recover(); rec != nil {
@@ -526,26 +593,14 @@ func (s *Server) serveDynamic(c *nserver.Conn, r *httpproto.Request, h DynamicHa
 		resp.Headers.Set("Content-Length", strconv.Itoa(len(resp.Body)))
 		resp.Body = nil
 	}
-	s.reply(c, r, resp)
+	s.reply(c, r, q, seq, resp)
 }
 
-// reply sends the response, writes the access-log record (O12) and
-// closes non-persistent connections.
-func (s *Server) reply(c *nserver.Conn, r *httpproto.Request, resp *httpproto.Response) {
-	if r != nil {
-		resp.Proto = r.Proto
-	}
-	_ = c.Reply(resp)
-	if lg := s.ns.Logger(); lg != nil && r != nil {
-		// Common-log-style record — remote, request line, status, bytes —
-		// plus the O12 trace ID so a sampled "trace id=..." line and its
-		// access-log record can be joined.
-		lg.Infof("%s \"%s %s %s\" %d %d id=%s",
-			c.RemoteAddr(), r.Method, r.Target, r.Proto, resp.Status, len(resp.Body), c.RequestID())
-	}
-	if resp.Close {
-		c.Close()
-	}
+// reply sends the response through the connection's reply sequencer,
+// which writes the access-log record (O12) and closes non-persistent
+// connections once the reply (and any parked predecessors) are out.
+func (s *Server) reply(c *nserver.Conn, r *httpproto.Request, q *sequencer, seq uint64, resp *httpproto.Response) {
+	s.sendOrdered(c, q, seq, r, resp)
 }
 
 // resolve maps a cleaned request path to a file under the document root.

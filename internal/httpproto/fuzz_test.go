@@ -14,6 +14,9 @@ func FuzzParseRequest(f *testing.F) {
 	f.Add([]byte("GET /%41%zz HTTP/1.1\r\n\r\n"))
 	f.Add([]byte("\r\n\r\n"))
 	f.Add(bytes.Repeat([]byte("A"), MaxHeaderBytes+10))
+	f.Add([]byte("POST /a HTTP/1.1\r\nContent-Length: +3\r\n\r\nabc"))
+	f.Add([]byte("POST /a HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 0\r\n\r\nabc"))
+	f.Add([]byte("POST /a HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\nGET /x HTTP/1.1\r\n\r\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, n, err := ParseRequest(data)
 		if n < 0 || n > len(data) {
@@ -28,6 +31,32 @@ func FuzzParseRequest(f *testing.F) {
 			}
 			if req.Proto != "HTTP/1.0" && req.Proto != "HTTP/1.1" {
 				t.Fatalf("bad proto accepted: %q", req.Proto)
+			}
+			// Consumed-bytes consistency, the pipelining framing
+			// invariant: a refusal must poison the whole buffer, a normal
+			// parse must consume exactly head+body, and re-parsing the
+			// same prefix must reproduce the same framing decision.
+			if req.Refuse != 0 {
+				if n != len(data) {
+					t.Fatalf("refused request consumed %d of %d", n, len(data))
+				}
+			} else {
+				if cl := req.Headers.Get("Content-Length"); cl != "" {
+					want, ok := parseContentLength(cl)
+					if !ok || int64(len(req.Body)) != want {
+						t.Fatalf("accepted CL %q but body is %d bytes", cl, len(req.Body))
+					}
+				} else if len(req.Body) != 0 {
+					t.Fatalf("body %d bytes without Content-Length", len(req.Body))
+				}
+				req2, n2, err2 := ParseRequest(data[:n])
+				if err2 != nil || req2 == nil || n2 != n {
+					t.Fatalf("re-parse of consumed prefix diverged: n=%d n2=%d err2=%v", n, n2, err2)
+				}
+				if req2.Method != req.Method || req2.Target != req.Target ||
+					req2.Proto != req.Proto || !bytes.Equal(req2.Body, req.Body) {
+					t.Fatalf("re-parse of consumed prefix changed the request")
+				}
 			}
 		}
 	})

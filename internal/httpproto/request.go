@@ -11,7 +11,6 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
-	"strconv"
 	"strings"
 )
 
@@ -42,19 +41,54 @@ type Request struct {
 	Proto   string // "HTTP/1.0" or "HTTP/1.1"
 	Headers Header
 	Body    []byte
+	// Refuse, when non-zero, is the status the server must answer with
+	// before closing the connection: the request head was well-formed
+	// enough to respond to, but it announced its body with a mechanism
+	// this parser does not implement (Transfer-Encoding), so the rest of
+	// the stream cannot be framed. The parser consumes every remaining
+	// buffered byte so none of the unframeable body is replayed as a
+	// pipelined request.
+	Refuse int
 }
 
 // KeepAlive reports whether the connection persists after this request
-// under the protocol's defaults and Connection header.
+// under the protocol's defaults and the Connection header, parsed as the
+// comma-separated option list of RFC 9112 §9.6 — so "close, te" closes an
+// HTTP/1.1 connection and "keep-alive, upgrade" keeps an HTTP/1.0 one
+// alive. A refused request never persists: its body was never framed, so
+// the bytes that follow it are not a request boundary.
 func (r *Request) KeepAlive() bool {
-	conn := strings.ToLower(r.Headers.Get("Connection"))
-	switch r.Proto {
-	case "HTTP/1.1":
-		return conn != "close"
-	default: // HTTP/1.0
-		return conn == "keep-alive"
+	if r.Refuse != 0 {
+		return false
 	}
+	conn := r.Headers.Get("Connection")
+	if r.Proto == "HTTP/1.1" {
+		return !hasConnOption(conn, "close")
+	}
+	return hasConnOption(conn, "keep-alive") // HTTP/1.0 defaults to close
 }
+
+// hasConnOption reports whether a Connection field value, read as a
+// comma-separated option list, contains opt (ASCII case-insensitive).
+// Slicing plus EqualFold keeps the scan allocation-free on the hot path.
+func hasConnOption(list, opt string) bool {
+	for len(list) > 0 {
+		elem := list
+		if i := strings.IndexByte(list, ','); i >= 0 {
+			elem, list = list[:i], list[i+1:]
+		} else {
+			list = ""
+		}
+		if strings.EqualFold(trimOWS(elem), opt) {
+			return true
+		}
+	}
+	return false
+}
+
+// trimOWS trims optional whitespace (SP / HTAB — and only those; other
+// control bytes are not OWS and must survive to fail validation).
+func trimOWS(s string) string { return strings.Trim(s, " \t") }
 
 // Header is a minimal case-insensitive header map preserving insertion
 // order for encoding.
@@ -77,6 +111,24 @@ func (h *Header) Set(key, value string) {
 	if _, exists := h.vals[ck]; !exists {
 		h.keys = append(h.keys, ck)
 	}
+	h.vals[ck] = value
+}
+
+// Add appends a header value: a repeated key extends the stored value as
+// a comma-separated list per the RFC 9110 §5.2 combination rule. The
+// request parser fills headers through Add so duplicate field lines stay
+// visible to later checks — a second Content-Length can then never hide
+// behind a last-write-wins Set (the §8.6 smuggling defense).
+func (h *Header) Add(key, value string) {
+	if h.vals == nil {
+		h.vals = make(map[string]string)
+	}
+	ck := canonical(key)
+	if prev, exists := h.vals[ck]; exists {
+		h.vals[ck] = prev + ", " + value
+		return
+	}
+	h.keys = append(h.keys, ck)
 	h.vals[ck] = value
 }
 
@@ -176,22 +228,90 @@ func ParseRequest(buf []byte) (*Request, int, error) {
 		}
 	}
 
+	// Transfer-Encoding is not implemented: the head is answerable but
+	// the body is unframeable, so refuse with 501 and poison the rest of
+	// the buffered stream (whatever follows could be body bytes that must
+	// never be parsed as the next pipelined request). When Content-Length
+	// is also present this still refuses: honoring the length while a
+	// Transfer-Encoding stands is the classic TE.CL desync.
+	if req.Headers.Has("Transfer-Encoding") {
+		req.Refuse = 501
+		return req, len(buf), nil
+	}
+
 	// Optional body, announced by Content-Length.
 	if cl := req.Headers.Get("Content-Length"); cl != "" {
-		n, err := strconv.Atoi(strings.TrimSpace(cl))
-		if err != nil || n < 0 {
+		n, ok := parseContentLength(cl)
+		if !ok {
 			return nil, 0, fmt.Errorf("%w: bad Content-Length %q", ErrBadHeader, cl)
 		}
 		if n > MaxBodyBytes {
 			return nil, 0, ErrBodyTooLarge
 		}
-		if len(buf) < consumed+n {
+		if int64(len(buf)-consumed) < n {
 			return nil, 0, nil // body incomplete
 		}
-		req.Body = append([]byte(nil), buf[consumed:consumed+n]...)
-		consumed += n
+		req.Body = append([]byte(nil), buf[consumed:consumed+int(n)]...)
+		consumed += int(n)
 	}
 	return req, consumed, nil
+}
+
+// parseContentLength validates a Content-Length field value. Duplicate
+// Content-Length lines arrive comma-joined (Header.Add), and RFC 9110
+// §8.6 permits such a list only when every element is the same valid
+// value; differing elements are a smuggling vector and reject the
+// request. ok is false when the value violates the grammar.
+func parseContentLength(v string) (int64, bool) {
+	first, rest := "", v
+	var n int64 = -1
+	for {
+		elem := rest
+		if i := strings.IndexByte(rest, ','); i >= 0 {
+			elem, rest = rest[:i], rest[i+1:]
+		} else {
+			rest = ""
+		}
+		elem = trimOWS(elem)
+		if first == "" {
+			m, ok := parseCLValue(elem)
+			if !ok {
+				return -1, false
+			}
+			first, n = elem, m
+		} else if elem != first {
+			return -1, false
+		}
+		if rest == "" {
+			return n, true
+		}
+	}
+}
+
+// parseCLValue parses one 1*DIGIT Content-Length element: no sign, no
+// whitespace, no base prefix — strconv.Atoi's tolerance of "+5" is
+// exactly the gap desync attacks walk through. Oversized values clamp to
+// MaxBodyBytes+1 (well-formed, just beyond the cap) so the caller can
+// report ErrBodyTooLarge rather than a grammar error.
+func parseCLValue(s string) (int64, bool) {
+	if s == "" {
+		return -1, false
+	}
+	var n int64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return -1, false
+		}
+		if n > MaxBodyBytes { // already oversized; keep validating digits
+			continue
+		}
+		n = n*10 + int64(c-'0')
+	}
+	if n > MaxBodyBytes {
+		return MaxBodyBytes + 1, true
+	}
+	return n, true
 }
 
 func parseRequestLine(line string) (*Request, error) {
@@ -232,7 +352,10 @@ func parseHeaderLine(h *Header, line string) error {
 	if !ok || key == "" || strings.ContainsAny(key, " \t") {
 		return fmt.Errorf("%w: %q", ErrBadHeader, line)
 	}
-	h.Set(key, strings.TrimSpace(val))
+	// Add, not Set: repeated field lines combine into a comma list so a
+	// duplicated header can never silently last-win. Only OWS is trimmed;
+	// stray control bytes stay in the value and fail later validation.
+	h.Add(key, trimOWS(val))
 	return nil
 }
 

@@ -1,0 +1,47 @@
+// Package model is the model-based HTTP/1.1 conformance harness of the
+// N-Server reproduction: an executable specification of the wire
+// contract COPS-HTTP promises its clients, plus the machinery to check a
+// real server against it.
+//
+// The pieces:
+//
+//   - Program / ConnScript / Request (program.go) describe a client
+//     program: one or more sequential connections, each carrying
+//     pipelined requests and an explicit framing schedule (Splits) that
+//     decides at which byte offsets the client's writes are cut — so a
+//     request head can arrive one byte at a time, or three requests can
+//     land in a single segment.
+//   - Site (site.go) is the fixed virtual document tree the server
+//     serves, with pinned modification times so If-Modified-Since
+//     predictions are exact. Materialize writes it into a DocRoot.
+//   - Predict (spec.go) is the specification proper: independent of the
+//     server and of the production parser's internals, it maps a
+//     connection script to the exact sequence of responses the wire
+//     must carry and the connection's fate — stays Open, Closed after
+//     the final response, or Torn down without a reply on unrecoverable
+//     framing (exactly the cases where answering could desynchronize
+//     the stream).
+//   - Harness (run.go) runs a script against a live COPS-HTTP server —
+//     over an in-memory transport (simnet.MemListener) that preserves
+//     the split schedule byte-for-byte, optionally fragmented by
+//     faultnet, or over real TCP — and diffs the observed wire behavior
+//     against the prediction into a typed Mismatch.
+//   - Gen (gen.go) generates seeded random programs; CornerPrograms are
+//     the directed ones, including a reproducer for every wire bug this
+//     harness was built to catch.
+//   - Shrink (shrink.go) greedily minimizes a failing program while it
+//     keeps failing with the same mismatch kind.
+//   - LegacyCodec (legacy.go) freezes the historical parser behavior —
+//     whole-string Connection comparison, strconv.Atoi Content-Length,
+//     last-write-wins duplicate headers, ignored Transfer-Encoding — so
+//     the tests can demonstrate that the model catches each fixed bug
+//     as a minimal counterexample trace.
+//   - Traces (trace.go) persist shrunk counterexamples as JSON under
+//     testdata/model/; the replay test reruns them against the fixed
+//     server on every `go test`.
+//
+// Everything is deterministic: fixed generator seeds, a fixed site with
+// fixed mtimes, and a serialized server configuration (one shard, one
+// event thread, one file-I/O worker) so reply ordering bugs reproduce
+// rather than flake.
+package model

@@ -1,0 +1,463 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/httpproto"
+)
+
+// CornerPrograms are the directed programs: deterministic reproducers
+// for every wire-contract rule the model encodes, including one program
+// per fixed parser bug (Connection token lists in both protocol
+// versions, Content-Length grammar and duplicate smuggling,
+// Transfer-Encoding refusal) and the pipelined reply-ordering and
+// framing-split schedules. Against LegacyCodec each bug program fails
+// with a distinct mismatch kind; against the production parser all of
+// them pass.
+func CornerPrograms(site *Site) []*Program {
+	smuggled := "GET /about.txt HTTP/1.1\r\n\r\n"
+	aboutIMS := httpproto.FormatHTTPDate(site.Files["/about.txt"].ModTime)
+	ps := []*Program{
+		{
+			Name: "connection-token-11-close",
+			Conns: []ConnScript{{Requests: []Request{
+				{Method: "GET", Target: "/about.txt", Proto: "HTTP/1.1",
+					Headers: []Header{{"Host", "model"}, {"Connection", "close, te"}}},
+			}}},
+		},
+		{
+			Name: "connection-token-10-keepalive",
+			Conns: []ConnScript{{Requests: []Request{
+				{Method: "GET", Target: "/about.txt", Proto: "HTTP/1.0",
+					Headers: []Header{{"Connection", "keep-alive, upgrade"}}},
+				{Method: "GET", Target: "/index.html", Proto: "HTTP/1.0",
+					Headers: []Header{{"Connection", "keep-alive"}}},
+			}}},
+		},
+		{
+			Name: "content-length-plus-sign",
+			Conns: []ConnScript{{Requests: []Request{
+				{Method: "POST", Target: "/index.html", Proto: "HTTP/1.1",
+					Headers: []Header{{"Content-Length", "+5"}}, Body: "hello"},
+			}}},
+		},
+		{
+			Name: "content-length-dup-conflict",
+			Conns: []ConnScript{{
+				Requests: []Request{
+					{Method: "GET", Target: "/index.html", Proto: "HTTP/1.1",
+						Headers: []Header{
+							{"Content-Length", fmt.Sprint(len(smuggled))},
+							{"Content-Length", "0"},
+						},
+						Body: smuggled},
+				},
+				// Cut inside the second Content-Length line: the verdict
+				// must not depend on both lines arriving together.
+				Splits: []int{30},
+			}},
+		},
+		{
+			Name: "transfer-encoding-smuggle",
+			Conns: []ConnScript{{Requests: []Request{
+				{Method: "POST", Target: "/index.html", Proto: "HTTP/1.1",
+					Headers: []Header{{"Transfer-Encoding", "chunked"}},
+					Body:    fmt.Sprintf("%x\r\n%s\r\n0\r\n\r\n", len(smuggled), smuggled)},
+			}}},
+		},
+		{
+			Name: "te-with-content-length",
+			Conns: []ConnScript{{Requests: []Request{
+				{Method: "GET", Target: "/about.txt", Proto: "HTTP/1.1",
+					Headers: []Header{
+						{"Transfer-Encoding", "chunked"},
+						{"Content-Length", "5"},
+					},
+					Body: "hello"},
+			}}},
+		},
+		{
+			Name: "pipelined-reply-order",
+			Conns: []ConnScript{{Requests: []Request{
+				{Method: "GET", Target: "/about.txt", Proto: "HTTP/1.1"},
+				{Method: "DELETE", Target: "/about.txt", Proto: "HTTP/1.1"},
+				{Method: "GET", Target: "/img/logo.png", Proto: "HTTP/1.1"},
+				{Method: "HEAD", Target: "/about.txt", Proto: "HTTP/1.1"},
+			}}},
+		},
+		{
+			Name: "large-file-stream-order",
+			Conns: []ConnScript{{Requests: []Request{
+				{Method: "GET", Target: "/big.bin", Proto: "HTTP/1.1"},
+				{Method: "DELETE", Target: "/big.bin", Proto: "HTTP/1.1"},
+				{Method: "GET", Target: "/about.txt", Proto: "HTTP/1.1"},
+			}}},
+		},
+		{
+			Name: "range-ims-head",
+			Conns: []ConnScript{{Requests: []Request{
+				{Method: "GET", Target: "/about.txt", Proto: "HTTP/1.1",
+					Headers: []Header{{"Range", "bytes=2-5"}}},
+				{Method: "GET", Target: "/about.txt", Proto: "HTTP/1.1",
+					Headers: []Header{{"If-Modified-Since", aboutIMS}}},
+				{Method: "HEAD", Target: "/img/logo.png", Proto: "HTTP/1.1"},
+				{Method: "GET", Target: "/about.txt", Proto: "HTTP/1.1",
+					Headers: []Header{{"Range", "bytes=999999-"}}},
+			}}},
+		},
+		{
+			Name: "redirect-and-404",
+			Conns: []ConnScript{{Requests: []Request{
+				{Method: "GET", Target: "/sub", Proto: "HTTP/1.1"},
+				{Method: "GET", Target: "/missing.txt", Proto: "HTTP/1.1"},
+				{Method: "GET", Target: "/sub/", Proto: "HTTP/1.1"},
+				{Method: "GET", Target: "/about.txt?v=1", Proto: "HTTP/1.1"},
+				{Method: "GET", Target: "/", Proto: "HTTP/1.1"},
+			}}},
+		},
+		{
+			Name: "pipelined-body-skip",
+			Conns: []ConnScript{{Requests: []Request{
+				{Method: "POST", Target: "/about.txt", Proto: "HTTP/1.1",
+					Headers: []Header{{"Content-Length", "5"}}, Body: "hello"},
+				{Method: "GET", Target: "/index.html", Proto: "HTTP/1.1"},
+			}}},
+		},
+		{
+			Name: "content-length-dup-identical",
+			Conns: []ConnScript{{Requests: []Request{
+				{Method: "POST", Target: "/index.html", Proto: "HTTP/1.1",
+					Headers: []Header{
+						{"Content-Length", "5"},
+						{"Content-Length", "5"},
+					},
+					Body: "hello"},
+				{Method: "GET", Target: "/about.txt", Proto: "HTTP/1.1"},
+			}}},
+		},
+		{
+			Name: "http10-default-close",
+			Conns: []ConnScript{{Requests: []Request{
+				{Method: "GET", Target: "/about.txt", Proto: "HTTP/1.0"},
+			}}},
+		},
+		{
+			Name: "head-keeps-content-length",
+			Conns: []ConnScript{{Requests: []Request{
+				{Method: "HEAD", Target: "/missing.txt", Proto: "HTTP/1.1"},
+				{Method: "HEAD", Target: "/about.txt", Proto: "HTTP/1.1"},
+				{Method: "GET", Target: "/about.txt", Proto: "HTTP/1.1"},
+			}}},
+		},
+	}
+	// Split-at-every-byte over a pipelined pair: the parser's
+	// incremental resumption must reach the same verdicts however the
+	// bytes are cut.
+	everyByte := &Program{
+		Name: "split-every-byte",
+		Conns: []ConnScript{{Requests: []Request{
+			{Method: "GET", Target: "/about.txt", Proto: "HTTP/1.1",
+				Headers: []Header{{"Range", "bytes=0-3"}}},
+			{Method: "GET", Target: "/missing.txt", Proto: "HTTP/1.1",
+				Headers: []Header{{"Connection", "close"}}},
+		}}},
+	}
+	n := len(everyByte.Conns[0].Wire())
+	for i := 1; i < n; i++ {
+		everyByte.Conns[0].Splits = append(everyByte.Conns[0].Splits, i)
+	}
+	return append(ps, everyByte)
+}
+
+// Gen produces seeded random client programs. Programs stay inside the
+// model's domain by construction: bodies always match their
+// Content-Length, Transfer-Encoding requests terminate their connection
+// (their unframeable tail must not be followed by bytes the teardown
+// could race), and requests stop after a connection-closing request.
+type Gen struct {
+	rng  *rand.Rand
+	site *Site
+}
+
+// NewGen builds a deterministic generator. The same seed always yields
+// the same program sequence.
+func NewGen(seed int64, site *Site) *Gen {
+	return &Gen{rng: rand.New(rand.NewSource(seed)), site: site}
+}
+
+// Program generates the next program; i names it for failure reports.
+func (g *Gen) Program(i int) *Program {
+	p := &Program{Name: fmt.Sprintf("gen-%d", i)}
+	nConns := 1
+	if g.rng.Intn(3) == 0 {
+		nConns = 2
+	}
+	for c := 0; c < nConns; c++ {
+		p.Conns = append(p.Conns, g.conn())
+	}
+	return p
+}
+
+// conn builds one connection script: requests until a terminal one (or
+// the cap), then a framing schedule.
+func (g *Gen) conn() ConnScript {
+	var cs ConnScript
+	max := 1 + g.rng.Intn(4)
+	for len(cs.Requests) < max {
+		req, terminal := g.request(len(cs.Requests))
+		cs.Requests = append(cs.Requests, req)
+		if terminal {
+			break
+		}
+	}
+	g.splits(&cs)
+	return cs
+}
+
+// paths a request may target: files, directories with and without the
+// trailing slash, traversal shapes, misses, and (rarely) the large
+// streamed file.
+func (g *Gen) target() string {
+	if g.rng.Intn(24) == 0 {
+		return "/big.bin"
+	}
+	pool := []string{
+		"/", "/index.html", "/about.txt", "/img/logo.png", "/img",
+		"/sub", "/sub/", "/missing.txt", "/data/a.json",
+		"/about.txt?v=1", "/no/such/dir/file.txt", "/..",
+		"/sub/../about.txt", "/img//logo.png", "/about.txt/",
+	}
+	return pool[g.rng.Intn(len(pool))]
+}
+
+func (g *Gen) proto() string {
+	if g.rng.Intn(6) == 0 {
+		return "HTTP/1.0"
+	}
+	return "HTTP/1.1"
+}
+
+// request builds one request; idx is its position in the connection.
+// terminal means no request may follow it.
+func (g *Gen) request(idx int) (Request, bool) {
+	k := g.rng.Intn(100)
+	switch {
+	case k < 55:
+		return g.simple()
+	case k < 65:
+		return g.mutating()
+	case k < 75:
+		return g.adversarial(), true
+	case k < 85:
+		return g.oddHeaders()
+	default:
+		return g.transferEncoding(idx), true
+	}
+}
+
+// simple is a plain GET/HEAD with optional Range, If-Modified-Since and
+// Connection decoration.
+func (g *Gen) simple() (Request, bool) {
+	r := Request{Method: "GET", Target: g.target(), Proto: g.proto()}
+	if g.rng.Intn(5) == 0 {
+		r.Method = "HEAD"
+	}
+	if g.rng.Intn(2) == 0 {
+		r.Headers = append(r.Headers, Header{"Host", "model.test"})
+	}
+	if g.rng.Intn(5) == 0 {
+		ranges := []string{
+			"bytes=0-4", "bytes=2-", "-4", "bytes=0-0", "bytes=1000000-",
+			"bytes=0-2,4-6", "bytes=abc", "octets=0-4", "bytes=4-2",
+		}
+		r.Headers = append(r.Headers, Header{"Range", ranges[g.rng.Intn(len(ranges))]})
+	}
+	if g.rng.Intn(5) == 0 {
+		r.Headers = append(r.Headers, Header{"If-Modified-Since", g.imsValue(r.Target)})
+	}
+	if g.rng.Intn(4) == 0 {
+		conns := []string{
+			"close", "close, te", "te, close", "keep-alive",
+			"keep-alive, upgrade", "Keep-Alive", "CLOSE", "te",
+		}
+		r.Headers = append(r.Headers, Header{"Connection", conns[g.rng.Intn(len(conns))]})
+	}
+	return r, !quickKeep(&r)
+}
+
+// imsValue picks an If-Modified-Since value relative to the target's
+// real pinned mtime when it has one.
+func (g *Gen) imsValue(target string) string {
+	rawPath, _, _ := strings.Cut(target, "?")
+	p := httpproto.CleanPath(rawPath)
+	if strings.HasSuffix(p, "/") {
+		p += "index.html"
+	}
+	if f, ok := g.site.Lookup(p); ok {
+		switch g.rng.Intn(4) {
+		case 0:
+			return httpproto.FormatHTTPDate(f.ModTime) // exact: 304
+		case 1:
+			return httpproto.FormatHTTPDate(f.ModTime.Add(-time.Hour)) // stale: 200
+		case 2:
+			return httpproto.FormatHTTPDate(f.ModTime.Add(time.Hour)) // future: 304
+		}
+	}
+	pool := []string{
+		"Thu, 01 Jan 1970 00:00:00 GMT",
+		"Fri, 01 Jan 2100 00:00:00 GMT",
+		"yesterday at noon", // malformed: ignored, 200
+	}
+	return pool[g.rng.Intn(len(pool))]
+}
+
+// mutating is a non-GET/HEAD method: framed body on POST/PUT (the 405
+// must not desync the stream), bare DELETE.
+func (g *Gen) mutating() (Request, bool) {
+	r := Request{Target: g.target(), Proto: g.proto()}
+	switch g.rng.Intn(3) {
+	case 0:
+		r.Method = "DELETE"
+	case 1:
+		r.Method = "POST"
+	default:
+		r.Method = "PUT"
+	}
+	if r.Method != "DELETE" {
+		body := "hello world"[:1+g.rng.Intn(11)]
+		r.Body = body
+		r.Headers = append(r.Headers, Header{"Content-Length", fmt.Sprint(len(body))})
+	}
+	if g.rng.Intn(4) == 0 {
+		r.Headers = append(r.Headers, Header{"Connection", "close"})
+	}
+	return r, !quickKeep(&r)
+}
+
+// adversarial crafts an unrecoverable request — framing grammar
+// violations the server must tear down on without answering. Always
+// terminal: the stream is dead after it.
+func (g *Gen) adversarial() Request {
+	switch g.rng.Intn(10) {
+	case 0:
+		return Request{Method: "POST", Target: "/index.html", Proto: "HTTP/1.1",
+			Headers: []Header{{"Content-Length", "+5"}}, Body: "hello"}
+	case 1:
+		return Request{Method: "POST", Target: "/index.html", Proto: "HTTP/1.1",
+			Headers: []Header{{"Content-Length", "-1"}}}
+	case 2:
+		return Request{Method: "POST", Target: "/about.txt", Proto: "HTTP/1.1",
+			Headers: []Header{{"Content-Length", "0x5"}}, Body: "hello"}
+	case 3:
+		return Request{Method: "POST", Target: "/about.txt", Proto: "HTTP/1.1",
+			Headers: []Header{{"Content-Length", "5 5"}}, Body: "hello"}
+	case 4:
+		return Request{Method: "POST", Target: "/", Proto: "HTTP/1.1",
+			Headers: []Header{{"Content-Length", "5.0"}}, Body: "hello"}
+	case 5:
+		return Request{Method: "POST", Target: "/", Proto: "HTTP/1.1",
+			Headers: []Header{{"Content-Length", "9999999999"}}}
+	case 6:
+		return Request{Method: "GET", Target: "/index.html", Proto: "HTTP/1.1",
+			Headers: []Header{{"Content-Length", "5"}, {"Content-Length", "0"}}, Body: "hello"}
+	case 7:
+		return Request{Method: "GET", Target: "/", Proto: "HTTP/2.0"}
+	case 8:
+		return Request{Method: "GE T", Target: "/", Proto: "HTTP/1.1"}
+	default:
+		return Request{Method: "GET", Target: "/", Proto: "HTTP/1.1",
+			Headers: []Header{{"Bad Key", "v"}}}
+	}
+}
+
+// oddHeaders exercises benign header-shape variety: duplicate identical
+// Content-Length, Connection options split across field lines, odd
+// casing, empty values.
+func (g *Gen) oddHeaders() (Request, bool) {
+	switch g.rng.Intn(4) {
+	case 0:
+		r := Request{Method: "POST", Target: g.target(), Proto: "HTTP/1.1",
+			Headers: []Header{{"Content-Length", "5"}, {"content-length", "5"}},
+			Body:    "hello"}
+		return r, false
+	case 1:
+		// Two Connection lines combine into one option list: "close"
+		// on either line closes.
+		r := Request{Method: "GET", Target: g.target(), Proto: "HTTP/1.1",
+			Headers: []Header{{"Connection", "te"}, {"Connection", "close"}}}
+		return r, true
+	case 2:
+		r := Request{Method: "GET", Target: g.target(), Proto: g.proto(),
+			Headers: []Header{{"x-EmPtY", ""}, {"HOST", "model.test"}}}
+		return r, !quickKeep(&r)
+	default:
+		r := Request{Method: "GET", Target: g.target(), Proto: "HTTP/1.1",
+			Headers: []Header{
+				{"If-Modified-Since", "Thu, 01 Jan 1970 00:00:00 GMT"},
+				{"Range", "bytes=1-"},
+			}}
+		return r, false
+	}
+}
+
+// transferEncoding is a refused request (501 + close). Its body is the
+// unframeable tail the refusal must swallow, so it only carries one
+// when it opens the connection — a refusal parked behind an
+// asynchronous predecessor must not be raced by tail bytes arriving as
+// a later segment. Always terminal.
+func (g *Gen) transferEncoding(idx int) Request {
+	r := Request{Method: "POST", Target: "/index.html", Proto: "HTTP/1.1",
+		Headers: []Header{{"Transfer-Encoding", "chunked"}}}
+	if g.rng.Intn(3) == 0 {
+		r.Method = "HEAD"
+	}
+	if g.rng.Intn(2) == 0 {
+		r.Headers = append(r.Headers, Header{"Content-Length", "5"})
+	}
+	if idx == 0 && g.rng.Intn(2) == 0 {
+		r.Body = "17\r\nGET /smuggled HTTP/1.1\r\n\r\n0\r\n\r\n"
+	}
+	return r
+}
+
+// quickKeep mirrors the spec's persistence decision for the generator's
+// terminal-request rule.
+func quickKeep(r *Request) bool {
+	return keepAliveOf(r)
+}
+
+// splits picks a framing schedule for the rendered stream.
+func (g *Gen) splits(cs *ConnScript) {
+	total := len(cs.Wire())
+	if total <= 1 {
+		return
+	}
+	switch g.rng.Intn(5) {
+	case 0, 1:
+		// One segment.
+	case 2:
+		// Cut at request boundaries.
+		cum := 0
+		for i := 0; i < len(cs.Requests)-1; i++ {
+			cum += len(cs.Requests[i].Wire())
+			cs.Splits = append(cs.Splits, cum)
+		}
+	case 3:
+		for k := 1 + g.rng.Intn(4); k > 0; k-- {
+			cs.Splits = append(cs.Splits, 1+g.rng.Intn(total-1))
+		}
+	default:
+		if total <= 220 {
+			for i := 1; i < total; i++ {
+				cs.Splits = append(cs.Splits, i)
+			}
+		} else {
+			for k := 1 + g.rng.Intn(6); k > 0; k-- {
+				cs.Splits = append(cs.Splits, 1+g.rng.Intn(total-1))
+			}
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package model
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+
+	"repro/internal/httpproto"
+)
+
+// LegacyCodec freezes the parser behavior the wire-contract sweep
+// fixed, so the conformance tests can demonstrate — on every `go test`
+// run — that the model catches each bug as a concrete counterexample
+// trace rather than taking the fixes on faith. Injected through
+// copshttp.Config.Codec, it runs against an otherwise identical server.
+//
+// The frozen behaviors:
+//
+//   - Connection is compared as a whole string, not an option list:
+//     "close, te" does not close an HTTP/1.1 connection, and
+//     "keep-alive, upgrade" does not keep an HTTP/1.0 one alive.
+//     (Emulated by rewriting the header so the fixed KeepAlive reaches
+//     the historical verdict.)
+//   - Content-Length goes through strconv.Atoi on a last-write-wins
+//     header map: "+5" and " 5" parse, and of duplicate lines only the
+//     last counts — the request-smuggling shapes.
+//   - Transfer-Encoding is ignored outright, so a chunked body is
+//     replayed into the stream as pipelined requests (TE desync).
+//
+// Encoding delegates to the production codec: only decoding differed.
+type LegacyCodec struct {
+	httpproto.Codec
+}
+
+// Decode is the historical Decode Request hook.
+func (LegacyCodec) Decode(buf []byte) (any, int, error) {
+	headerEnd := bytes.Index(buf, []byte("\r\n\r\n"))
+	if headerEnd < 0 {
+		if len(buf) > httpproto.MaxHeaderBytes {
+			return nil, 0, httpproto.ErrHeaderTooLarge
+		}
+		return nil, 0, nil
+	}
+	consumed := headerEnd + 4
+	lines := strings.Split(string(buf[:headerEnd]), "\r\n")
+	parts := strings.Split(lines[0], " ")
+	if len(parts) != 3 {
+		return nil, 0, httpproto.ErrBadRequestLine
+	}
+	method, target, proto := parts[0], parts[1], parts[2]
+	if proto != "HTTP/1.0" && proto != "HTTP/1.1" {
+		return nil, 0, httpproto.ErrBadVersion
+	}
+	if method == "" || target == "" || target[0] != '/' {
+		return nil, 0, httpproto.ErrBadRequestLine
+	}
+	rawPath, query, _ := strings.Cut(target, "?")
+	req := &httpproto.Request{
+		Method:  method,
+		Target:  target,
+		Path:    httpproto.CleanPath(rawPath),
+		Query:   query,
+		Proto:   proto,
+		Headers: httpproto.NewHeader(),
+	}
+	for _, line := range lines[1:] {
+		if line == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(line, ":")
+		if !ok || key == "" || strings.ContainsAny(key, " \t") {
+			return nil, 0, httpproto.ErrBadHeader
+		}
+		// Set, not Add: the historical last-write-wins map that let a
+		// second Content-Length hide the first.
+		req.Headers.Set(key, strings.TrimSpace(val))
+	}
+	// Transfer-Encoding: ignored — the historical hole.
+	if cl := req.Headers.Get("Content-Length"); cl != "" {
+		// The historical tolerance: Atoi accepts "+5" and " 5".
+		n, err := strconv.Atoi(strings.TrimSpace(cl))
+		if err != nil || n < 0 {
+			return nil, 0, httpproto.ErrBadHeader
+		}
+		if n > httpproto.MaxBodyBytes {
+			return nil, 0, httpproto.ErrBodyTooLarge
+		}
+		if len(buf)-consumed < n {
+			return nil, 0, nil // body incomplete
+		}
+		req.Body = append([]byte(nil), buf[consumed:consumed+n]...)
+		consumed += n
+	}
+	legacyKeepRewrite(req)
+	return req, consumed, nil
+}
+
+// legacyKeepRewrite makes the fixed KeepAlive reproduce the historical
+// whole-string verdict by rewriting the Connection header to a value
+// both implementations agree on.
+func legacyKeepRewrite(r *httpproto.Request) {
+	conn := strings.ToLower(strings.TrimSpace(r.Headers.Get("Connection")))
+	var keep bool
+	if r.Proto == "HTTP/1.1" {
+		keep = conn != "close"
+	} else {
+		keep = conn == "keep-alive"
+	}
+	switch {
+	case keep && r.Proto == "HTTP/1.0":
+		r.Headers.Set("Connection", "keep-alive")
+	case keep:
+		r.Headers.Set("Connection", "")
+	case r.Proto == "HTTP/1.1":
+		r.Headers.Set("Connection", "close")
+	default:
+		r.Headers.Set("Connection", "")
+	}
+}

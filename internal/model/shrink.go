@@ -1,0 +1,129 @@
+package model
+
+// Shrink greedily minimizes a failing program: it tries removing whole
+// connections, then requests, then the split schedule, then individual
+// headers, re-running each candidate and keeping it only when the
+// mismatch reproduces with the same Kind. budget caps the number of
+// harness runs. The result is the smallest program this pass found and
+// its (still-failing) mismatch.
+func Shrink(h *Harness, m *Mismatch, budget int) *Mismatch {
+	cur := m
+	for budget > 0 {
+		improved := false
+		for _, cand := range shrinkCandidates(cur.Program) {
+			if budget <= 0 {
+				break
+			}
+			budget--
+			nm, err := h.Run(cand)
+			if err != nil {
+				// The edit left the model's domain; discard it.
+				continue
+			}
+			if nm != nil && nm.Kind == cur.Kind {
+				cur = nm
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+	return cur
+}
+
+// shrinkCandidates lists one-step reductions of p, biggest first.
+func shrinkCandidates(p *Program) []*Program {
+	var out []*Program
+	// Drop a whole connection.
+	if len(p.Conns) > 1 {
+		for i := range p.Conns {
+			c := p.Clone()
+			c.Conns = append(c.Conns[:i], c.Conns[i+1:]...)
+			out = append(out, c)
+		}
+	}
+	// Drop a request.
+	for ci := range p.Conns {
+		if len(p.Conns[ci].Requests) <= 1 {
+			continue
+		}
+		for ri := range p.Conns[ci].Requests {
+			c := p.Clone()
+			reqs := c.Conns[ci].Requests
+			c.Conns[ci].Requests = append(reqs[:ri], reqs[ri+1:]...)
+			out = append(out, c)
+		}
+	}
+	// Drop the split schedule.
+	for ci := range p.Conns {
+		if len(p.Conns[ci].Splits) == 0 {
+			continue
+		}
+		c := p.Clone()
+		c.Conns[ci].Splits = nil
+		out = append(out, c)
+	}
+	// Drop a header. Removing a Content-Length line would desynchronize
+	// the remaining body from its framing, so that edit removes every
+	// Content-Length line and the body together.
+	for ci := range p.Conns {
+		for ri := range p.Conns[ci].Requests {
+			for hi := range p.Conns[ci].Requests[ri].Headers {
+				c := p.Clone()
+				req := &c.Conns[ci].Requests[ri]
+				if eqFold(req.Headers[hi].Name(), "Content-Length") {
+					req.Headers = withoutName(req.Headers, "Content-Length")
+					req.Body = ""
+				} else {
+					req.Headers = append(req.Headers[:hi], req.Headers[hi+1:]...)
+				}
+				out = append(out, c)
+			}
+		}
+	}
+	// Drop a body (with its framing).
+	for ci := range p.Conns {
+		for ri := range p.Conns[ci].Requests {
+			if p.Conns[ci].Requests[ri].Body == "" {
+				continue
+			}
+			c := p.Clone()
+			req := &c.Conns[ci].Requests[ri]
+			req.Body = ""
+			req.Headers = withoutName(req.Headers, "Content-Length")
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func withoutName(hs []Header, name string) []Header {
+	var out []Header
+	for _, h := range hs {
+		if !eqFold(h.Name(), name) {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+func eqFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,81 @@
+package model
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// File is one member of the virtual document tree.
+type File struct {
+	Body    []byte
+	ModTime time.Time
+}
+
+// Site is the document tree the conformance server serves. Paths are
+// clean absolute slash paths ("/index.html"); modification times are
+// pinned so the specification predicts If-Modified-Since and
+// Last-Modified exactly.
+type Site struct {
+	Files map[string]*File
+}
+
+// DefaultSite is the fixed tree every harness uses: a handful of small
+// files across nested directories plus one large file past the server's
+// streaming threshold, so both the buffered-read and the descriptor-
+// streaming serve paths are under test.
+func DefaultSite() *Site {
+	base := time.Date(2005, 4, 4, 12, 0, 0, 0, time.UTC)
+	mk := func(h int, body string) *File {
+		return &File{Body: []byte(body), ModTime: base.Add(time.Duration(h) * time.Hour)}
+	}
+	big := bytes.Repeat([]byte("COPS-HTTP large-file stream payload.\n"), (128<<10)/37+1)
+	return &Site{Files: map[string]*File{
+		"/index.html":     mk(0, "<html><body>model home</body></html>\n"),
+		"/about.txt":      mk(1, "About the N-Server reproduction.\n"),
+		"/img/logo.png":   mk(2, "PNGDATA-PNGDATA-PNGDATA\n"),
+		"/sub/index.html": mk(3, "<html>sub index</html>\n"),
+		"/data/a.json":    mk(4, "{\"k\":\"v\"}\n"),
+		"/big.bin":        {Body: big[:128<<10], ModTime: base.Add(5 * time.Hour)},
+	}}
+}
+
+// Lookup returns the file at clean path p.
+func (s *Site) Lookup(p string) (*File, bool) {
+	f, ok := s.Files[p]
+	return f, ok
+}
+
+// IsDir reports whether clean path p names a directory of the tree — the
+// root, or a proper prefix of some file path.
+func (s *Site) IsDir(p string) bool {
+	if p == "/" {
+		return true
+	}
+	q := strings.TrimSuffix(p, "/")
+	for k := range s.Files {
+		if strings.HasPrefix(k, q+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Materialize writes the tree under dir and pins each file's mtime.
+func (s *Site) Materialize(dir string) error {
+	for p, f := range s.Files {
+		full := filepath.Join(dir, filepath.FromSlash(strings.TrimPrefix(p, "/")))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(full, f.Body, 0o644); err != nil {
+			return err
+		}
+		if err := os.Chtimes(full, f.ModTime, f.ModTime); err != nil {
+			return err
+		}
+	}
+	return nil
+}

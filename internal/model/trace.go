@@ -1,0 +1,65 @@
+package model
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Trace is a persisted counterexample: a (shrunk) client program plus
+// the context that produced it. Replaying a trace against the fixed
+// server must yield no mismatch; replaying it against LegacyCodec
+// reproduces LegacyKind.
+type Trace struct {
+	Name string `json:"name"`
+	// Note documents the bug class the trace pins.
+	Note string `json:"note,omitempty"`
+	// LegacyKind is the mismatch kind the historical parser produces
+	// for this program.
+	LegacyKind string   `json:"legacy_kind,omitempty"`
+	Program    *Program `json:"program"`
+}
+
+// SaveTrace writes the trace as indented JSON.
+func SaveTrace(path string, tr *Trace) error {
+	b, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadTrace reads one trace file.
+func LoadTrace(path string) (*Trace, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var tr Trace
+	if err := json.Unmarshal(b, &tr); err != nil {
+		return nil, err
+	}
+	return &tr, nil
+}
+
+// LoadTraces reads every *.json trace under dir, sorted by filename.
+func LoadTraces(dir string) ([]*Trace, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var trs []*Trace
+	for _, p := range paths {
+		tr, err := LoadTrace(p)
+		if err != nil {
+			return nil, err
+		}
+		trs = append(trs, tr)
+	}
+	return trs, nil
+}

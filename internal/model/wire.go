@@ -1,0 +1,116 @@
+package model
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// wireResponse is one response as read off the wire.
+type wireResponse struct {
+	Proto   string
+	Status  int
+	Headers map[string]string // lowercased name -> first value
+	Body    []byte
+}
+
+// errMalformed marks bytes that do not parse as a response — on a
+// conforming server this never happens; on a torn connection it usually
+// wraps a hangup error that the caller classifies.
+type errMalformed struct{ msg string }
+
+func (e errMalformed) Error() string { return "malformed response: " + e.msg }
+
+// readWireResponse reads one full response. head suppresses the body
+// read (HEAD semantics). Read errors pass through un-wrapped so hangups
+// stay classifiable.
+func readWireResponse(br *bufio.Reader, head bool) (*wireResponse, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) < 2 {
+		return nil, errMalformed{fmt.Sprintf("status line %q", line)}
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, errMalformed{fmt.Sprintf("status line %q", line)}
+	}
+	wr := &wireResponse{Proto: parts[0], Status: status, Headers: make(map[string]string)}
+	for {
+		line, err := readLine(br)
+		if err != nil {
+			return nil, err
+		}
+		if line == "" {
+			break
+		}
+		name, val, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, errMalformed{fmt.Sprintf("header line %q", line)}
+		}
+		name = strings.ToLower(strings.TrimSpace(name))
+		if _, dup := wr.Headers[name]; !dup {
+			wr.Headers[name] = strings.TrimSpace(val)
+		}
+	}
+	if head {
+		return wr, nil
+	}
+	cl, err := strconv.ParseInt(wr.Headers["content-length"], 10, 64)
+	if err != nil || cl < 0 || cl > 8<<20 {
+		return nil, errMalformed{fmt.Sprintf("content-length %q", wr.Headers["content-length"])}
+	}
+	if cl > 0 {
+		wr.Body = make([]byte, cl)
+		if _, err := io.ReadFull(br, wr.Body); err != nil {
+			return nil, err
+		}
+	}
+	return wr, nil
+}
+
+// readLine reads one CRLF-terminated line, returning it without the
+// terminator.
+func readLine(br *bufio.Reader) (string, error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	if !strings.HasSuffix(line, "\r\n") {
+		return "", errMalformed{fmt.Sprintf("line without CRLF: %q", line)}
+	}
+	return line[:len(line)-2], nil
+}
+
+// hasWireToken reports whether a comma-separated field value contains
+// token (case-insensitive).
+func hasWireToken(value, token string) bool {
+	for _, t := range strings.Split(value, ",") {
+		if strings.EqualFold(strings.TrimSpace(t), token) {
+			return true
+		}
+	}
+	return false
+}
+
+// isHangup classifies read/write errors that mean "the peer closed the
+// connection" — the expected outcome on closed and torn fates — as
+// opposed to timeouts or parse failures.
+func isHangup(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	return strings.Contains(err.Error(), "reset by peer")
+}

@@ -201,6 +201,10 @@ func (s *Server) serveRequest(conn net.Conn, req *httpproto.Request) bool {
 	keep := req.KeepAlive()
 	var resp *httpproto.Response
 	switch {
+	case req.Refuse != 0:
+		// The parser answered but could not frame the body
+		// (Transfer-Encoding); reply and drop the poisoned stream.
+		resp = httpproto.ErrorResponse(req.Refuse, true)
 	case req.Method != "GET" && req.Method != "HEAD":
 		resp = httpproto.ErrorResponse(405, !keep)
 	default:

@@ -1,0 +1,73 @@
+package simnet
+
+import (
+	"errors"
+	"net"
+	"sync"
+)
+
+// ErrMemListenerClosed is returned by Dial and Accept after Close.
+var ErrMemListenerClosed = errors.New("simnet: listener closed")
+
+// MemListener is an in-process net.Listener over synchronous in-memory
+// pipes (net.Pipe): Dial hands one end to the client and queues the other
+// for Accept. The model-based conformance harness (internal/model) runs
+// thousands of short client programs against a live server per test; a
+// TCP loopback would exhaust ephemeral ports with TIME_WAIT sockets and
+// let the kernel coalesce write boundaries, while the pipe transport has
+// neither problem — every client Write arrives as written, which is what
+// a split-at-every-byte framing schedule needs, and the deadline support
+// net.Pipe provides keeps the runner's timeouts working.
+type MemListener struct {
+	ch   chan net.Conn
+	done chan struct{}
+	once sync.Once
+	addr memAddr
+}
+
+// NewMemListener creates a listener; name labels its fake address.
+func NewMemListener(name string) *MemListener {
+	return &MemListener{
+		ch:   make(chan net.Conn),
+		done: make(chan struct{}),
+		addr: memAddr(name),
+	}
+}
+
+// Dial opens a client connection to the listener.
+func (l *MemListener) Dial() (net.Conn, error) {
+	client, server := net.Pipe()
+	select {
+	case l.ch <- server:
+		return client, nil
+	case <-l.done:
+		client.Close()
+		server.Close()
+		return nil, ErrMemListenerClosed
+	}
+}
+
+// Accept implements net.Listener.
+func (l *MemListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		return nil, ErrMemListenerClosed
+	}
+}
+
+// Close implements net.Listener; concurrent and repeated calls are safe.
+func (l *MemListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *MemListener) Addr() net.Addr { return l.addr }
+
+// memAddr is the fake address of an in-memory listener.
+type memAddr string
+
+func (a memAddr) Network() string { return "mem" }
+func (a memAddr) String() string  { return string(a) }

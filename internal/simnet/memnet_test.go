@@ -1,0 +1,100 @@
+package simnet
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// TestMemListenerRoundTrip covers dial/accept/transfer/close and the
+// write-boundary preservation the conformance harness depends on.
+func TestMemListenerRoundTrip(t *testing.T) {
+	l := NewMemListener("test")
+	defer l.Close()
+
+	done := make(chan []byte, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			done <- nil
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 16)
+		// Two client writes must surface as two reads: net.Pipe is
+		// unbuffered and synchronous, so boundaries survive.
+		var got []byte
+		for i := 0; i < 2; i++ {
+			n, err := c.Read(buf)
+			if err != nil {
+				done <- nil
+				return
+			}
+			got = append(got, buf[:n]...)
+		}
+		done <- got
+	}()
+
+	c, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte("he")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte("llo")); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-done; string(got) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+	c.Close()
+
+	if l.Addr().Network() != "mem" || l.Addr().String() != "test" {
+		t.Fatalf("addr = %v/%v", l.Addr().Network(), l.Addr().String())
+	}
+}
+
+// TestMemListenerClose pins post-close behavior for both sides.
+func TestMemListenerClose(t *testing.T) {
+	l := NewMemListener("closing")
+	errc := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	l.Close()
+	l.Close() // idempotent
+	if err := <-errc; err != ErrMemListenerClosed {
+		t.Fatalf("Accept after close: %v", err)
+	}
+	if _, err := l.Dial(); err != ErrMemListenerClosed {
+		t.Fatalf("Dial after close: %v", err)
+	}
+}
+
+// TestMemListenerDeadline confirms deadline support on the pipe conns
+// (the harness arms read deadlines on every response read).
+func TestMemListenerDeadline(t *testing.T) {
+	l := NewMemListener("deadline")
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			// Never write; drain until the client hangs up.
+			_, _ = io.Copy(io.Discard, c)
+			c.Close()
+		}
+	}()
+	c, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_ = c.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err == nil || err == io.EOF {
+		t.Fatalf("read past deadline: %v", err)
+	}
+}
