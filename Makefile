@@ -101,9 +101,9 @@ bench-shards:
 # connection and wakeup-to-reply latency, plus the shard-scaling rerun
 # and the alloc-pinned hot path, recorded as JSON.
 bench-idle:
-	$(GO) test -run TestHotPathAllocs -bench 'BenchmarkIdleParkedConns|BenchmarkShardScaling' -benchmem . \
-		| $(GO) run ./cmd/benchjson > BENCH_PR6.json
-	@cat BENCH_PR6.json
+	$(GO) test -run TestHotPathAllocs -bench 'BenchmarkIdleParkedConns|BenchmarkShardScaling|BenchmarkParkedSlowReaders' -benchmem . \
+		| $(GO) run ./cmd/benchjson > BENCH_PR9.json
+	@cat BENCH_PR9.json
 
 # The overload-control snapshot: the saturated closed-loop comparison of
 # the static watermark gate against the adaptive admission limiter

@@ -1100,3 +1100,247 @@ func TestChaosEventDrivenShardsDrainPollTables(t *testing.T) {
 		t.Fatalf("event-driven server unhealthy after chaos: err=%v resp=%.60q", err, resp)
 	}
 }
+
+// stripDateLines removes "Date:" header lines from a raw HTTP byte
+// stream so two servers' renderings of the same exchange compare equal
+// across a second boundary.
+func stripDateLines(raw []byte) []byte {
+	lines := bytes.Split(raw, []byte("\r\n"))
+	out := make([]byte, 0, len(raw))
+	for _, ln := range lines {
+		if bytes.HasPrefix(ln, []byte("Date: ")) {
+			continue
+		}
+		out = append(out, ln...)
+		out = append(out, '\r', '\n')
+	}
+	return out
+}
+
+// TestChaosFragmentedWritesWireEquality: the short-write audit's pin.
+// The same pipelined exchange runs against a clean server and against
+// servers whose every underlying Write is capped to a handful of bytes
+// (faultnet's partial-write schedule fragments each writev into many
+// short kernel writes). A send path that treats a short write without
+// error as success would drop the unsent tail somewhere in the pipeline;
+// wire equality across fragment sizes proves every byte is carried.
+func TestChaosFragmentedWritesWireEquality(t *testing.T) {
+	dir, _ := chaosRoot(t)
+	exchange := func(addr string) []byte {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		conn.SetDeadline(time.Now().Add(10 * time.Second))
+		// Pipelined keep-alive pair, a ranged read, then a closing 1.0
+		// request so ReadAll frames the full conversation.
+		fmt.Fprintf(conn, "GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n"+
+			"GET /big.bin HTTP/1.1\r\nHost: x\r\nRange: bytes=100-1123\r\n\r\n"+
+			"GET /big.bin HTTP/1.1\r\nHost: x\r\n\r\n"+
+			"GET /index.html HTTP/1.0\r\n\r\n")
+		raw, err := io.ReadAll(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	opts := options.COPSHTTP().WithHardening(0, 10*time.Second, 0)
+	_, _, cleanAddr := startChaosHTTP(t,
+		copshttp.Config{DocRoot: dir, Options: &opts}, faultnet.Scenario{})
+	want := stripDateLines(exchange(cleanAddr))
+	if len(want) < 64<<10 {
+		t.Fatalf("clean exchange suspiciously small: %d bytes", len(want))
+	}
+	for _, frag := range []int{1, 3, 7} {
+		opts := options.COPSHTTP().WithHardening(0, 10*time.Second, 0)
+		_, _, addr := startChaosHTTP(t,
+			copshttp.Config{DocRoot: dir, Options: &opts},
+			faultnet.Scenario{Seed: int64(frag), MaxWritePerCall: frag})
+		got := stripDateLines(exchange(addr))
+		if !bytes.Equal(got, want) {
+			t.Errorf("frag=%d: wire image diverged (got %d bytes, want %d)",
+				frag, len(got), len(want))
+		}
+	}
+}
+
+// TestChaosSlowReaderBlockingPath: the per-flush write deadline on the
+// goroutine path. A reader that keeps draining a multi-megabyte buffered
+// reply — slower than WriteTimeout per reply but faster than WriteTimeout
+// per chunk — must receive every byte (the deadline re-arms per 256 KiB
+// flush chunk, not once per reply), while a fully stalled reader is torn
+// down within roughly one chunk's deadline.
+func TestChaosSlowReaderBlockingPath(t *testing.T) {
+	const bodyLen = 16 << 20
+	dir := t.TempDir()
+	big := bytes.Repeat([]byte("0123456789abcdef"), bodyLen/16)
+	if err := os.WriteFile(filepath.Join(dir, "huge.bin"), big, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// No LargeFileThreshold: the 6 MiB body is served buffered, through
+	// Send/sendBuffers — the path whose deadline used to cover the whole
+	// reply.
+	opts := options.COPSHTTP().WithHardening(0, 300*time.Millisecond, 0)
+	opts.CacheCapacity = 32 << 20
+	_, _, addr := startChaosHTTP(t,
+		copshttp.Config{DocRoot: dir, Options: &opts}, faultnet.Scenario{})
+
+	// Progressing reader: ~25 MB/s, so the whole reply takes ~0.7 s —
+	// over twice the write deadline — yet every chunk makes progress.
+	// The pace must clear Linux's writer wake-up threshold (about half
+	// the autotuned send buffer per deadline window): the deadline
+	// enforces a minimum drain rate, not merely liveness.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetReadBuffer(512 << 10)
+	}
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	fmt.Fprintf(conn, "GET /huge.bin HTTP/1.0\r\n\r\n")
+	var total int
+	buf := make([]byte, 256<<10)
+	for {
+		n, err := conn.Read(buf)
+		total += n
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("progressing reader torn down after %d bytes: %v", total, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if total < bodyLen {
+		t.Fatalf("progressing reader got %d bytes, want >= %d", total, bodyLen)
+	}
+
+	// Stalled reader: never reads; the per-chunk deadline must tear the
+	// connection down long before the reply completes.
+	stalled, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Close()
+	if tc, ok := stalled.(*net.TCPConn); ok {
+		tc.SetReadBuffer(64 << 10)
+	}
+	fmt.Fprintf(stalled, "GET /huge.bin HTTP/1.0\r\n\r\n")
+	time.Sleep(1500 * time.Millisecond) // several deadline windows, no reads
+	stalled.SetDeadline(time.Now().Add(10 * time.Second))
+	got, _ := io.ReadAll(stalled)
+	if len(got) >= len(big) {
+		t.Fatalf("stalled reader received the whole %d-byte reply; deadline never fired", len(got))
+	}
+	// The server is healthy after tearing the stalled connection down.
+	resp, err := httpGet(t, addr, "/huge.bin", 30*time.Second)
+	if err != nil || !bytes.Contains(resp, []byte(" 200 ")) {
+		t.Fatalf("server unhealthy after stalled-reader teardown: err=%v resp=%.60q", err, resp)
+	}
+}
+
+// TestChaosSlowReaderEventDriven: the EPOLLOUT path's slow-reader
+// defense. A stalled reader of a streamed multi-megabyte file parks the
+// residual, frees the worker, and is reaped by the scavenger once the
+// queue stalls past WriteTimeout; a trickling-but-progressing reader
+// survives far past WriteTimeout and receives every byte.
+func TestChaosSlowReaderEventDriven(t *testing.T) {
+	if !reactor.PollerSupported {
+		t.Skip("no kernel poller on this platform")
+	}
+	const fileLen = 16 << 20
+	dir := t.TempDir()
+	big := bytes.Repeat([]byte("0123456789abcdef"), fileLen/16)
+	if err := os.WriteFile(filepath.Join(dir, "huge.bin"), big, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opts := options.COPSHTTP().
+		WithHardening(0, 300*time.Millisecond, 0).
+		WithLargeFiles(1 << 20).
+		WithEventDriven(true)
+	opts.Profiling = true
+	srv, err := copshttp.New(copshttp.Config{DocRoot: dir, Options: &opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Framework().Start(ln); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Shutdown)
+	fw := srv.Framework()
+	addr := ln.Addr().String()
+
+	// Stalled reader: request the stream, read nothing.
+	stalled, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Close()
+	if tc, ok := stalled.(*net.TCPConn); ok {
+		tc.SetReadBuffer(64 << 10)
+	}
+	fmt.Fprintf(stalled, "GET /huge.bin HTTP/1.0\r\n\r\n")
+	deadline := time.Now().Add(5 * time.Second)
+	for fw.ParkedWrites() == 0 && fw.ActiveConns() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stream to a stalled reader never parked")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// The scavenger reaps the stalled queue within the WriteTimeout
+	// budget; the fd and the queue accounting both drain.
+	deadline = time.Now().Add(5 * time.Second)
+	for fw.ActiveConns() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stalled reader never reaped: parked_writes=%d queued=%d",
+				fw.ParkedWrites(), fw.OutboundQueuedBytes())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if fw.ParkedWrites() != 0 || fw.OutboundQueuedBytes() != 0 {
+		t.Fatalf("queue accounting leaked after reap: conns=%d bytes=%d",
+			fw.ParkedWrites(), fw.OutboundQueuedBytes())
+	}
+	if fw.Profile().Snapshot().IdleShutdowns == 0 {
+		t.Error("slow-reader reap not counted as an idle/slow shutdown")
+	}
+
+	// Trickling reader: drains ~25 MB/s — the full stream takes ~0.7 s,
+	// over twice WriteTimeout — and must still complete: each EPOLLOUT
+	// burst moves well past the progress quantum, refreshing the stall
+	// clock. As on the blocking path, the pace must clear the kernel's
+	// writability threshold (roughly half the send buffer per window).
+	slow, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+	if tc, ok := slow.(*net.TCPConn); ok {
+		tc.SetReadBuffer(512 << 10)
+	}
+	slow.SetDeadline(time.Now().Add(30 * time.Second))
+	fmt.Fprintf(slow, "GET /huge.bin HTTP/1.0\r\n\r\n")
+	var total int
+	buf := make([]byte, 256<<10)
+	for {
+		n, err := slow.Read(buf)
+		total += n
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("progressing reader torn down after %d bytes: %v", total, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if total < fileLen {
+		t.Fatalf("progressing reader got %d bytes, want >= %d", total, fileLen)
+	}
+}

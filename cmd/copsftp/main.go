@@ -91,11 +91,12 @@ func main() {
 
 	if *mAddr != "" {
 		mcfg := metrics.Config{
-			Profile:     srv.Framework().Profile(),
-			Cache:       srv.Framework().Cache(),
-			Deferred:    srv.Framework().Deferred,
-			EventDriven: srv.Framework().EventDriven,
-			Parked:      srv.Framework().ParkedConns,
+			Profile:      srv.Framework().Profile(),
+			Cache:        srv.Framework().Cache(),
+			Deferred:     srv.Framework().Deferred,
+			EventDriven:  srv.Framework().EventDriven,
+			Parked:       srv.Framework().ParkedConns,
+			ParkedWrites: srv.Framework().ParkedWrites,
 		}
 		if l := srv.Framework().Admission(); l != nil {
 			mcfg.Admission = l.Snapshot

@@ -159,12 +159,13 @@ func main() {
 
 	if *metricsAddr != "" {
 		mcfg := metrics.Config{
-			Profile:     srv.Framework().Profile(),
-			Cache:       srv.Framework().Cache(),
-			Deferred:    srv.Framework().Deferred,
-			Shed:        srv.Shed,
-			EventDriven: srv.Framework().EventDriven,
-			Parked:      srv.Framework().ParkedConns,
+			Profile:      srv.Framework().Profile(),
+			Cache:        srv.Framework().Cache(),
+			Deferred:     srv.Framework().Deferred,
+			Shed:         srv.Shed,
+			EventDriven:  srv.Framework().EventDriven,
+			Parked:       srv.Framework().ParkedConns,
+			ParkedWrites: srv.Framework().ParkedWrites,
 		}
 		if l := srv.Framework().Admission(); l != nil {
 			mcfg.Admission = l.Snapshot

@@ -32,8 +32,14 @@ type sequencer struct {
 
 // pendingReply is one parked out-of-turn reply.
 type pendingReply struct {
-	// data is the pre-rendered wire image of a parked buffered reply.
-	data  []byte
+	// head is the owned, pre-rendered response head of a parked buffered
+	// reply; body references the response body directly (cache bytes,
+	// prebuilt error page, or handler-owned slice — never pooled), so
+	// parking never copies the body. The same reference-retention
+	// contract already backs the parked write path in nserver, which may
+	// hold body slices until EPOLLOUT drains them.
+	head  []byte
+	body  []byte
 	close bool
 	// status/bytes/req/id replay the access-log record at flush time.
 	status int
@@ -85,10 +91,12 @@ func (s *Server) sendOrdered(c *nserver.Conn, q *sequencer, seq uint64, r *httpp
 		return
 	}
 	if seq != q.next {
-		// Ahead of turn: render into an owned buffer (the caller releases
-		// resp and its pooled body after we return) and park.
+		// Ahead of turn: render the head into an owned buffer (the caller
+		// releases the pooled resp after we return) and park; the body
+		// rides along by reference.
 		q.pending[seq] = &pendingReply{
-			data:   httpproto.EncodeResponse(resp),
+			head:   httpproto.AppendResponseHead(nil, resp),
+			body:   resp.Body,
 			close:  resp.Close,
 			status: resp.Status,
 			bytes:  len(resp.Body),
@@ -138,7 +146,7 @@ func (q *sequencer) flushLocked(s *Server, c *nserver.Conn, closeNow *bool, err 
 			return
 		}
 		if !*closeNow && err == nil {
-			err = c.Send(p.data)
+			err = c.SendBuffers(p.head, p.body)
 			s.logAccess(c, p.req, p.status, p.bytes, p.id)
 		}
 		*closeNow = *closeNow || p.close

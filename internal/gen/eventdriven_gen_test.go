@@ -40,6 +40,8 @@ func TestEventDrivenCrosscutWeaving(t *testing.T) {
 	for _, absent := range []string{
 		"poller", "readyPoll", "tryPollAttach", "pollDrain",
 		"nonblockRead", "epoll", "eventDriven", "ParkedConns",
+		"readyWrite", "sendPolled", "nonblockWrite", "outq",
+		"maxOutboundBytes", "ParkedWrites", "EPOLLOUT",
 	} {
 		if strings.Contains(plain, absent) {
 			t.Errorf("plain framework contains %q — crosscut not woven out", absent)
@@ -63,6 +65,15 @@ func TestEventDrivenCrosscutWeaving(t *testing.T) {
 		"case readyPoll:",
 		"func (s *Server) ParkedConns() int",
 		"go c.readLoop()", // the fallback path must survive the weave
+		// The write-side crosscut: parked outbound queues drained on
+		// EPOLLOUT, with the blocking Send path kept as fallback.
+		"case readyWrite:",
+		"func (c *Communicator) sendPolled(data []byte) error",
+		"func (c *Communicator) pollWriteDrain()",
+		"func (p *poller) armWrite(fd int) error",
+		"const maxOutboundBytes",
+		"func (s *Server) ParkedWrites() int",
+		"syscall.EPOLL_CTL_MOD",
 	} {
 		if !strings.Contains(ed, present) {
 			t.Errorf("event-driven framework missing %q", present)
@@ -81,6 +92,21 @@ func TestEventDrivenCrosscutWeaving(t *testing.T) {
 	}
 	if strings.Contains(ed, "reapStalledPolled") || strings.Contains(ed, "lastActive") {
 		t.Error("event-driven without read timeout wove in the sweep machinery")
+	}
+
+	// Same interaction on the write side: the parked-write scavenger and
+	// its progress quantum need both event-driven and a write timeout.
+	wHardened := all(gen(base.WithHardening(0, 5*time.Second, 0).WithEventDriven(true)))
+	for _, present := range []string{
+		"func (s *Server) reapStalledWrites()", "writeProgressQuantum",
+		"errWriteStalled",
+	} {
+		if !strings.Contains(wHardened, present) {
+			t.Errorf("event-driven + write timeout missing %q", present)
+		}
+	}
+	if strings.Contains(ed, "reapStalledWrites") || strings.Contains(ed, "writeProgressQuantum") {
+		t.Error("event-driven without write timeout wove in the write scavenger")
 	}
 
 	// Deselecting the option is byte-identical to never selecting it.
@@ -116,6 +142,10 @@ func TestEventDrivenFrameworksCompile(t *testing.T) {
 			return o.WithShards(2).WithEventDriven(true)
 		}(),
 		"ftp": options.COPSFTP().WithEventDriven(true),
+		// The parked-write file path: non-blocking streaming, residual
+		// ranges behind duplicated descriptors, the write scavenger.
+		"large-write-hardened": options.COPSHTTP().WithLargeFiles(64 << 10).
+			WithHardening(5*time.Second, 2*time.Second, 1<<20).WithEventDriven(true),
 	}
 	for name, o := range combos {
 		t.Run(name, func(t *testing.T) {

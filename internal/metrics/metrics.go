@@ -60,6 +60,10 @@ type Config struct {
 	// no reader goroutine (nserver.Server.ParkedConns). Nil omits the
 	// gauge.
 	Parked func() int
+	// ParkedWrites reports connections holding a non-empty parked
+	// outbound queue — replies mid-drain on the EPOLLOUT path
+	// (nserver.Server.ParkedWrites). Nil omits the gauge.
+	ParkedWrites func() int
 	// Admission reports the adaptive admission limiter's state
 	// (nserver.Server.Admission().Snapshot). Nil omits the
 	// nserver_admission_* series.
@@ -180,6 +184,15 @@ type PollJSON struct {
 	WaitP99Ns int64   `json:"wait_p99_ns"`
 }
 
+// FlushJSON is the parked-write flush-latency section of the JSON
+// rendering (EPOLLOUT write path).
+type FlushJSON struct {
+	Count  uint64 `json:"count"`
+	MeanNs int64  `json:"mean_ns"`
+	P50Ns  int64  `json:"p50_ns"`
+	P99Ns  int64  `json:"p99_ns"`
+}
+
 // Payload is the complete JSON document.
 type Payload struct {
 	Server      *profiling.Snapshot    `json:"server,omitempty"`
@@ -191,6 +204,8 @@ type Payload struct {
 	Shed        *uint64                `json:"shed,omitempty"`
 	EventDriven *bool                  `json:"event_driven,omitempty"`
 	Parked      *int                   `json:"parked_connections,omitempty"`
+	ParkedW     *int                   `json:"parked_writes,omitempty"`
+	Flush       *FlushJSON             `json:"flush_latency,omitempty"`
 	Admission   *admission.Snapshot    `json:"admission,omitempty"`
 	Hedge       *cluster.HedgeSnapshot `json:"hedge,omitempty"`
 	Cluster     []BackendJSON          `json:"cluster,omitempty"`
@@ -261,6 +276,14 @@ func collect(cfg Config) Payload {
 				WaitP99Ns: int64(pp.Wait.Quantile(0.99)),
 			}
 		}
+		if fs := cfg.Profile.FlushSnapshot(); fs.Count > 0 {
+			p.Flush = &FlushJSON{
+				Count:  fs.Count,
+				MeanNs: int64(fs.Mean()),
+				P50Ns:  int64(fs.Quantile(0.50)),
+				P99Ns:  int64(fs.Quantile(0.99)),
+			}
+		}
 	}
 	if cfg.Cache != nil {
 		agg := cfg.Cache.Stats()
@@ -292,6 +315,10 @@ func collect(cfg Config) Payload {
 	if cfg.Parked != nil {
 		v := cfg.Parked()
 		p.Parked = &v
+	}
+	if cfg.ParkedWrites != nil {
+		v := cfg.ParkedWrites()
+		p.ParkedW = &v
 	}
 	if cfg.Admission != nil {
 		v := cfg.Admission()
@@ -400,6 +427,7 @@ func RenderPrometheus(cfg Config) string {
 		counter("nserver_events_dispatched_total", "Events handed to event processors.", s.EventsDispatched)
 		counter("nserver_events_processed_total", "Events completed by workers.", s.EventsProcessed)
 		counter("nserver_idle_shutdowns_total", "Connections reaped idle or slow.", s.IdleShutdowns)
+		counter("nserver_outbound_shed_total", "Connections torn down because the parked outbound queue hit the memory cap.", s.OutboundShed)
 
 		const hname = "nserver_stage_duration_seconds"
 		fmt.Fprintf(&b, "# HELP %s Pipeline stage latency (Fig. 1 steps plus queue wait and AIO completion).\n# TYPE %s histogram\n", hname, hname)
@@ -433,6 +461,11 @@ func RenderPrometheus(cfg Config) string {
 					fmt.Fprintf(&b, "%s{shard=\"%d\"} %d\n", cname2, i, ss.ConnectionsAccepted)
 				}
 			}
+		}
+		if fs := cfg.Profile.FlushSnapshot(); fs.Count > 0 {
+			const fhname = "nserver_flush_duration_seconds"
+			fmt.Fprintf(&b, "# HELP %s Park-to-flushed latency of parked reply residuals on the EPOLLOUT path.\n# TYPE %s histogram\n", fhname, fhname)
+			waitHist(fhname, "", fs)
 		}
 		if pp := cfg.Profile.PollSnapshot(); pp.Wakeups > 0 {
 			counter("nserver_epoll_wakeups_total", "Kernel poller wait returns that delivered events.", pp.Wakeups)
@@ -495,6 +528,9 @@ func RenderPrometheus(cfg Config) string {
 	}
 	if cfg.Parked != nil {
 		gauge("nserver_parked_connections", "Connections resident in the shard epoll tables with no reader goroutine.", float64(cfg.Parked()))
+	}
+	if cfg.ParkedWrites != nil {
+		gauge("nserver_parked_writes", "Connections holding a parked outbound queue mid-drain on the EPOLLOUT path.", float64(cfg.ParkedWrites()))
 	}
 	if cfg.Admission != nil {
 		s := cfg.Admission()

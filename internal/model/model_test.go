@@ -175,6 +175,71 @@ func TestReplaySavedTraces(t *testing.T) {
 	}
 }
 
+// slowReaderProgram builds a directed program: nreq pipelined GETs of
+// the large streamed file, read back at paceBytes per paceEveryMs.
+func slowReaderProgram(name string, nreq, paceBytes, paceEveryMs int) *Program {
+	cs := ConnScript{PaceBytes: paceBytes, PaceEveryMs: paceEveryMs}
+	for i := 0; i < nreq; i++ {
+		cs.Requests = append(cs.Requests,
+			Request{Method: "GET", Target: "/big.bin", Proto: "HTTP/1.1"})
+	}
+	return &Program{Name: name, Conns: []ConnScript{cs}}
+}
+
+// TestModelSlowReaderFates runs the paced slow-reader site of the model:
+// with the write deadline armed, a reader starved below the server's
+// write-progress quantum must see its connection torn down, while a
+// comfortably fast one must receive every byte and keep the connection.
+// Both transports are exercised — the in-memory pipes pin the blocking
+// write path's per-chunk deadline, and event-driven TCP pins the
+// EPOLLOUT parked-write path end to end (park on EAGAIN, drain on
+// writability, reap on stall). With MODEL_UPDATE_TRACES=1 the minimal
+// torn program is persisted under testdata/model/ alongside the parser
+// counterexamples.
+func TestModelSlowReaderFates(t *testing.T) {
+	const wt = 150 * time.Millisecond
+	mem := NewHarness(t, HarnessOptions{WriteTimeout: wt})
+	tcp := NewHarness(t, HarnessOptions{Transport: "tcp", EventDriven: true, WriteTimeout: wt})
+
+	// 2 KiB per 25 ms is 12 KiB per deadline window — starved (a
+	// quarter of the 64 KiB progress quantum); 64 KiB per 10/5 ms is
+	// comfortably past the four-quanta-per-window safety band.
+	torn := slowReaderProgram("slow-reader-torn", 1, 2048, 25)
+	for _, tc := range []struct {
+		name string
+		h    *Harness
+		p    *Program
+		fate Fate
+	}{
+		{"mem-starved-torn", mem, torn, FateTorn},
+		{"mem-fast-complete", mem, slowReaderProgram("slow-reader-fast", 1, 64<<10, 10), FateOpen},
+		{"tcp-starved-torn", tcp, slowReaderProgram("slow-reader-torn-epollout", 100, 2048, 25), FateTorn},
+		{"tcp-fast-complete", tcp, slowReaderProgram("slow-reader-fast-epollout", 1, 64<<10, 5), FateOpen},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			exp, err := Predict(tc.h.Site, &tc.p.Conns[0])
+			if err != nil {
+				t.Fatalf("%s outside the model's domain: %v", tc.p.Name, err)
+			}
+			if exp.Fate != tc.fate {
+				t.Fatalf("%s predicts fate %v, want %v", tc.p.Name, exp.Fate, tc.fate)
+			}
+			runOrFatal(t, tc.h, tc.p)
+		})
+	}
+
+	if os.Getenv("MODEL_UPDATE_TRACES") == "1" {
+		tr := &Trace{
+			Name:    "slow-reader-torn",
+			Note:    "slow-reader defense: a paced reader starved below one write-progress quantum per write-deadline window must be torn down; under the default harness (no write deadline) the same program completes and probes open",
+			Program: torn,
+		}
+		if err := SaveTrace(filepath.Join("testdata", "model", "slow-reader-torn.json"), tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // TestShedContract pins the 503-shed wire contract with the model's
 // checker: with MaxConnections=1 and shedding on, a second connection
 // gets an immediate 503 carrying Retry-After >= 1 second and

@@ -77,7 +77,21 @@ func (r *Request) combinedHeader(name string) string {
 type ConnScript struct {
 	Requests []Request `json:"requests"`
 	Splits   []int     `json:"splits,omitempty"`
+	// PaceBytes/PaceEveryMs throttle the client's READS: when both are
+	// set, the harness consumes at most PaceBytes from the connection
+	// per PaceEveryMs tick — a slow reader. Pacing models the client,
+	// not the byte stream, so the random generator never emits it;
+	// directed slow-reader programs and saved traces do. The
+	// specification folds the pace into the fate: a reader starved far
+	// below the server's write-progress quantum per write-deadline
+	// window must be torn down (slow-reader defense), a comfortably
+	// fast one changes nothing.
+	PaceBytes   int `json:"pace_bytes,omitempty"`
+	PaceEveryMs int `json:"pace_every_ms,omitempty"`
 }
+
+// Paced reports whether the script throttles its reads.
+func (c *ConnScript) Paced() bool { return c.PaceBytes > 0 && c.PaceEveryMs > 0 }
 
 // Wire renders the connection's full byte stream.
 func (c *ConnScript) Wire() []byte {
@@ -134,6 +148,8 @@ func (p *Program) Clone() *Program {
 			dst.Requests[j] = r
 		}
 		dst.Splits = append([]int(nil), src.Splits...)
+		dst.PaceBytes = src.PaceBytes
+		dst.PaceEveryMs = src.PaceEveryMs
 	}
 	return cp
 }

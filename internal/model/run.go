@@ -48,6 +48,16 @@ type HarnessOptions struct {
 	// test; zero values leave shedding off.
 	MaxConnections int
 	ShedOnOverload bool
+	// WriteTimeout arms the server's per-write-progress deadline (the
+	// O7 hardening knob), which is what lets paced slow-reader scripts
+	// predict torn fates; zero leaves writes unbounded.
+	WriteTimeout time.Duration
+	// EventDriven parks idle and write-blocked connections in the
+	// kernel epoll set — the EPOLLOUT write path — instead of holding a
+	// goroutine each. Only the "tcp" transport reaches it: the
+	// in-memory pipes hide descriptors, so the server transparently
+	// keeps the blocking fallback there.
+	EventDriven bool
 }
 
 // Harness runs client programs against a live COPS-HTTP server and
@@ -115,6 +125,11 @@ func newHarness(dir string, o HarnessOptions) (*Harness, error) {
 	// streaming path and its interaction with reply ordering.
 	opts.LargeFileThreshold = 64 << 10
 	opts.MaxConnections = o.MaxConnections
+	opts.EventDriven = o.EventDriven
+	if o.WriteTimeout > 0 {
+		opts = opts.WithHardening(0, o.WriteTimeout, 0)
+		site.WriteTimeout = o.WriteTimeout
+	}
 	srv, err := copshttp.New(copshttp.Config{
 		DocRoot:        dir,
 		Options:        &opts,
@@ -134,7 +149,13 @@ func newHarness(dir string, o HarnessOptions) (*Harness, error) {
 			return nil, err
 		}
 		h.tcp = true
+		// Kernel sockets absorb megabytes before a writer stalls (send
+		// buffer plus the paced client's clamped receive window).
+		site.PaceTornFloor = 12 << 20
 	} else {
+		// net.Pipe buffers nothing, so stalling needs only a stream
+		// bigger than one armed write — /big.bin sized, conservatively.
+		site.PaceTornFloor = 128 << 10
 		ln := simnet.NewMemListener("model")
 		var lis net.Listener = ln
 		if o.Fragment > 0 {
@@ -235,7 +256,22 @@ func (h *Harness) runConn(cs *ConnScript, exp Expectation) *Mismatch {
 		}
 		writeDone <- nil
 	}()
-	br := bufio.NewReader(conn)
+	rd := conn
+	if cs.Paced() {
+		if tc, ok := conn.(*net.TCPConn); ok {
+			// Clamp the receive window so the kernel cannot absorb a
+			// multi-megabyte stream on the slow reader's behalf.
+			_ = tc.SetReadBuffer(64 << 10)
+		}
+		rd = &pacedConn{Conn: conn, bytes: cs.PaceBytes,
+			every: time.Duration(cs.PaceEveryMs) * time.Millisecond}
+	}
+	br := bufio.NewReader(rd)
+	if cs.PaceBytes > 4096 {
+		// bufio's default buffer would cap each paced tick below the
+		// scripted allowance and silently lower the read rate.
+		br = bufio.NewReaderSize(rd, cs.PaceBytes)
+	}
 	for i := range exp.Responses {
 		er := &exp.Responses[i]
 		_ = conn.SetReadDeadline(time.Now().Add(respTimeout))
@@ -286,6 +322,41 @@ func (h *Harness) runConn(cs *ConnScript, exp Expectation) *Mismatch {
 		}
 	}
 	return nil
+}
+
+// pacedConn throttles reads to model a slow client: each Read ticks the
+// pace clock once, then returns at most the per-tick byte allowance, so
+// the drain rate never exceeds bytes per every. Writes — the request
+// stream — pass through unthrottled, and deadlines still apply to the
+// underlying connection.
+type pacedConn struct {
+	net.Conn
+	bytes int
+	every time.Duration
+	start time.Time
+}
+
+// paceHorizon bounds the strictly paced phase. The slow-reader defense
+// must fire within one WriteTimeout stall plus a quarter-interval
+// scavenger tick — well under a second in every harness configuration —
+// so by the horizon the connection's fate is sealed and the client may
+// drain freely: a torn fate tolerates any prediction prefix before the
+// EOF, which faster reading cannot forge, and a kept connection only
+// finishes sooner. Without the horizon, a torn TCP connection would
+// drain megabytes of kernel-buffered bytes at the starved pace.
+const paceHorizon = 4 * time.Second
+
+func (p *pacedConn) Read(b []byte) (int, error) {
+	if p.start.IsZero() {
+		p.start = time.Now()
+	}
+	if time.Since(p.start) < paceHorizon {
+		time.Sleep(p.every)
+		if len(b) > p.bytes {
+			b = b[:p.bytes]
+		}
+	}
+	return p.Conn.Read(b)
 }
 
 // compareResponse diffs one observed response against its prediction,

@@ -20,6 +20,19 @@ type File struct {
 // Last-Modified exactly.
 type Site struct {
 	Files map[string]*File
+	// WriteTimeout mirrors the harness server's per-write-progress
+	// deadline (the O7 hardening knob). Zero — the default — means the
+	// server waits forever for a slow reader and a paced script can
+	// never tear a connection.
+	WriteTimeout time.Duration
+	// PaceTornFloor is the transport's teardown floor: the minimum
+	// total predicted body bytes at which a starved reader is
+	// guaranteed to stall the server's write path (smaller totals can
+	// be absorbed whole by transport buffering and delivered despite
+	// the pace). The harness sets it per transport: the synchronous
+	// in-memory pipes buffer nothing, kernel TCP sockets buffer
+	// megabytes.
+	PaceTornFloor int64
 }
 
 // DefaultSite is the fixed tree every harness uses: a handful of small

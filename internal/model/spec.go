@@ -3,8 +3,10 @@ package model
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/httpproto"
+	"repro/internal/nserver"
 )
 
 // Fate is what the model says happens to the connection after the last
@@ -85,6 +87,16 @@ func (e errUnsupported) Error() string { return "model: unsupported script: " + 
 // parser's internals, so a parser bug disagrees with the model instead
 // of being mirrored by it.
 func Predict(site *Site, cs *ConnScript) (Expectation, error) {
+	exp, err := predictFraming(site, cs)
+	if err != nil {
+		return exp, err
+	}
+	return applyPace(site, cs, exp)
+}
+
+// predictFraming is the framing and serving half of the specification:
+// everything the byte stream alone determines.
+func predictFraming(site *Site, cs *ConnScript) (Expectation, error) {
 	var exp Expectation
 	for i := range cs.Requests {
 		r := &cs.Requests[i]
@@ -134,6 +146,64 @@ func Predict(site *Site, cs *ConnScript) (Expectation, error) {
 	}
 	exp.Fate = FateOpen
 	return exp, nil
+}
+
+// applyPace folds the client's read pace into the framing verdict: the
+// slow-reader half of the specification. The server's contract
+// (slow-reader defense) is drain-rate based, not liveness based: with a
+// write deadline armed, a connection must move one write-progress
+// quantum per deadline window or be torn down, no matter how steadily
+// it trickles. The model therefore classifies a pace by the bytes it
+// drains per window:
+//
+//   - starved (at most a quarter quantum per window) with enough
+//     response bytes to outlast transport buffering: the write path
+//     must stall and the server must tear the connection down — the
+//     predictions become a permitted prefix (FateTorn);
+//   - comfortably fast (at least four quanta per window): the pace can
+//     never stall a write and the framing verdict stands;
+//   - tiny streams (under a quarter quantum in total): nothing to
+//     stall, the verdict stands at any pace.
+//
+// Paces between those bands depend on scheduler and buffer luck, so
+// they are outside the model's domain, like the generator invariants.
+// The fast verdict additionally assumes the drain rate clears the
+// transport's writer-wakeup granularity; directed programs keep
+// fast-paced totals within one transport buffer on TCP, where the
+// kernel wakes blocked writers only per half send buffer.
+func applyPace(site *Site, cs *ConnScript, exp Expectation) (Expectation, error) {
+	if !cs.Paced() {
+		if cs.PaceBytes != 0 || cs.PaceEveryMs != 0 {
+			return exp, errUnsupported("pace needs both pace_bytes and pace_every_ms")
+		}
+		return exp, nil
+	}
+	if site.WriteTimeout <= 0 {
+		// No write deadline: a slow reader just makes the server wait,
+		// it cannot change any connection's fate.
+		return exp, nil
+	}
+	const quantum = nserver.WriteProgressQuantum
+	perWindow := int64(cs.PaceBytes) * int64(site.WriteTimeout/time.Millisecond) / int64(cs.PaceEveryMs)
+	var body int64
+	for i := range exp.Responses {
+		if !exp.Responses[i].Head {
+			body += int64(len(exp.Responses[i].Body))
+		}
+	}
+	// wire overestimates the stream (bodies plus a generous per-response
+	// head allowance) for the too-small-to-stall arm.
+	wire := body + int64(len(exp.Responses))*512
+	switch {
+	case 4*perWindow <= quantum && site.PaceTornFloor > 0 && body >= site.PaceTornFloor:
+		exp.Fate = FateTorn
+		return exp, nil
+	case perWindow >= 4*quantum:
+		return exp, nil
+	case wire*4 <= quantum:
+		return exp, nil
+	}
+	return exp, errUnsupported("pace between the starved and safe bands is scheduler-dependent")
 }
 
 // requestLineOK decides whether the rendered request line parses: a

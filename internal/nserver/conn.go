@@ -82,6 +82,19 @@ type Conn struct {
 	raw       syscall.RawConn
 	pollState atomic.Int32
 
+	// Kernel-event write path state (writeq.go): wgate serializes
+	// EPOLLOUT drains, outq holds parked reply residuals under writeMu,
+	// and the atomics feed the scavenger's stall test and the
+	// parked-write gauge without taking the lock. outProgress and
+	// closeAfterFlush are guarded by writeMu.
+	wgate           reactor.DrainGate
+	outq            []outItem
+	outMem          atomic.Int64
+	outPending      atomic.Int64
+	outStamp        atomic.Int64
+	outProgress     int64
+	closeAfterFlush bool
+
 	writeMu sync.Mutex
 	closed  atomic.Bool
 	// closeErr records the first close cause for OnClose.
@@ -157,18 +170,70 @@ func (c *Conn) armWriteDeadline() {
 	}
 }
 
-// Send transmits raw bytes (the Send Reply step without encoding).
+// writeFlushChunk bounds how many bytes ride on one armed write deadline
+// in the blocking path. The deadline is absolute, so arming it once for
+// a whole reply makes WriteTimeout a cap on total transfer time — a
+// healthy reader downloading a large buffered reply would be torn down
+// mid-stream. Chunking re-arms per flush instead: WriteTimeout bounds
+// how long the peer may stall per chunk, matching streamChunkSize's
+// contract on the file path.
+const writeFlushChunk = 256 << 10
+
+// writeSegmentChunked writes one segment in writeFlushChunk slices,
+// re-arming the write deadline before each, with an explicit short-write
+// check (a transport returning n < len without an error must not be
+// mistaken for success — the rest of the reply would silently vanish
+// from the wire). Called under writeMu.
+func (c *Conn) writeSegmentChunked(seg []byte) (int64, error) {
+	var total int64
+	for len(seg) > 0 {
+		chunk := seg
+		if len(chunk) > writeFlushChunk {
+			chunk = chunk[:writeFlushChunk]
+		}
+		c.armWriteDeadline()
+		n, err := c.conn.Write(chunk)
+		total += int64(n)
+		if err == nil && n < len(chunk) {
+			err = io.ErrShortWrite
+		}
+		if err != nil {
+			return total, err
+		}
+		seg = seg[n:]
+	}
+	return total, nil
+}
+
+// Send transmits raw bytes (the Send Reply step without encoding). On a
+// polled connection the write is non-blocking: a residual parks on the
+// outbound queue and drains on EPOLLOUT, so data must not be mutated
+// after the call (it may be retained by reference until flushed).
 func (c *Conn) Send(data []byte) error {
 	if c.closed.Load() {
 		return ErrConnClosed
 	}
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
-	c.armWriteDeadline()
+	if c.canParkWrites() {
+		return c.trySendNonblockLocked(data, nil)
+	}
 	sendStart := c.sh.profile.StageStart()
-	n, err := c.conn.Write(data)
+	var n int64
+	var err error
+	if wt := c.srv.opts.WriteTimeout; wt > 0 && len(data) > writeFlushChunk {
+		n, err = c.writeSegmentChunked(data)
+	} else {
+		c.armWriteDeadline()
+		var wn int
+		wn, err = c.conn.Write(data)
+		if err == nil && wn < len(data) {
+			err = io.ErrShortWrite
+		}
+		n = int64(wn)
+	}
 	c.sh.profile.ObserveSince(profiling.StageSend, sendStart)
-	c.sh.profile.BytesSent(n)
+	c.sh.profile.BytesSent(int(n))
 	c.touch()
 	if err != nil {
 		c.teardown(err)
@@ -221,28 +286,51 @@ func appendHeadSafe(be BufferEncoder, dst []byte, reply any) (head, body []byte,
 
 // sendBuffers transmits head and body as separate segments (writev on a
 // TCP transport) under the write lock, with the same accounting and
-// teardown semantics as Send.
+// teardown semantics as Send. On a polled connection the writev is
+// non-blocking and any residual parks on the outbound queue — the head
+// remainder is copied (the caller releases its pooled lease on return),
+// the body is retained by reference.
 func (c *Conn) sendBuffers(head, body []byte) error {
 	if c.closed.Load() {
 		return ErrConnClosed
 	}
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
-	var segs [2][]byte
-	bufs := net.Buffers(segs[:0])
-	if len(head) > 0 {
-		bufs = append(bufs, head)
+	if c.canParkWrites() {
+		return c.trySendNonblockLocked(head, body)
 	}
-	if len(body) > 0 {
-		bufs = append(bufs, body)
-	}
-	if len(bufs) == 0 {
+	total := len(head) + len(body)
+	if total == 0 {
 		c.touch()
 		return nil
 	}
-	c.armWriteDeadline()
 	sendStart := c.sh.profile.StageStart()
-	n, err := bufs.WriteTo(c.conn)
+	var n int64
+	var err error
+	if wt := c.srv.opts.WriteTimeout; wt > 0 && total > writeFlushChunk {
+		// Large reply under a deadline: re-arm per flush chunk so the
+		// timeout bounds peer stalls, not total transfer time.
+		n, err = c.writeSegmentChunked(head)
+		if err == nil {
+			var bn int64
+			bn, err = c.writeSegmentChunked(body)
+			n += bn
+		}
+	} else {
+		var segs [2][]byte
+		bufs := net.Buffers(segs[:0])
+		if len(head) > 0 {
+			bufs = append(bufs, head)
+		}
+		if len(body) > 0 {
+			bufs = append(bufs, body)
+		}
+		c.armWriteDeadline()
+		n, err = bufs.WriteTo(c.conn)
+		if err == nil && n < int64(total) {
+			err = io.ErrShortWrite
+		}
+	}
 	c.sh.profile.ObserveSince(profiling.StageSend, sendStart)
 	c.sh.profile.BytesSent(int(n))
 	c.touch()
@@ -253,8 +341,27 @@ func (c *Conn) sendBuffers(head, body []byte) error {
 	return nil
 }
 
-// Close tears the connection down cleanly.
+// SendBuffers transmits head and body as one vectored write with Send's
+// semantics, for callers (the copshttp reply sequencer) that hold a
+// rendered wire head and a reference-safe body and must not glue them
+// into one allocation.
+func (c *Conn) SendBuffers(head, body []byte) error {
+	return c.sendBuffers(head, body)
+}
+
+// Close tears the connection down cleanly. A polled connection with
+// parked outbound bytes closes gracefully: the queue finishes draining
+// (under the scavenger's WriteTimeout progress clock) and the teardown
+// runs when it empties, so a pipelined peer still receives the replies
+// that were committed before the close.
 func (c *Conn) Close() error {
+	c.writeMu.Lock()
+	if !c.closed.Load() && len(c.outq) > 0 {
+		c.closeAfterFlush = true
+		c.writeMu.Unlock()
+		return nil
+	}
+	c.writeMu.Unlock()
 	c.teardown(nil)
 	return nil
 }
@@ -350,6 +457,8 @@ func (c *Conn) handleReady(rd reactor.Ready) {
 		}
 	case reactor.PollReady:
 		c.pollDrain()
+	case reactor.WriteReady:
+		c.writePump()
 	case reactor.CloseReady:
 		c.finalize()
 	}
@@ -540,8 +649,11 @@ func (c *Conn) RequestPendingFor() time.Duration {
 }
 
 // finalize runs the OnClose hook exactly once, after deregistering the
-// handle (the framework's Communicator teardown).
+// handle (the framework's Communicator teardown). Any outbound residuals
+// still parked release their pooled leases and dup'd descriptors here,
+// on the event path, where no write lock is held by the teardown cause.
 func (c *Conn) finalize() {
+	c.freeOutbound()
 	c.srv.detach(c)
 	c.sh.profile.ConnectionClosed()
 	c.srv.app.OnClose(c, c.closeErr)

@@ -58,6 +58,9 @@ func (c *Conn) sendFile(head, body []byte, src *os.File, offset, length int64) e
 	}
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
+	if c.canParkWrites() {
+		return c.sendFileNonblockLocked(head, body, src, offset, length)
+	}
 	sendStart := c.sh.profile.StageStart()
 	fail := func(err error) error {
 		c.sh.profile.ObserveSince(profiling.StageSend, sendStart)
@@ -74,9 +77,13 @@ func (c *Conn) sendFile(head, body []byte, src *os.File, offset, length int64) e
 		bufs = append(bufs, body)
 	}
 	if len(bufs) > 0 {
+		total := int64(len(head) + len(body))
 		c.armWriteDeadline()
 		n, err := bufs.WriteTo(c.conn)
 		c.sh.profile.BytesSent(int(n))
+		if err == nil && n < total {
+			err = io.ErrShortWrite
+		}
 		if err != nil {
 			return fail(err)
 		}

@@ -3,8 +3,10 @@
 package nserver
 
 import (
+	"errors"
 	"net"
 	"os"
+	"syscall"
 )
 
 // sendFileChunk on non-Linux platforms always takes the portable
@@ -13,4 +15,11 @@ import (
 func sendFileChunk(dst net.Conn, src *os.File, limit int64) (int64, bool, error) {
 	n, err := copyFileChunk(dst, src, limit)
 	return n, false, err
+}
+
+// nonblockSendfile is unreachable off Linux: connections are only ever
+// polled where reactor.PollerSupported holds, and the parked write path
+// requires a polled connection.
+func nonblockSendfile(rc syscall.RawConn, src *os.File, off *int64, limit int) (n int, again, via bool, err error) {
+	return 0, false, false, errors.New("nserver: non-blocking sendfile unsupported on this platform")
 }

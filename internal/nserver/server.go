@@ -596,6 +596,38 @@ func (s *Server) ShardParked(i int) int {
 	return s.shards[i].poller.Len()
 }
 
+// ParkedWrites returns the number of connections with reply residuals
+// parked on their outbound queues — replies in flight on the EPOLLOUT
+// path with no worker goroutine attached. Always 0 when the event path
+// is inactive.
+func (s *Server) ParkedWrites() int {
+	total := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, c := range sh.conns {
+			if c.OutboundQueued() > 0 {
+				total++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// OutboundQueuedBytes returns the logical bytes (memory + file residual)
+// parked across every connection's outbound queue.
+func (s *Server) OutboundQueuedBytes() int64 {
+	var total int64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, c := range sh.conns {
+			total += c.OutboundQueued()
+		}
+		sh.mu.Unlock()
+	}
+	return total
+}
+
 // ShardConns returns the live connection count of one shard (0 for an
 // out-of-range index).
 func (s *Server) ShardConns(i int) int {
@@ -754,9 +786,15 @@ func (s *Server) startRuntime() {
 			continue
 		}
 		sh := sh
-		go sh.poller.Run(func(h reactor.Handle, prio events.Priority) {
+		go sh.poller.Run(func(h reactor.Handle, prio events.Priority, writable bool) {
+			typ := reactor.PollReady
+			if writable {
+				// An EPOLLOUT edge: the socket drained below its buffer
+				// mark and parked outbound bytes can flush.
+				typ = reactor.WriteReady
+			}
 			_ = sh.reactor.Source().Emit(reactor.Ready{
-				Type:   reactor.PollReady,
+				Type:   typ,
 				Handle: h,
 				Prio:   prio,
 			})
@@ -765,9 +803,12 @@ func (s *Server) startRuntime() {
 	// O7: the idle reaper exists only when selected. The same scavenger
 	// doubles as the slow-client reaper whenever a ReadTimeout bounds
 	// request assembly, so a slowloris peer that keeps refreshing its
-	// activity timestamp with one-byte reads still gets collected. Each
-	// shard scavenges its own connection table.
-	if s.opts.ShutdownLongIdle || s.opts.ReadTimeout > 0 {
+	// activity timestamp with one-byte reads still gets collected, and as
+	// the slow-reader reaper when WriteTimeout bounds parked outbound
+	// queues on the kernel-event write path. Each shard scavenges its own
+	// connection table.
+	if s.opts.ShutdownLongIdle || s.opts.ReadTimeout > 0 ||
+		(s.opts.WriteTimeout > 0 && s.eventDriven) {
 		for _, sh := range s.shards {
 			sh.reaperDone = make(chan struct{})
 			go s.reap(sh)
@@ -929,9 +970,21 @@ func (s *Server) reap(sh *shard) {
 		idle = s.opts.IdleTimeout
 	}
 	slow := s.opts.ReadTimeout
+	// The slow-reader bound: on the kernel-event write path a parked
+	// outbound queue has no blocking write to deadline against, so the
+	// scavenger enforces WriteTimeout as a progress clock (see
+	// writeStalledFor). The blocking path arms real deadlines and needs
+	// no sweep.
+	stall := time.Duration(0)
+	if s.eventDriven {
+		stall = s.opts.WriteTimeout
+	}
 	interval := idle / 4
 	if slow > 0 && (interval <= 0 || slow/4 < interval) {
 		interval = slow / 4
+	}
+	if stall > 0 && (interval <= 0 || stall/4 < interval) {
+		interval = stall / 4
 	}
 	if interval <= 0 {
 		interval = time.Millisecond
@@ -947,18 +1000,27 @@ func (s *Server) reap(sh *shard) {
 		sh.mu.Lock()
 		idleVictims := make([]*Conn, 0)
 		slowVictims := make([]*Conn, 0)
+		stallVictims := make([]*Conn, 0)
 		for _, c := range sh.conns {
 			switch {
+			case stall > 0 && c.writeStalledFor(stall):
+				// A parked outbound queue that has not moved a progress
+				// quantum within WriteTimeout: the peer stopped reading
+				// (or trickles below the quantum rate) under an in-flight
+				// reply — the write-side slowloris.
+				stallVictims = append(stallVictims, c)
 			case idle > 0 && c.IdleFor() > idle:
 				idleVictims = append(idleVictims, c)
 			case slow > 0 && c.RequestPendingFor() > slow:
 				slowVictims = append(slowVictims, c)
-			case slow > 0 && c.polled.Load() && c.IdleFor() > slow:
+			case slow > 0 && c.polled.Load() && c.IdleFor() > slow && c.OutboundQueued() == 0:
 				// Event-driven connections carry no per-read deadline (a
 				// parked socket performs no read to deadline against), so
 				// the scavenger enforces the O7 ReadTimeout budget by
 				// sweeping the table — the same bound the goroutine path
-				// gets from SetReadDeadline.
+				// gets from SetReadDeadline. A connection with outbound
+				// bytes in flight is mid-reply, not idle: it answers to
+				// the WriteTimeout progress clock instead.
 				slowVictims = append(slowVictims, c)
 			}
 		}
@@ -973,6 +1035,12 @@ func (s *Server) reap(sh *shard) {
 				c.handle, c.RequestPendingFor())
 			sh.profile.IdleShutdown()
 			c.teardown(ErrSlowClient)
+		}
+		for _, c := range stallVictims {
+			s.trace.Record("server", "slow-reader shutdown of handle %d (%d outbound bytes stalled)",
+				c.handle, c.OutboundQueued())
+			sh.profile.IdleShutdown()
+			c.teardown(ErrSlowReader)
 		}
 	}
 }

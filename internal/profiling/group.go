@@ -19,6 +19,7 @@ type Source interface {
 	Snapshot() Snapshot
 	StageSnapshot(Stage) HistogramSnapshot
 	PollSnapshot() PollSnapshot
+	FlushSnapshot() HistogramSnapshot
 }
 
 // Group is a set of per-shard Profiles plus one global Profile for
@@ -105,6 +106,7 @@ func (p *Profile) addInto(agg *Snapshot) uint64 {
 	agg.FallbackChunks += s.FallbackChunks
 	agg.Responses206 += s.Responses206
 	agg.Responses416 += s.Responses416
+	agg.OutboundShed += s.OutboundShed
 	return p.serviceNanos.Load()
 }
 
@@ -151,6 +153,24 @@ func (g *Group) StageSnapshot(st Stage) HistogramSnapshot {
 	}
 	g.all(func(p *Profile) {
 		hs := p.StageSnapshot(st)
+		merged.Count += hs.Count
+		merged.Sum += hs.Sum
+		for i := range hs.Buckets {
+			merged.Buckets[i] += hs.Buckets[i]
+		}
+	})
+	return merged
+}
+
+// FlushSnapshot merges the parked-write flush-latency histogram across
+// shards and the global profile; the zero snapshot for nil.
+func (g *Group) FlushSnapshot() HistogramSnapshot {
+	var merged HistogramSnapshot
+	if g == nil {
+		return merged
+	}
+	g.all(func(p *Profile) {
+		hs := p.FlushSnapshot()
 		merged.Count += hs.Count
 		merged.Sum += hs.Sum
 		for i := range hs.Buckets {

@@ -50,6 +50,11 @@ type Profile struct {
 	// ready-batch sizes per epoll_wait wakeup and time blocked waiting.
 	pollBatch SizeHistogram
 	pollWait  Histogram
+	// EPOLLOUT write path quantities: connections shed because their
+	// parked outbound queue hit the memory cap, and the park-to-flushed
+	// latency of each parked reply residual.
+	outboundShed atomic.Uint64
+	flushLatency Histogram
 	// stageSeen drives the 1-in-StageSampleEvery lattice of StageStart.
 	stageSeen atomic.Uint64
 }
@@ -175,6 +180,31 @@ func (p *Profile) RangeUnsatisfiable() {
 	}
 }
 
+// OutboundShed counts one connection torn down because its parked
+// outbound queue exceeded the per-connection memory cap.
+func (p *Profile) OutboundShed() {
+	if p != nil {
+		p.outboundShed.Add(1)
+	}
+}
+
+// ObserveFlush records one parked reply residual's park-to-flushed
+// latency (how long the EPOLLOUT path took to drain it end to end).
+func (p *Profile) ObserveFlush(d time.Duration) {
+	if p != nil {
+		p.flushLatency.Observe(d)
+	}
+}
+
+// FlushSnapshot returns the parked-write flush-latency distribution; the
+// zero snapshot for nil.
+func (p *Profile) FlushSnapshot() HistogramSnapshot {
+	if p == nil {
+		return HistogramSnapshot{}
+	}
+	return p.flushLatency.Snapshot()
+}
+
 // Snapshot is a point-in-time copy of all counters.
 type Snapshot struct {
 	ConnectionsAccepted uint64
@@ -193,6 +223,7 @@ type Snapshot struct {
 	FallbackChunks      uint64
 	Responses206        uint64
 	Responses416        uint64
+	OutboundShed        uint64
 	MeanServiceTime     time.Duration
 }
 
@@ -227,6 +258,7 @@ func (p *Profile) Snapshot() Snapshot {
 		FallbackChunks:      p.fallbackChunks.Load(),
 		Responses206:        p.responses206.Load(),
 		Responses416:        p.responses416.Load(),
+		OutboundShed:        p.outboundShed.Load(),
 	}
 	if s.RequestsServed > 0 {
 		s.MeanServiceTime = time.Duration(p.serviceNanos.Load() / s.RequestsServed)
@@ -238,10 +270,10 @@ func (p *Profile) Snapshot() Snapshot {
 // prints at shutdown.
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"accepted=%d closed=%d refused=%d requests=%d read=%dB sent=%dB streamed=%dB sendfile=%d fallback=%d 206=%d 416=%d dispatched=%d processed=%d cache=%.3f idle_shutdowns=%d mean_service=%v",
+		"accepted=%d closed=%d refused=%d requests=%d read=%dB sent=%dB streamed=%dB sendfile=%d fallback=%d 206=%d 416=%d dispatched=%d processed=%d cache=%.3f idle_shutdowns=%d outbound_shed=%d mean_service=%v",
 		s.ConnectionsAccepted, s.ConnectionsClosed, s.ConnectionsRefused,
 		s.RequestsServed, s.BytesRead, s.BytesSent,
 		s.BytesStreamed, s.SendfileChunks, s.FallbackChunks, s.Responses206, s.Responses416,
 		s.EventsDispatched, s.EventsProcessed, s.CacheHitRate(), s.IdleShutdowns,
-		s.MeanServiceTime)
+		s.OutboundShed, s.MeanServiceTime)
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"syscall"
 	"time"
+	"unsafe"
 
 	"repro/internal/events"
 )
@@ -30,10 +31,14 @@ const PollerSupported = true
 // convert to the EpollEvent.Events field directly.
 const epolletFlag uint32 = 1 << 31
 
-// pollEntry is one parked connection in the flat fd table.
+// pollEntry is one parked connection in the flat fd table. wantWrite
+// records whether EPOLLOUT is currently part of the descriptor's
+// interest set, so Arm/DisarmWrite stay idempotent without an extra
+// syscall.
 type pollEntry struct {
-	handle Handle
-	prio   events.Priority
+	handle    Handle
+	prio      events.Priority
+	wantWrite bool
 }
 
 // Poller owns one epoll descriptor and the fd -> handle table of the
@@ -110,6 +115,45 @@ func (p *Poller) Add(fd int, h Handle, prio events.Priority) error {
 	return nil
 }
 
+// ArmWrite adds EPOLLOUT to a parked descriptor's interest set. The
+// modification re-primes the edge-triggered item, so if the socket is
+// already writable the kernel reports an event immediately — arming
+// after an EAGAIN therefore cannot lose the writability edge that may
+// have arrived in between. Idempotent while armed.
+func (p *Poller) ArmWrite(fd int) error {
+	return p.setWrite(fd, true)
+}
+
+// DisarmWrite removes EPOLLOUT from a parked descriptor's interest set
+// once its outbound queue has drained. Idempotent while disarmed.
+func (p *Poller) DisarmWrite(fd int) error {
+	return p.setWrite(fd, false)
+}
+
+func (p *Poller) setWrite(fd int, on bool) error {
+	p.mu.Lock()
+	e, ok := p.conns[int32(fd)]
+	if !ok || p.closed {
+		p.mu.Unlock()
+		return ErrSourceClosed
+	}
+	if e.wantWrite == on {
+		p.mu.Unlock()
+		return nil
+	}
+	e.wantWrite = on
+	p.conns[int32(fd)] = e
+	p.mu.Unlock()
+	ev := syscall.EpollEvent{
+		Events: syscall.EPOLLIN | syscall.EPOLLRDHUP | epolletFlag,
+		Fd:     int32(fd),
+	}
+	if on {
+		ev.Events |= syscall.EPOLLOUT
+	}
+	return syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_MOD, fd, &ev)
+}
+
 // Del removes a descriptor from the interest set and the table, reporting
 // whether it was parked. Call before closing the descriptor — the kernel
 // would drop the interest itself on close, but the table entry would leak.
@@ -132,9 +176,12 @@ func (p *Poller) Len() int {
 }
 
 // Run is the drain loop: it blocks in epoll_wait and emits one readiness
-// notification per ready connection until Close. Run owns the poller's
-// descriptors and closes them on exit.
-func (p *Poller) Run(emit func(Handle, events.Priority)) {
+// notification per ready connection until Close. writable reports an
+// EPOLLOUT edge (the socket drained below its send-buffer mark); a
+// single epoll event carrying both halves emits the read notification
+// first, then the write one, so inbound bytes are never starved behind a
+// flush. Run owns the poller's descriptors and closes them on exit.
+func (p *Poller) Run(emit func(h Handle, prio events.Priority, writable bool)) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -178,7 +225,19 @@ func (p *Poller) Run(emit func(Handle, events.Priority)) {
 				continue
 			}
 			batch++
-			emit(e.handle, e.prio)
+			flags := evs[i].Events
+			writable := flags&syscall.EPOLLOUT != 0
+			// Error and hangup conditions surface on the read path (the
+			// drain's read maps them to a teardown cause), so a pure
+			// EPOLLOUT event is the only one that skips the read emit.
+			readable := !writable ||
+				flags&(syscall.EPOLLIN|syscall.EPOLLRDHUP|syscall.EPOLLHUP|syscall.EPOLLERR) != 0
+			if readable {
+				emit(e.handle, e.prio, false)
+			}
+			if writable {
+				emit(e.handle, e.prio, true)
+			}
 		}
 		if batch > 0 && p.OnBatch != nil {
 			p.OnBatch(batch, wait)
@@ -252,4 +311,51 @@ func NonblockRead(rc syscall.RawConn, buf []byte) (n int, again bool, err error)
 		rn = 0
 	}
 	return rn, false, rerr
+}
+
+// NonblockWritev performs one non-blocking vectored write of up to two
+// segments (wire head, body — the zero-copy reply shape) on a raw
+// connection. The callback always returns true, so the runtime never
+// parks the calling goroutine on writability — EAGAIN surfaces as
+// again=true, the cue to queue the residual and arm EPOLLOUT. A short
+// count with again=false is not an error: writev(2) reports partial
+// progress on a full socket buffer without EAGAIN; the caller parks the
+// remainder exactly as it would after an explicit EAGAIN.
+func NonblockWritev(rc syscall.RawConn, seg0, seg1 []byte) (n int, again bool, err error) {
+	var iov [2]syscall.Iovec
+	niov := 0
+	for _, seg := range [2][]byte{seg0, seg1} {
+		if len(seg) == 0 {
+			continue
+		}
+		iov[niov].Base = &seg[0]
+		iov[niov].SetLen(len(seg))
+		niov++
+	}
+	if niov == 0 {
+		return 0, false, nil
+	}
+	var wn int
+	var werr error
+	if cerr := rc.Write(func(fd uintptr) bool {
+		for {
+			r1, _, errno := syscall.Syscall(syscall.SYS_WRITEV, fd,
+				uintptr(unsafe.Pointer(&iov[0])), uintptr(niov))
+			if errno == syscall.EINTR {
+				continue
+			}
+			if errno != 0 {
+				wn, werr = 0, errno
+			} else {
+				wn, werr = int(r1), nil
+			}
+			return true
+		}
+	}); cerr != nil {
+		return 0, false, cerr
+	}
+	if werr == syscall.EAGAIN || werr == syscall.EWOULDBLOCK {
+		return 0, true, nil
+	}
+	return wn, false, werr
 }

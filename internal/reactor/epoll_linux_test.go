@@ -58,7 +58,11 @@ func TestPollerEmitsReadiness(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		p.Run(func(h Handle, prio events.Priority) { got <- h })
+		p.Run(func(h Handle, prio events.Priority, writable bool) {
+			if !writable {
+				got <- h
+			}
+		})
 	}()
 
 	fds := pollPair(t)
@@ -124,7 +128,10 @@ func TestPollerAddExistingReadiness(t *testing.T) {
 	}
 	defer p.Close()
 	got := make(chan Handle, 1)
-	go p.Run(func(h Handle, prio events.Priority) {
+	go p.Run(func(h Handle, prio events.Priority, writable bool) {
+		if writable {
+			return
+		}
 		select {
 		case got <- h:
 		default:
@@ -216,5 +223,185 @@ func TestNonblockRead(t *testing.T) {
 	}
 	if n != 0 || err != nil {
 		t.Fatalf("EOF: n=%d err=%v, want 0 nil", n, err)
+	}
+}
+
+// fillSocket writes until the kernel send buffer is full (EAGAIN),
+// returning the number of bytes it queued.
+func fillSocket(t *testing.T, fd int) int {
+	t.Helper()
+	junk := make([]byte, 32<<10)
+	total := 0
+	for {
+		n, err := syscall.Write(fd, junk)
+		if n > 0 {
+			total += n
+		}
+		if err == syscall.EAGAIN || err == syscall.EWOULDBLOCK {
+			return total
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPollerArmWriteEdge(t *testing.T) {
+	p, err := NewPoller()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	writes := make(chan Handle, 16)
+	go p.Run(func(h Handle, prio events.Priority, writable bool) {
+		if writable {
+			select {
+			case writes <- h:
+			default:
+			}
+		}
+	})
+
+	fds := pollPair(t)
+	if err := p.Add(fds[0], 9, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Arming while the socket is writable must re-prime the edge and
+	// deliver an immediate EPOLLOUT — this is what makes arming after an
+	// EAGAIN race-free even if the peer drained in between.
+	if err := p.ArmWrite(fds[0]); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-writes:
+	case <-time.After(2 * time.Second):
+		t.Fatal("no EPOLLOUT for an already-writable socket after ArmWrite")
+	}
+
+	// Fill the buffer, re-arm, and check the edge fires only once the
+	// peer makes room.
+	queued := fillSocket(t, fds[0])
+	if err := p.DisarmWrite(fds[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ArmWrite(fds[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Drain any event raced in before the buffer filled.
+	drainDeadline := time.After(100 * time.Millisecond)
+drain:
+	for {
+		select {
+		case <-writes:
+		case <-drainDeadline:
+			break drain
+		}
+	}
+	buf := make([]byte, 256<<10)
+	drained := 0
+	for drained < queued {
+		n, rerr := syscall.Read(fds[1], buf)
+		if n > 0 {
+			drained += n
+		}
+		if rerr == syscall.EAGAIN || rerr == syscall.EWOULDBLOCK {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+	}
+	select {
+	case h := <-writes:
+		if h != 9 {
+			t.Fatalf("EPOLLOUT handle %d, want 9", h)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no EPOLLOUT after the peer drained the socket")
+	}
+
+	// Disarmed: filling and draining again must not produce write events.
+	if err := p.DisarmWrite(fds[0]); err != nil {
+		t.Fatal(err)
+	}
+	for len(writes) > 0 {
+		<-writes
+	}
+	fillSocket(t, fds[0])
+	for {
+		n, rerr := syscall.Read(fds[1], buf)
+		if rerr == syscall.EAGAIN || rerr == syscall.EWOULDBLOCK {
+			break
+		}
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		if n == 0 {
+			break
+		}
+	}
+	select {
+	case <-writes:
+		t.Fatal("EPOLLOUT delivered while disarmed")
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestNonblockWritev(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	peer, serverEnd := acceptPair(t, ln)
+	defer peer.Close()
+	defer serverEnd.Close()
+
+	sc := serverEnd.(syscall.Conn)
+	_, raw, err := ConnFD(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two segments land as one contiguous stream.
+	n, again, err := NonblockWritev(raw, []byte("head,"), []byte("body"))
+	if err != nil || again || n != 9 {
+		t.Fatalf("writev: n=%d again=%v err=%v, want 9 false nil", n, again, err)
+	}
+	got := make([]byte, 9)
+	if _, err := peer.Read(got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "head,body" {
+		t.Fatalf("peer read %q, want \"head,body\"", got)
+	}
+
+	// Empty segments are a no-op, not a syscall error.
+	if n, again, err = NonblockWritev(raw, nil, nil); n != 0 || again || err != nil {
+		t.Fatalf("empty writev: n=%d again=%v err=%v, want 0 false nil", n, again, err)
+	}
+
+	// Keep writing without a reader until the socket jams: the helper must
+	// surface EAGAIN as again=true (possibly after partial counts), never
+	// block, and never invent an error.
+	chunk := make([]byte, 64<<10)
+	sent := 0
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n, again, err = NonblockWritev(raw, chunk[:16], chunk[16:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sent += n
+		if again {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("socket never filled")
+		}
+	}
+	if sent == 0 {
+		t.Fatal("no bytes accepted before EAGAIN")
 	}
 }

@@ -38,7 +38,13 @@ func (p *Poller) Del(fd int) bool { return false }
 func (p *Poller) Len() int { return 0 }
 
 // Run implements the Poller surface; returns immediately.
-func (p *Poller) Run(emit func(Handle, events.Priority)) {}
+func (p *Poller) Run(emit func(h Handle, prio events.Priority, writable bool)) {}
+
+// ArmWrite implements the Poller surface; always unsupported.
+func (p *Poller) ArmWrite(fd int) error { return ErrPollerUnsupported }
+
+// DisarmWrite implements the Poller surface; always unsupported.
+func (p *Poller) DisarmWrite(fd int) error { return ErrPollerUnsupported }
 
 // Close implements the Poller surface.
 func (p *Poller) Close() {}
@@ -50,5 +56,10 @@ func ConnFD(sc syscall.Conn) (int, syscall.RawConn, error) {
 
 // NonblockRead is unavailable without the poller path.
 func NonblockRead(rc syscall.RawConn, buf []byte) (n int, again bool, err error) {
+	return 0, false, ErrPollerUnsupported
+}
+
+// NonblockWritev is unavailable without the poller path.
+func NonblockWritev(rc syscall.RawConn, seg0, seg1 []byte) (n int, again bool, err error) {
 	return 0, false, ErrPollerUnsupported
 }

@@ -1,0 +1,65 @@
+package reactor
+
+import "sync/atomic"
+
+// DrainGate is the oneshot/re-arm CAS machine both kernel-event drain
+// paths share. Readiness is edge-triggered, so a wakeup that lands while
+// a drain is already running must not be dropped (the kernel will not
+// repeat it) and must not start a concurrent drain (the socket is being
+// consumed). The gate collapses both into three states:
+//
+//	armed    — no drain in flight; the next wakeup claims the gate
+//	draining — a drain owns the socket
+//	rearm    — a wakeup landed mid-drain; the owner must go around
+//
+// The read side of the connection state machine in internal/nserver
+// pioneered this shape; the EPOLLOUT write path mirrors it through this
+// type so both halves provably share one lost-wakeup argument.
+type DrainGate struct {
+	state atomic.Int32
+}
+
+const (
+	gateArmed int32 = iota
+	gateDraining
+	gateRearm
+)
+
+// Claim consumes one readiness wakeup. True means the caller now owns
+// the drain and must run it to completion; false means a drain is
+// already in flight and has been flagged to go around, so the wakeup is
+// absorbed without blocking.
+func (g *DrainGate) Claim() bool {
+	for {
+		switch g.state.Load() {
+		case gateArmed:
+			if g.state.CompareAndSwap(gateArmed, gateDraining) {
+				return true
+			}
+		case gateDraining:
+			if g.state.CompareAndSwap(gateDraining, gateRearm) {
+				return false
+			}
+		default: // gateRearm: the pending pass already covers this wakeup.
+			return false
+		}
+	}
+}
+
+// Release ends a drain pass. True means the gate is re-armed and the
+// owner may return; false means a wakeup landed during the pass — the
+// gate stays owned and the caller must drain again before releasing.
+func (g *DrainGate) Release() bool {
+	if g.state.CompareAndSwap(gateDraining, gateArmed) {
+		return true
+	}
+	// A wakeup moved us to rearm mid-drain: absorb it and keep ownership.
+	g.state.Store(gateDraining)
+	return false
+}
+
+// Reset forces the gate back to armed, for teardown paths that abandon
+// a drain without another pass.
+func (g *DrainGate) Reset() {
+	g.state.Store(gateArmed)
+}
