@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos model bench bench-allocs bench-shed bench-metrics bench-sendfile bench-shards bench-idle bench-overload experiments examples cover clean
+.PHONY: all build vet test race chaos model bench bench-allocs bench-shed bench-metrics bench-sendfile bench-shards bench-idle bench-overload bench-hot experiments examples cover clean
 
 all: build vet test
 
@@ -29,9 +29,19 @@ test: vet chaos
 	# alone and combined with the kernel-event read path.
 	NSERVER_ADAPTIVE_SHED=1 $(GO) test -count=1 ./internal/nserver ./internal/eventproc ./internal/reactor
 	NSERVER_ADAPTIVE_SHED=1 NSERVER_EVENT_DRIVEN=1 $(GO) test -count=1 ./internal/nserver ./internal/eventproc ./internal/reactor
+	# The run-to-completion fast path must hold the same invariants as the
+	# queued path: the runtime and HTTP suites re-run with direct dispatch
+	# forced on (which implies the kernel-event substrate), alone,
+	# serialized onto one core, and combined with adaptive shedding.
+	NSERVER_DIRECT_DISPATCH=1 $(GO) test -count=1 ./internal/nserver ./internal/eventproc ./internal/reactor ./internal/copshttp
+	NSERVER_DIRECT_DISPATCH=1 GOMAXPROCS=1 $(GO) test -count=1 ./internal/nserver ./internal/copshttp
+	NSERVER_DIRECT_DISPATCH=1 NSERVER_ADAPTIVE_SHED=1 $(GO) test -count=1 ./internal/nserver ./internal/copshttp
 	# A medium model-based conformance run rides along with every test
-	# sweep; `make model` runs the full 10k-program batch.
+	# sweep; `make model` runs the full 10k-program batch — first on the
+	# queued path, then with the fast path forced on (the wire must not
+	# change).
 	$(MAKE) model MODEL_PROGRAMS=400
+	NSERVER_DIRECT_DISPATCH=1 $(MAKE) model MODEL_PROGRAMS=400
 
 race:
 	$(GO) test -race ./...
@@ -115,6 +125,14 @@ bench-overload:
 	  $(GO) test -run '^$$' -bench BenchmarkIdleParkedConns -benchmem . ; } \
 		| $(GO) run ./cmd/benchjson > BENCH_PR7.json
 	@cat BENCH_PR7.json
+
+# The fast-path snapshot: the alloc-pinned hot serve (queued and
+# direct-dispatch variants) plus the hot-URL serve cost and pipelined
+# throughput with the fast path on versus off, recorded as JSON.
+bench-hot:
+	$(GO) test -run TestHotPathAllocs -bench 'BenchmarkHotURLServe|BenchmarkPipelinedHotThroughput' -benchmem . \
+		| $(GO) run ./cmd/benchjson > BENCH_PR10.json
+	@cat BENCH_PR10.json
 
 # Regenerate every table and figure at full virtual length.
 experiments:

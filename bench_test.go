@@ -751,3 +751,168 @@ func BenchmarkShardScaling(b *testing.B) {
 		})
 	}
 }
+
+// hotServeServer starts a COPS-HTTP server over loopback with one hot
+// 16 KiB document. Both variants run on the kernel-event substrate so
+// the direct on/off delta isolates the fast path itself: off is the
+// queued pipeline (poll event, queue hop, worker decode and serve), on
+// short-circuits exactly that hop. Both run profiled so the comparison
+// is like for like (and so the direct runs can assert the fast path
+// actually engaged).
+func hotServeServer(b *testing.B, direct bool) *copshttp.Server {
+	b.Helper()
+	dir := b.TempDir()
+	body := make([]byte, 16<<10)
+	for i := range body {
+		body[i] = 'a' + byte(i%26)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "index.html"), body, 0o644); err != nil {
+		b.Fatal(err)
+	}
+	opts := options.COPSHTTP()
+	opts.Profiling = true
+	opts.EventDriven = true
+	opts.DirectDispatch = direct
+	srv, err := copshttp.New(copshttp.Config{DocRoot: dir, Options: &opts})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(srv.Shutdown)
+	if direct && !srv.Framework().DirectDispatch() {
+		b.Skip("direct dispatch inactive on this platform")
+	}
+	// Warm: the first request misses, renders and publishes the cached
+	// response; every measured request must find it already hot.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	if _, err := conn.Write(hotGetRequest); err != nil {
+		b.Fatal(err)
+	}
+	readHotResponse(b, r)
+	return srv
+}
+
+// hotGetRequest is the preformed request both hot-serve benchmarks
+// repeat, so client-side formatting never shows up in the comparison.
+var hotGetRequest = []byte("GET /index.html HTTP/1.1\r\nHost: bench\r\n\r\n")
+
+// readHotResponse consumes one full response to the hot document.
+func readHotResponse(b *testing.B, r *bufio.Reader) {
+	cl, err := readResponseHead(r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if cl > 0 {
+		if _, err := io.CopyN(io.Discard, r, cl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// hotServeClients drives the hot-serve benchmarks' client side: eight
+// concurrent keep-alive connections splitting b.N requests, each issuing
+// them in pipelined windows of `window` (window 1 is the sequential
+// request-response round trip). Concurrency matters here: with one
+// connection the queued path hides its event-queue hop behind the
+// client's own round-trip think time, and the comparison measures
+// nothing. Eight busy connections is where the hop becomes the
+// bottleneck the fast path exists to remove.
+func hotServeClients(b *testing.B, addr string, window int) {
+	const conns = 8
+	var batch []byte
+	for i := 0; i < window; i++ {
+		batch = append(batch, hotGetRequest...)
+	}
+	per := b.N / conns
+	if per == 0 {
+		per = 1
+	}
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			for sent := 0; sent < per; {
+				w := window
+				if rem := per - sent; rem < w {
+					w = rem
+				}
+				if _, err := conn.Write(batch[:len(hotGetRequest)*w]); err != nil {
+					b.Error(err)
+					return
+				}
+				for i := 0; i < w; i++ {
+					readHotResponse(b, r)
+				}
+				sent += w
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+}
+
+// BenchmarkHotURLServe measures one keep-alive GET of a hot cached
+// document, end to end over loopback, with the run-to-completion fast
+// path off (the queued kernel-event baseline: poll event, queue hop,
+// worker decode, per-request head render) and on (rendered-response
+// cache hit served inline on the reactor goroutine). One op is one
+// request-response round trip; eight connections issue them
+// concurrently.
+func BenchmarkHotURLServe(b *testing.B) {
+	for _, direct := range []bool{false, true} {
+		name := "direct=off"
+		if direct {
+			name = "direct=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			srv := hotServeServer(b, direct)
+			hotServeClients(b, srv.Addr(), 1)
+			if direct {
+				if snap := srv.Framework().Profile().Snapshot(); snap.DirectDispatched == 0 {
+					b.Fatal("fast path never engaged (DirectDispatched = 0)")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipelinedHotThroughput measures pipelined hot-GET throughput:
+// windows of 16 requests written back to back, then all 16 replies
+// drained, on each of the eight concurrent connections. This is where
+// run-to-completion pays most — one readable edge serves the whole
+// backlog inline from the rendered-response cache instead of bouncing
+// every request through the event queue. One op is one pipelined
+// request.
+func BenchmarkPipelinedHotThroughput(b *testing.B) {
+	for _, direct := range []bool{false, true} {
+		name := "direct=off"
+		if direct {
+			name = "direct=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			srv := hotServeServer(b, direct)
+			hotServeClients(b, srv.Addr(), 16)
+			if direct {
+				if snap := srv.Framework().Profile().Snapshot(); snap.DirectDispatched == 0 {
+					b.Fatal("fast path never engaged (DirectDispatched = 0)")
+				}
+			}
+		})
+	}
+}

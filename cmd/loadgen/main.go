@@ -9,7 +9,9 @@
 // open loop: a token bucket injects requests at the given rate no matter
 // how fast the server answers (so server slowdown shows up as latency,
 // not as reduced offered load), and the report adds p50/p95/p99 latency
-// and the achieved throughput against the offered rate.
+// and the achieved throughput against the offered rate. Latency is
+// measured from each arrival's scheduled send time, not from the moment
+// a worker wrote the request — the coordinated-omission-honest reading.
 //
 // Usage:
 //
@@ -119,6 +121,15 @@ func main() {
 // in the bucket (up to one second's worth) and then count as dropped —
 // the open-loop signature where overload shows up as latency and loss,
 // never as politely reduced load.
+//
+// Latency is coordinated-omission honest: every token carries the
+// intended send time of its arrival on the fixed schedule (start +
+// k/rate), and each request's latency is measured from that intent, not
+// from the moment a worker finally got around to writing the bytes. A
+// stalled server therefore charges its stall to every request queued
+// behind it, exactly as its users would experience — measuring from the
+// actual write would silently excuse the queueing delay the open loop
+// exists to expose.
 func openLoop(addr string, clients int, rate float64, duration time.Duration,
 	pick func(*rand.Rand) string, seed int64) {
 	ctx, cancel := context.WithTimeout(context.Background(), duration)
@@ -128,24 +139,29 @@ func openLoop(addr string, clients int, rate float64, duration time.Duration,
 	if burst < 1 {
 		burst = 1
 	}
-	tokens := make(chan struct{}, burst)
+	tokens := make(chan time.Time, burst)
 	var offered, dropped atomic.Int64
+	schedStart := time.Now()
 	go func() {
 		const interval = 5 * time.Millisecond
 		tk := time.NewTicker(interval)
 		defer tk.Stop()
-		carry := 0.0
+		arrivals := int64(0)
 		for {
 			select {
 			case <-ctx.Done():
 				return
 			case <-tk.C:
 			}
-			carry += rate * interval.Seconds()
-			for ; carry >= 1; carry-- {
+			// Mint every arrival the schedule owes by now, each stamped
+			// with its intended send time — ticker lag is the generator's
+			// own queueing delay and counts like any other.
+			due := int64(time.Since(schedStart).Seconds() * rate)
+			for ; arrivals < due; arrivals++ {
 				offered.Add(1)
+				intended := schedStart.Add(time.Duration(float64(arrivals) / rate * float64(time.Second)))
 				select {
-				case tokens <- struct{}{}:
+				case tokens <- intended:
 				default:
 					dropped.Add(1)
 				}
@@ -171,10 +187,11 @@ func openLoop(addr string, clients int, rate float64, duration time.Duration,
 				}
 			}()
 			for {
+				var intended time.Time
 				select {
 				case <-ctx.Done():
 					return
-				case <-tokens:
+				case intended = <-tokens:
 				}
 				if conn == nil {
 					d := net.Dialer{Timeout: 5 * time.Second}
@@ -184,7 +201,6 @@ func openLoop(addr string, clients int, rate float64, duration time.Duration,
 					}
 					conn, r = c, bufio.NewReader(c)
 				}
-				reqStart := time.Now()
 				conn.SetDeadline(time.Now().Add(30 * time.Second))
 				if _, err := fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: loadgen\r\n\r\n", pick(rng)); err != nil {
 					conn.Close()
@@ -198,7 +214,9 @@ func openLoop(addr string, clients int, rate float64, duration time.Duration,
 				}
 				mu.Lock()
 				total++
-				lat.AddDuration(time.Since(reqStart))
+				// From the scheduled arrival, so bucket wait and dial time
+				// are charged to the request (no coordinated omission).
+				lat.AddDuration(time.Since(intended))
 				mu.Unlock()
 			}
 		}(i)

@@ -21,6 +21,8 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cache"
@@ -63,6 +65,26 @@ type Service struct {
 	cache   *cache.Cache
 	profile *profiling.Profile
 	trace   *logging.Trace
+
+	// Singleflight state for cache-miss reads: while a read of a path is
+	// in flight, later misses of the same path join its waiter list
+	// instead of queueing their own disk read, so a thundering herd on a
+	// cold key costs exactly one file-I/O operation. Only reads through
+	// the cache collapse — without a cache every read is an independent
+	// operation by contract.
+	flightMu  sync.Mutex
+	flights   map[string][]flightWaiter
+	collapsed atomic.Uint64
+	diskReads atomic.Uint64
+}
+
+// flightWaiter is one collapsed read's completion routing: the token,
+// priority and continuation of a ReadFile call that joined an in-flight
+// read instead of submitting its own.
+type flightWaiter struct {
+	tok  events.Token
+	prio events.Priority
+	done Done
 }
 
 // ErrNoSink is returned by New when asynchronous completion is selected
@@ -95,6 +117,7 @@ func New(cfg Config) (*Service, error) {
 		cache:   cfg.Cache,
 		profile: cfg.Profile,
 		trace:   cfg.Trace,
+		flights: make(map[string][]flightWaiter),
 	}, nil
 }
 
@@ -122,13 +145,19 @@ type fileReadEvent struct {
 	done Done
 }
 
-// Process performs the blocking read on a file-I/O worker.
+// Process performs the blocking read on a file-I/O worker and fans the
+// result out to the leader and every waiter collapsed onto this flight.
 func (e *fileReadEvent) Process() {
+	e.svc.diskReads.Add(1)
 	data, err := os.ReadFile(e.path)
 	if err == nil && e.svc.cache != nil {
 		e.svc.cache.Put(e.path, data)
 	}
+	waiters := e.svc.takeFlight(e.path)
 	e.svc.complete(e.tok, e.prio, e.done, data, err)
+	for _, w := range waiters {
+		e.svc.complete(w.tok, w.prio, w.done, data, err)
+	}
 }
 
 // Priority implements events.Event.
@@ -249,10 +278,49 @@ func (s *Service) ReadFile(path string, state any, prio events.Priority, done Do
 			return tok, nil
 		}
 		s.profile.CacheMiss()
+		// Singleflight: join an in-flight read of the same path instead
+		// of queueing a duplicate disk read.
+		s.flightMu.Lock()
+		if waiters, inflight := s.flights[path]; inflight {
+			s.flights[path] = append(waiters, flightWaiter{tok: tok, prio: prio, done: done})
+			s.flightMu.Unlock()
+			s.collapsed.Add(1)
+			s.trace.Record("file-io", "read collapsed onto flight %s (token %d)", path, tok.ID)
+			return tok, nil
+		}
+		s.flights[path] = []flightWaiter{}
+		s.flightMu.Unlock()
+		err := s.proc.Submit(&fileReadEvent{svc: s, path: path, tok: tok, prio: prio, done: done})
+		if err != nil {
+			// The queue is closed: the read will never run, so fail every
+			// waiter that joined between the mark and here. The leader's
+			// error returns to its caller as usual.
+			for _, w := range s.takeFlight(path) {
+				s.complete(w.tok, w.prio, w.done, nil, err)
+			}
+		}
+		return tok, err
 	}
 	err := s.proc.Submit(&fileReadEvent{svc: s, path: path, tok: tok, prio: prio, done: done})
 	return tok, err
 }
+
+// takeFlight removes and returns the waiter list for path.
+func (s *Service) takeFlight(path string) []flightWaiter {
+	s.flightMu.Lock()
+	waiters := s.flights[path]
+	delete(s.flights, path)
+	s.flightMu.Unlock()
+	return waiters
+}
+
+// CollapsedReads returns the number of cache-miss reads that joined an
+// already in-flight read of the same path instead of hitting the disk.
+func (s *Service) CollapsedReads() uint64 { return s.collapsed.Load() }
+
+// DiskReads returns the number of file reads actually performed by the
+// worker pool.
+func (s *Service) DiskReads() uint64 { return s.diskReads.Load() }
 
 // Open issues an emulated asynchronous open+stat of path: the large-file
 // analogue of ReadFile, where the completion token carries an open

@@ -316,3 +316,67 @@ func TestConcurrentReads(t *testing.T) {
 		t.Errorf("read error: %v", err)
 	}
 }
+
+// TestSingleflightCollapsesConcurrentMisses pins the thundering-herd
+// contract of the cache-miss path: N concurrent first-touch reads of one
+// path perform exactly one disk read, with every caller receiving the
+// bytes. The single worker is held busy while the misses are issued, so
+// all of them observe the leader's flight still outstanding.
+func TestSingleflightCollapsesConcurrentMisses(t *testing.T) {
+	const n = 32
+	want := []byte("cold document body")
+	path := writeTemp(t, "cold.html", want)
+	fc, err := cache.New(1<<20, options.LRU, cache.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(Config{Workers: 1, Mode: options.SynchronousCompletion, Cache: fc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	defer svc.Stop()
+
+	// Park the lone worker so every ReadFile below is issued while the
+	// leader's disk read is still queued behind this blocker.
+	block := make(chan struct{})
+	if err := svc.proc.Submit(events.PFunc{F: func() { <-block }}); err != nil {
+		t.Fatal(err)
+	}
+
+	results := make(chan []byte, n)
+	var issue sync.WaitGroup
+	for i := 0; i < n; i++ {
+		issue.Add(1)
+		go func() {
+			defer issue.Done()
+			if _, err := svc.ReadFile(path, nil, 0, func(_ events.Token, data []byte, err error) {
+				if err != nil {
+					t.Errorf("read error: %v", err)
+				}
+				results <- data
+			}); err != nil {
+				t.Errorf("submit error: %v", err)
+			}
+		}()
+	}
+	issue.Wait()
+	close(block)
+
+	for i := 0; i < n; i++ {
+		select {
+		case data := <-results:
+			if !bytes.Equal(data, want) {
+				t.Fatalf("collapsed read %d returned %q, want %q", i, data, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d of %d completions delivered", i, n)
+		}
+	}
+	if got := svc.DiskReads(); got != 1 {
+		t.Fatalf("disk reads = %d, want exactly 1 for %d concurrent misses", got, n)
+	}
+	if got := svc.CollapsedReads(); got != n-1 {
+		t.Fatalf("collapsed reads = %d, want %d", got, n-1)
+	}
+}

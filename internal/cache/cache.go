@@ -60,6 +60,12 @@ type Config struct {
 	// capacity. Zero means 1 (the classic single-lock cache). Servers use
 	// DefaultShards to scale with the processor count.
 	Shards int
+	// OnRemove, when non-nil, is called with each key whose bytes leave
+	// the cache or are replaced: policy evictions, explicit Remove calls,
+	// and Put over a resident key. Derived caches (the rendered-response
+	// cache) hook it to invalidate in lockstep. Called after the shard
+	// lock is released; it must not call back into the cache.
+	OnRemove func(key string)
 }
 
 // Stats is a snapshot of the cache counters sampled by profiling (O11).
@@ -308,18 +314,21 @@ func (c *Cache) Put(key string, data []byte) bool {
 		old.size = size
 		s.used += size
 		s.touch(old)
-		c.evictToFitLocked(s, nil)
+		evicted := c.evictToFitLocked(s, nil)
 		s.mu.Unlock()
+		c.notifyRemoved(key)
+		c.notifyRemovedAll(evicted)
 		return true
 	}
 	e := &entry{key: key, data: data, size: size, freq: 1}
 	s.clock++
 	e.lastUse = s.clock
-	c.evictToFitLocked(s, e)
+	evicted := c.evictToFitLocked(s, e)
 	e.elem = s.recency.PushBack(e)
 	s.entries[key] = e
 	s.used += size
 	s.mu.Unlock()
+	c.notifyRemovedAll(evicted)
 	return true
 }
 
@@ -327,9 +336,31 @@ func (c *Cache) Put(key string, data []byte) bool {
 func (c *Cache) Remove(key string) {
 	s := c.shardFor(key)
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if e, ok := s.entries[key]; ok {
+	e, ok := s.entries[key]
+	if ok {
 		s.removeLocked(e)
+	}
+	s.mu.Unlock()
+	if ok {
+		c.notifyRemoved(key)
+	}
+}
+
+// notifyRemoved fires the OnRemove hook for one departed key. Callers
+// must have released the shard lock.
+func (c *Cache) notifyRemoved(key string) {
+	if c.cfg.OnRemove != nil {
+		c.cfg.OnRemove(key)
+	}
+}
+
+// notifyRemovedAll fires OnRemove for each evicted key, in eviction order.
+func (c *Cache) notifyRemovedAll(keys []string) {
+	if c.cfg.OnRemove == nil {
+		return
+	}
+	for _, k := range keys {
+		c.cfg.OnRemove(k)
 	}
 }
 
@@ -419,18 +450,25 @@ func (s *shard) removeLocked(e *entry) {
 
 // evictToFitLocked evicts entries until incoming (which may be nil when
 // re-fitting after an in-place replacement) fits within the shard's
-// capacity. The caller holds s.mu.
-func (c *Cache) evictToFitLocked(s *shard, incoming *entry) {
+// capacity. The caller holds s.mu. The evicted keys are returned (nil
+// when nothing was evicted) so the caller can fire OnRemove after
+// releasing the lock.
+func (c *Cache) evictToFitLocked(s *shard, incoming *entry) []string {
 	need := s.used
 	if incoming != nil {
 		need += incoming.size
 	}
+	var evicted []string
 	for need > s.capacity && len(s.entries) > 0 {
 		v := c.victimLocked(s, incoming)
 		need -= v.size
 		s.removeLocked(v)
 		s.evictions++
+		if c.cfg.OnRemove != nil {
+			evicted = append(evicted, v.key)
+		}
 	}
+	return evicted
 }
 
 // victimLocked selects the shard entry to evict under the configured

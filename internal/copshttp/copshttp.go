@@ -18,6 +18,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/logging"
 	"repro/internal/nserver"
 	"repro/internal/options"
+	"repro/internal/respcache"
 )
 
 // Config configures a COPS-HTTP server.
@@ -106,6 +108,14 @@ type Server struct {
 	// bytes skip the cache/read hop and stream from an open descriptor.
 	// 0 disables the large-file path.
 	largeFile int64
+	// rcache is the rendered-response cache (nil when no file-cache
+	// policy is selected): pre-encoded head+body pairs for cacheable GETs.
+	// It backs the run-to-completion fast path (Options.DirectDispatch),
+	// and — independently of that option — its (modTime, size) metadata
+	// lets the stat hop detect and drop stale file-cache bytes, so a
+	// mutated file is never served from the old cached revision past the
+	// revalidate window.
+	rcache *respcache.Cache
 }
 
 // connState carries one in-flight request through the asynchronous stat
@@ -158,6 +168,16 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ShedOnOverload {
 		shed = s.shed
 	}
+	// The rendered-response cache exists whenever the file cache does: its
+	// stat-confirmation metadata fixes the stale-cached-bytes window in
+	// every mode, and under DirectDispatch it is the fast path's lookup
+	// table. Without a file cache every read hits disk fresh, so there is
+	// nothing to confirm and nothing worth pre-rendering.
+	var onRemove func(string)
+	if opts.Cache != options.NoCache {
+		s.rcache = respcache.New(runtime.GOMAXPROCS(0), 0)
+		onRemove = s.rcache.Invalidate
+	}
 
 	var codec nserver.Codec = httpproto.Codec{}
 	if cfg.Codec != nil {
@@ -166,7 +186,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DecodeDelay > 0 {
 		codec = delayCodec{inner: codec, delay: cfg.DecodeDelay}
 	}
-	ns, err := nserver.New(nserver.Config{
+	nscfg := nserver.Config{
 		Options:          opts,
 		App:              nserver.AppFuncs{Request: s.handle, Close: s.connClosed},
 		Codec:            codec,
@@ -176,7 +196,14 @@ func New(cfg Config) (*Server, error) {
 		GatePollInterval: cfg.GatePollInterval,
 		Shed:             shed,
 		ShedPriority:     cfg.ShedPriority,
-	})
+		CacheOnRemove:    onRemove,
+	}
+	if s.rcache != nil {
+		// The hook is wired unconditionally; the framework only calls it
+		// when DirectDispatch (and its whole substrate) is active.
+		nscfg.FastPath = s.tryFastServe
+	}
+	ns, err := nserver.New(nscfg)
 	if err != nil {
 		return nil, err
 	}
@@ -186,6 +213,11 @@ func New(cfg Config) (*Server, error) {
 
 // Framework returns the underlying N-Server (profiling, cache, shutdown).
 func (s *Server) Framework() *nserver.Server { return s.ns }
+
+// RespCache returns the rendered-response cache backing the
+// run-to-completion fast path (nil when no file-cache policy is
+// selected). Metrics endpoints scrape its counters.
+func (s *Server) RespCache() *respcache.Cache { return s.rcache }
 
 // ListenAndServe binds addr and serves until Shutdown.
 func (s *Server) ListenAndServe(addr string) error { return s.ns.ListenAndServe(addr) }
@@ -299,6 +331,54 @@ func (s *Server) handle(c *nserver.Conn, req any) {
 	}
 }
 
+// tryFastServe is the FastPath hook behind Options.DirectDispatch:
+// called inline from the reactor goroutine for each request decoded
+// during a direct-mode drain. It serves exactly the shape the
+// rendered-response cache holds — a keep-alive HTTP/1.1 GET for a
+// static path, no Range, no conditional — and only when the reply
+// sequencer has no earlier claim outstanding, so a pipelined response
+// can never overtake a predecessor still in the stat/read hops.
+// Everything else is declined untouched and takes the queued path,
+// which keeps admission control observing every queue wait the fast
+// path did not elide.
+func (s *Server) tryFastServe(c *nserver.Conn, req any) bool {
+	r, ok := req.(*httpproto.Request)
+	if !ok || r.Refuse != 0 || r.Method != "GET" || r.Proto != "HTTP/1.1" || !r.KeepAlive() {
+		return false
+	}
+	if r.Headers.Get("Range") != "" || r.Headers.Get("If-Modified-Since") != "" {
+		return false
+	}
+	if s.dynamic != nil && s.lookupDynamic(r.Path) != nil {
+		return false
+	}
+	// Path resolution allocates (filepath.Join); the per-connection memo
+	// makes repeat requests for the same document — the hot-URL shape the
+	// fast path exists for — allocation-free. The memo fields are only
+	// touched here, under the connection's pipeline lock.
+	q := s.sequencer(c)
+	full := q.memoFull
+	if r.Path != q.memoPath {
+		var err error
+		if full, err = s.resolve(r.Path); err != nil {
+			return false
+		}
+		q.memoPath, q.memoFull = r.Path, full
+	}
+	head, body, ok := s.rcache.Lookup(full)
+	if !ok {
+		return false
+	}
+	if !q.tryFastClaim() {
+		return false
+	}
+	c.BeginRequest()
+	err := c.SendBuffers(head, body)
+	s.logAccess(c, r, 200, len(body), c.RequestID())
+	q.finishFastClaim(s, c, err)
+	return true
+}
+
 // connClosed is the OnClose hook: tear down the reply sequencer so parked
 // buffers are dropped and parked streamers never leak.
 func (s *Server) connClosed(c *nserver.Conn, _ error) {
@@ -372,6 +452,18 @@ func (s *Server) statDone(tok events.Token, info os.FileInfo, err error) {
 	}
 	st.modTime = info.ModTime()
 	st.size = info.Size()
+	// Reconcile the rendered-response cache against this fresh stat. A
+	// mismatch proves the cached revision is outdated: the rendered entry
+	// is dropped by Confirm, and the file-cache bytes it was built from
+	// are dropped here — so the read hop below re-reads the file instead
+	// of serving the old revision under a fresh Last-Modified. A match
+	// restarts the entry's revalidate window, keeping the fast path warm
+	// for another window without its own stat.
+	if s.rcache != nil && s.rcache.Confirm(st.full, st.modTime, st.size) {
+		if fc := s.ns.Cache(); fc != nil {
+			fc.Remove(st.full)
+		}
+	}
 	// If-Modified-Since wins over Range: a 304 carries no representation,
 	// so there is nothing for the range to select from (RFC 9110 §13.2.2
 	// evaluation order).
@@ -460,6 +552,16 @@ func (s *Server) fileDone(tok events.Token, data []byte, err error) {
 	resp.Body = body
 	if !st.modTime.IsZero() {
 		resp.Headers.Set("Last-Modified", httpproto.FormatHTTPDateCached(st.modTime))
+	}
+	// Populate the rendered-response cache for the cacheable shape the
+	// fast path serves: a plain 200 to a keep-alive HTTP/1.1 GET. The
+	// head is rendered once here, on the miss path; the stored (modTime,
+	// size) pair came from the same stat hop that just Confirmed (or
+	// seeded) this revision, so a later stat catches any divergence.
+	if s.rcache != nil && resp.Status == 200 && r.Method == "GET" &&
+		r.Proto == "HTTP/1.1" && r.KeepAlive() && !st.modTime.IsZero() {
+		resp.Proto = r.Proto
+		s.rcache.Store(st.full, httpproto.AppendResponseHead(nil, resp), body, st.modTime, st.size)
 	}
 	if r.Method == "HEAD" {
 		resp.Headers.Set("Content-Length", strconv.Itoa(len(body)))

@@ -1,0 +1,205 @@
+package copshttp
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/options"
+)
+
+// ddOptions returns the COPS-HTTP preset with the run-to-completion fast
+// path (and its event-driven substrate) selected.
+func ddOptions() *options.Options {
+	o := options.COPSHTTP()
+	o.Profiling = true
+	o.EventDriven = true
+	o.DirectDispatch = true
+	return &o
+}
+
+// startDD starts a direct-dispatch server, skipping on platforms where
+// the kernel poller (and so the whole fast-path substrate) is absent.
+func startDD(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s := startHTTP(t, cfg)
+	if !s.Framework().DirectDispatch() {
+		t.Skip("direct dispatch inactive on this platform")
+	}
+	return s
+}
+
+func TestDirectDispatchServesHotGET(t *testing.T) {
+	root := buildDocRoot(t)
+	s := startDD(t, Config{DocRoot: root, Options: ddOptions()})
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	for i := 0; i < 8; i++ {
+		status, headers, body := get(t, conn, r, "GET", "/about.txt", "")
+		if status != 200 || string(body) != "about text" {
+			t.Fatalf("iteration %d: %d %q", i, status, body)
+		}
+		if headers["last-modified"] == "" || headers["date"] == "" {
+			t.Fatalf("iteration %d: missing Last-Modified/Date: %v", i, headers)
+		}
+	}
+	// The first request misses (and renders) the response cache; the
+	// repeats must be served run-to-completion on the reactor goroutine.
+	snap := s.Framework().Profile().Snapshot()
+	if snap.DirectDispatched == 0 {
+		t.Fatalf("DirectDispatched = 0 after hot repeats (snapshot %+v)", snap)
+	}
+	if rs := s.RespCache().Stats(); rs.Hits == 0 {
+		t.Fatalf("respcache hits = 0 after hot repeats (stats %+v)", rs)
+	}
+}
+
+func TestDirectDispatchPipelinedOrdering(t *testing.T) {
+	root := buildDocRoot(t)
+	s := startDD(t, Config{DocRoot: root, Options: ddOptions()})
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	// Warm the rendered cache for the hot document.
+	if status, _, _ := get(t, conn, r, "GET", "/about.txt", ""); status != 200 {
+		t.Fatalf("warmup: %d", status)
+	}
+	// A pipelined burst interleaving cold documents (queued path, async
+	// file hops) with the hot one (fast-path eligible): replies must come
+	// back in request order even though the hot request could be answered
+	// instantly — the sequencer makes the fast path decline while an
+	// earlier claim is outstanding.
+	paths := []string{"/portal/p1.html", "/about.txt", "/home/h1.html", "/about.txt", "/nosuch.txt", "/about.txt"}
+	wantStatus := []int{200, 200, 200, 200, 404, 200}
+	var req strings.Builder
+	for _, p := range paths {
+		fmt.Fprintf(&req, "GET %s HTTP/1.1\r\nHost: test\r\n\r\n", p)
+	}
+	if _, err := conn.Write([]byte(req.String())); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range paths {
+		status, _, body, err := readResponse(r, false)
+		if err != nil {
+			t.Fatalf("reply %d (%s): %v", i, p, err)
+		}
+		if status != wantStatus[i] {
+			t.Fatalf("reply %d (%s): status %d, want %d", i, p, status, wantStatus[i])
+		}
+		if status == 200 {
+			want := map[string]string{
+				"/about.txt":      "about text",
+				"/portal/p1.html": strings.Repeat("P", 2048),
+				"/home/h1.html":   strings.Repeat("H", 2048),
+			}[p]
+			if string(body) != want {
+				t.Fatalf("reply %d (%s): wrong body (%d bytes)", i, p, len(body))
+			}
+		}
+	}
+}
+
+// TestDirectDispatchMutationInvalidates is the staleness bound: a file
+// mutated between two GETs on one keep-alive connection must yield fresh
+// bytes and a fresh Last-Modified on the second GET once the revalidate
+// window has passed — the rendered entry and the file-cache bytes both
+// drop when the stat hop sees the new (modTime, size).
+func TestDirectDispatchMutationInvalidates(t *testing.T) {
+	root := buildDocRoot(t)
+	s := startDD(t, Config{DocRoot: root, Options: ddOptions()})
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	status, h1, body := get(t, conn, r, "GET", "/about.txt", "")
+	if status != 200 || string(body) != "about text" {
+		t.Fatalf("first GET: %d %q", status, body)
+	}
+	full := filepath.Join(root, "about.txt")
+	if err := os.WriteFile(full, []byte("fresh content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Force a distinct mtime even on coarse-granularity filesystems.
+	mt := time.Now().Add(2 * time.Second)
+	if err := os.Chtimes(full, mt, mt); err != nil {
+		t.Fatal(err)
+	}
+	// Let the rendered entry outlive its revalidate window so the next
+	// request is forced through the stat hop.
+	time.Sleep(250 * time.Millisecond)
+	status, h2, body := get(t, conn, r, "GET", "/about.txt", "")
+	if status != 200 || string(body) != "fresh content" {
+		t.Fatalf("post-mutation GET: %d %q", status, body)
+	}
+	if h1["last-modified"] == h2["last-modified"] {
+		t.Fatalf("Last-Modified did not change across mutation: %q", h2["last-modified"])
+	}
+	if inv := s.RespCache().Stats().Invalidations; inv == 0 {
+		t.Fatalf("no respcache invalidation recorded (stats %+v)", s.RespCache().Stats())
+	}
+}
+
+// TestDirectDispatchWireShape compares the fast path's replies against a
+// plain server's for the same request mix: statuses, bodies and the
+// contract headers must be identical (Date may differ by the second it
+// was rendered in).
+func TestDirectDispatchWireShape(t *testing.T) {
+	root := buildDocRoot(t)
+	plainOpts := options.COPSHTTP()
+	plainOpts.Profiling = true
+	plain := startHTTP(t, Config{DocRoot: root, Options: &plainOpts})
+	fast := startDD(t, Config{DocRoot: root, Options: ddOptions()})
+
+	type reply struct {
+		status  int
+		headers map[string]string
+		body    string
+	}
+	collect := func(s *Server) []reply {
+		conn, err := net.Dial("tcp", s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		r := bufio.NewReader(conn)
+		var out []reply
+		reqs := []struct{ method, path, extra string }{
+			{"GET", "/about.txt", ""},
+			{"GET", "/about.txt", ""}, // hot repeat: fast path on the DD server
+			{"HEAD", "/about.txt", ""},
+			{"GET", "/about.txt", "Range: bytes=0-4\r\n"},
+			{"GET", "/nosuch.txt", ""},
+			{"GET", "/about.txt", ""},
+		}
+		for _, q := range reqs {
+			status, headers, body := get(t, conn, r, q.method, q.path, q.extra)
+			out = append(out, reply{status, headers, string(body)})
+		}
+		return out
+	}
+	want, got := collect(plain), collect(fast)
+	for i := range want {
+		if got[i].status != want[i].status || got[i].body != want[i].body {
+			t.Fatalf("reply %d: got %d %q, want %d %q", i, got[i].status, got[i].body, want[i].status, want[i].body)
+		}
+		for _, h := range []string{"content-length", "content-type", "last-modified", "accept-ranges", "content-range", "connection"} {
+			if got[i].headers[h] != want[i].headers[h] {
+				t.Fatalf("reply %d header %s: got %q, want %q", i, h, got[i].headers[h], want[i].headers[h])
+			}
+		}
+	}
+}

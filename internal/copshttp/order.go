@@ -28,6 +28,13 @@ type sequencer struct {
 	next    uint64 // sequence number allowed to write now
 	closed  bool   // connection tore down; drop instead of parking
 	pending map[uint64]*pendingReply
+
+	// memoPath/memoFull cache the last fast-path resolution (request path
+	// → filesystem path) so repeat requests for one hot document resolve
+	// without allocating. Touched only by tryFastServe, which runs under
+	// the connection's pipeline lock.
+	memoPath string
+	memoFull string
 }
 
 // pendingReply is one parked out-of-turn reply.
@@ -77,6 +84,38 @@ func (q *sequencer) claim() uint64 {
 	q.claimed++
 	q.mu.Unlock()
 	return n
+}
+
+// tryFastClaim claims the next reply turn if and only if no earlier
+// claim is outstanding: the caller then owns the write turn immediately
+// (claim and turn coincide), which is what lets the fast path write
+// inline without parking. It fails when any predecessor is still in its
+// asynchronous hops — ordering then demands the queued path.
+func (q *sequencer) tryFastClaim() bool {
+	q.mu.Lock()
+	if q.closed || q.claimed != q.next {
+		q.mu.Unlock()
+		return false
+	}
+	q.claimed++
+	q.mu.Unlock()
+	return true
+}
+
+// finishFastClaim advances the write turn after a fast-path reply went
+// out, flushing any replies that parked behind it in the meantime
+// (mirroring sendOrdered's in-turn tail).
+func (q *sequencer) finishFastClaim(s *Server, c *nserver.Conn, err error) {
+	closeNow := false
+	q.mu.Lock()
+	q.next++
+	if !q.closed {
+		q.flushLocked(s, c, &closeNow, err)
+	}
+	q.mu.Unlock()
+	if closeNow {
+		c.Close()
+	}
 }
 
 // sendOrdered delivers one buffered reply in request order. r may be nil

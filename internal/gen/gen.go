@@ -131,6 +131,17 @@ type tmplData struct {
 	// read-timeout sweep (a parked socket performs no read for a
 	// deadline to bound).
 	TrackActivity bool
+
+	// Run-to-completion fast-path crosscut: woven only when direct
+	// dispatch is selected (which Validate ties to the event-driven
+	// substrate). The generated Server then exposes a FastPath hook the
+	// application installs; when a parked connection turns readable the
+	// poller callback offers the decoded request to the hook on the
+	// reactor goroutine itself, skipping the event-queue hop. A declined
+	// request — miss, ineligible method, pipelined backlog, overload —
+	// is punted to the queued path unchanged. Without the option the
+	// generated source is byte-identical to before the crosscut existed.
+	DirectDispatch bool
 }
 
 // Generate validates opts and emits the specialized framework under the
@@ -185,6 +196,10 @@ func Generate(pkg string, opts options.Options) (*Artifact, error) {
 		Sharded:            opts.Shards > 1,
 		Shards:             opts.Shards,
 		EventDriven:        opts.EventDriven,
+		// Generation-time degradation mirrors the library's runtime rule:
+		// the fast path needs a decoded request (O3) and a queued path to
+		// punt to (O2 pool). Validate already guarantees EventDriven.
+		DirectDispatch: opts.DirectDispatch && opts.Codec && opts.SeparateThreadPool,
 	}
 	d.TrackActivity = d.Idle || (d.EventDriven && d.ReadDeadline)
 	if d.FileIOThreads <= 0 {

@@ -31,6 +31,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cluster"
 	"repro/internal/profiling"
+	"repro/internal/respcache"
 )
 
 // Config wires the sources the endpoint exports. Every field is optional:
@@ -72,6 +73,19 @@ type Config struct {
 	// (cluster.Balancer.HedgeStats). Nil omits the nserver_hedge_*
 	// series.
 	Hedge func() cluster.HedgeSnapshot
+	// DirectDispatch reports whether the run-to-completion fast path is
+	// active (nserver.Server.DirectDispatch). Nil omits the gauge.
+	DirectDispatch func() bool
+	// RespCache reports the rendered-response cache counters behind the
+	// fast path (respcache.Cache.Stats). Nil omits the
+	// nserver_respcache_* series.
+	RespCache func() respcache.Stats
+	// CollapsedReads reports file reads absorbed by the AIO singleflight
+	// (aio.Service.CollapsedReads). Nil omits the counter.
+	CollapsedReads func() uint64
+	// DiskReads reports file reads that actually went to disk
+	// (aio.Service.DiskReads). Nil omits the counter.
+	DiskReads func() uint64
 }
 
 // Handler returns the HTTP handler serving the metrics endpoint:
@@ -209,6 +223,10 @@ type Payload struct {
 	Admission   *admission.Snapshot    `json:"admission,omitempty"`
 	Hedge       *cluster.HedgeSnapshot `json:"hedge,omitempty"`
 	Cluster     []BackendJSON          `json:"cluster,omitempty"`
+	DirectDisp  *bool                  `json:"direct_dispatch,omitempty"`
+	RespCache   *respcache.Stats       `json:"respcache,omitempty"`
+	Collapsed   *uint64                `json:"collapsed_reads,omitempty"`
+	DiskReads   *uint64                `json:"disk_reads,omitempty"`
 }
 
 // sharder is implemented by profile sources with a per-shard breakdown
@@ -328,6 +346,22 @@ func collect(cfg Config) Payload {
 		v := cfg.Hedge()
 		p.Hedge = &v
 	}
+	if cfg.DirectDispatch != nil {
+		v := cfg.DirectDispatch()
+		p.DirectDisp = &v
+	}
+	if cfg.RespCache != nil {
+		v := cfg.RespCache()
+		p.RespCache = &v
+	}
+	if cfg.CollapsedReads != nil {
+		v := cfg.CollapsedReads()
+		p.Collapsed = &v
+	}
+	if cfg.DiskReads != nil {
+		v := cfg.DiskReads()
+		p.DiskReads = &v
+	}
 	if cfg.Cluster != nil {
 		for _, bs := range cfg.Cluster.BackendStates() {
 			bj := BackendJSON{
@@ -428,6 +462,7 @@ func RenderPrometheus(cfg Config) string {
 		counter("nserver_events_processed_total", "Events completed by workers.", s.EventsProcessed)
 		counter("nserver_idle_shutdowns_total", "Connections reaped idle or slow.", s.IdleShutdowns)
 		counter("nserver_outbound_shed_total", "Connections torn down because the parked outbound queue hit the memory cap.", s.OutboundShed)
+		counter("nserver_direct_dispatch_total", "Requests served run-to-completion on the reactor goroutine (event-queue hop elided).", s.DirectDispatched)
 
 		const hname = "nserver_stage_duration_seconds"
 		fmt.Fprintf(&b, "# HELP %s Pipeline stage latency (Fig. 1 steps plus queue wait and AIO completion).\n# TYPE %s histogram\n", hname, hname)
@@ -525,6 +560,27 @@ func RenderPrometheus(cfg Config) string {
 			v = 1
 		}
 		gauge("nserver_event_driven", "1 when the kernel-event read path is active, 0 on the goroutine path.", v)
+	}
+	if cfg.DirectDispatch != nil {
+		v := 0.0
+		if cfg.DirectDispatch() {
+			v = 1
+		}
+		gauge("nserver_direct_dispatch", "1 when the run-to-completion fast path is active.", v)
+	}
+	if cfg.RespCache != nil {
+		rs := cfg.RespCache()
+		counter("nserver_respcache_hits_total", "Rendered-response cache hits (fast-path serves).", rs.Hits)
+		counter("nserver_respcache_misses_total", "Rendered-response cache misses.", rs.Misses)
+		counter("nserver_respcache_stale_total", "Lookups refused because the entry outlived its revalidate window.", rs.Stale)
+		counter("nserver_respcache_invalidations_total", "Rendered entries dropped by stat mismatch or file-cache removal.", rs.Invalidations)
+		gauge("nserver_respcache_entries", "Resident rendered-response entries.", float64(rs.Entries))
+	}
+	if cfg.CollapsedReads != nil {
+		counter("nserver_singleflight_collapsed_total", "File reads absorbed by the in-flight read they joined.", cfg.CollapsedReads())
+	}
+	if cfg.DiskReads != nil {
+		counter("nserver_file_reads_total", "File reads that went to disk (cache and singleflight misses).", cfg.DiskReads())
 	}
 	if cfg.Parked != nil {
 		gauge("nserver_parked_connections", "Connections resident in the shard epoll tables with no reader goroutine.", float64(cfg.Parked()))

@@ -240,6 +240,100 @@ func TestModelSlowReaderFates(t *testing.T) {
 	}
 }
 
+// hotRepeatProgram is the shape the rendered-response cache serves best:
+// n keep-alive GETs of one small document on a single connection.
+func hotRepeatProgram(name string, n int) *Program {
+	var cs ConnScript
+	for i := 0; i < n; i++ {
+		cs.Requests = append(cs.Requests,
+			Request{Method: "GET", Target: "/about.txt", Proto: "HTTP/1.1"})
+	}
+	return &Program{Name: name, Conns: []ConnScript{cs}}
+}
+
+// TestModelCacheInvalidation is the staleness bound, checked against the
+// model: a file mutated between two GETs on one keep-alive connection
+// must yield the new body and the new Last-Modified on the second GET —
+// the rendered-response entry and the file-cache bytes must both fall to
+// the stat revalidation, never a stale byte on the wire. The scenario
+// runs on the queued path (mem transport) and run-to-completion on the
+// fast path (tcp + direct dispatch), whose first repeat is served from
+// the rendered cache and whose post-mutation repeat must not be. With
+// MODEL_UPDATE_TRACES=1 the hot-repeat program joins the replay corpus.
+func TestModelCacheInvalidation(t *testing.T) {
+	single := &ConnScript{Requests: []Request{
+		{Method: "GET", Target: "/about.txt", Proto: "HTTP/1.1"}}}
+	for _, tc := range []struct {
+		name string
+		o    HarnessOptions
+	}{
+		{"mem-queued", HarnessOptions{}},
+		{"tcp-direct", HarnessOptions{Transport: "tcp", DirectDispatch: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHarness(t, tc.o)
+			conn, err := h.Dial()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			br := bufio.NewReader(conn)
+			sendGet := func() *wireResponse {
+				t.Helper()
+				_ = conn.SetDeadline(time.Now().Add(respTimeout))
+				if _, err := conn.Write([]byte("GET /about.txt HTTP/1.1\r\n\r\n")); err != nil {
+					t.Fatal(err)
+				}
+				wr, err := readWireResponse(br, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return wr
+			}
+			check := func(wr *wireResponse) {
+				t.Helper()
+				exp, err := Predict(h.Site, single)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if kind, detail := compareResponse(&exp.Responses[0], wr); kind != "" {
+					t.Fatalf("response violates the model (%s): %s", kind, detail)
+				}
+			}
+			// Warm every caching layer: the second GET of a hot repeat is
+			// the one a rendered-response cache would serve.
+			before := sendGet()
+			check(before)
+			check(sendGet())
+
+			mt := time.Date(2005, 4, 5, 9, 0, 0, 0, time.UTC)
+			if err := h.Mutate("/about.txt", []byte("mutated body: every cache must drop this path\n"), mt); err != nil {
+				t.Fatal(err)
+			}
+			// Let the rendered entry outlive its revalidate window, so the
+			// next request is forced through the stat hop that sees the
+			// new (mtime, size).
+			time.Sleep(250 * time.Millisecond)
+			after := sendGet()
+			check(after)
+			if before.Headers["last-modified"] == after.Headers["last-modified"] {
+				t.Fatalf("Last-Modified unchanged across mutation: %q", after.Headers["last-modified"])
+			}
+		})
+	}
+
+	if os.Getenv("MODEL_UPDATE_TRACES") == "1" {
+		tr := &Trace{
+			Name: "hot-repeat-keepalive",
+			Note: "rendered-response cache shape: repeated keep-alive GETs of one small document on a single connection; the wire must be byte-equivalent whether served queued, from the file cache, or run-to-completion from the rendered cache (TestModelCacheInvalidation additionally mutates the file mid-connection and demands fresh bytes and Last-Modified)",
+			Program: hotRepeatProgram("hot-repeat-keepalive", 6),
+		}
+		if err := SaveTrace(filepath.Join("testdata", "model", "hot-repeat-keepalive.json"), tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // TestShedContract pins the 503-shed wire contract with the model's
 // checker: with MaxConnections=1 and shedding on, a second connection
 // gets an immediate 503 carrying Retry-After >= 1 second and

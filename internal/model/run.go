@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"path/filepath"
 	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -58,6 +60,13 @@ type HarnessOptions struct {
 	// in-memory pipes hide descriptors, so the server transparently
 	// keeps the blocking fallback there.
 	EventDriven bool
+	// DirectDispatch selects the run-to-completion fast path (implying
+	// EventDriven): hot cacheable GETs are answered from the rendered-
+	// response cache on the reactor goroutine. Like EventDriven, only
+	// the "tcp" transport reaches it; the wire must be indistinguishable
+	// from the queued path either way, which is exactly what the model
+	// checks.
+	DirectDispatch bool
 }
 
 // Harness runs client programs against a live COPS-HTTP server and
@@ -70,6 +79,8 @@ type Harness struct {
 	srv  *copshttp.Server
 	mem  *simnet.MemListener
 	tcp  bool
+	// dir is the materialized DocRoot (Mutate rewrites files under it).
+	dir string
 	// ownDir is removed by Close when the harness made its own DocRoot.
 	ownDir string
 }
@@ -126,6 +137,10 @@ func newHarness(dir string, o HarnessOptions) (*Harness, error) {
 	opts.LargeFileThreshold = 64 << 10
 	opts.MaxConnections = o.MaxConnections
 	opts.EventDriven = o.EventDriven
+	if o.DirectDispatch {
+		opts.EventDriven = true
+		opts.DirectDispatch = true
+	}
 	if o.WriteTimeout > 0 {
 		opts = opts.WithHardening(0, o.WriteTimeout, 0)
 		site.WriteTimeout = o.WriteTimeout
@@ -139,7 +154,7 @@ func newHarness(dir string, o HarnessOptions) (*Harness, error) {
 	if err != nil {
 		return nil, err
 	}
-	h := &Harness{Site: site, srv: srv}
+	h := &Harness{Site: site, srv: srv, dir: dir}
 	transport := o.Transport
 	if transport == "" {
 		transport = os.Getenv("MODEL_TRANSPORT")
@@ -171,6 +186,23 @@ func newHarness(dir string, o HarnessOptions) (*Harness, error) {
 
 // Server exposes the underlying COPS-HTTP instance (shed counters).
 func (h *Harness) Server() *copshttp.Server { return h.srv }
+
+// Mutate rewrites one site file in place — on disk and in the model's
+// virtual tree, so subsequent Predict calls expect the new body and
+// Last-Modified. It is the staleness probe of the caching layers: any
+// rendered-response or file-cache entry for the path must be dropped by
+// the server's stat revalidation before the next response goes out.
+func (h *Harness) Mutate(path string, body []byte, modTime time.Time) error {
+	full := filepath.Join(h.dir, filepath.FromSlash(strings.TrimPrefix(path, "/")))
+	if err := os.WriteFile(full, body, 0o644); err != nil {
+		return err
+	}
+	if err := os.Chtimes(full, modTime, modTime); err != nil {
+		return err
+	}
+	h.Site.Files[path] = &File{Body: body, ModTime: modTime}
+	return nil
+}
 
 // Dial opens one client connection to the harness server.
 func (h *Harness) Dial() (net.Conn, error) {

@@ -160,6 +160,13 @@ func (c *Conn) RequestID() string {
 // and returns its trace ID.
 func (c *Conn) nextRequestID() uint64 { return c.reqs.Add(1) }
 
+// BeginRequest advances the request ordinal for a request the FastPath
+// hook has committed to serving inline, keeping trace IDs and
+// per-connection request counts identical across the fast and queued
+// paths. The hook must call it exactly once per request it consumes, and
+// never for a request it declines (the queued path stamps those itself).
+func (c *Conn) BeginRequest() uint64 { return c.nextRequestID() }
+
 func (c *Conn) touch() { c.lastActive.Store(time.Now().UnixNano()) }
 
 // armWriteDeadline applies the per-write deadline (WriteTimeout) before a
@@ -597,6 +604,12 @@ func (c *Conn) processChunk(chunk []byte) {
 		return
 	}
 	c.inbuf = append(c.inbuf, chunk...)
+	c.decodeLoopLocked()
+}
+
+// decodeLoopLocked extracts and dispatches buffered requests until the
+// buffer empties or ends in a partial request. The caller holds pipeMu.
+func (c *Conn) decodeLoopLocked() {
 	for {
 		decStart := c.sh.profile.StageStart()
 		req, n, err := c.decodeSafe()
@@ -636,6 +649,170 @@ func (c *Conn) decodeSafe() (req any, n int, err error) {
 		}
 	}()
 	return c.srv.codec.Decode(c.inbuf)
+}
+
+// Run-to-completion fast path (Options.DirectDispatch). The poller
+// goroutine, instead of emitting PollReady into the event queue, claims
+// the socket with the same three-state machine as pollDrain and drains
+// it inline: each decoded request is offered to the application's
+// FastPath hook, and a hot hit is answered without ever leaving the
+// reactor goroutine. The first request the hook declines PUNTS the drain:
+// the declined request plus the continuation of the decode loop and the
+// socket drain are submitted to the shard's event queue as one event —
+// so admission control still observes a queue wait for every request the
+// fast path could not finish — while poll ownership (pollState) stays
+// claimed across the handoff. Concurrent readiness edges therefore only
+// set pollRearm, and the punted continuation's closing drainUntilBlocked
+// both collects them and releases ownership.
+
+// pollDrainDirect handles one readable edge in direct mode: claim the
+// socket and drain it inline, or leave a re-drain request for the drain
+// already running (which may be a punted continuation on a worker).
+func (c *Conn) pollDrainDirect() {
+	for {
+		switch c.pollState.Load() {
+		case pollArmed:
+			if c.pollState.CompareAndSwap(pollArmed, pollDraining) {
+				c.drainUntilBlockedDirect()
+				return
+			}
+		case pollDraining:
+			if c.pollState.CompareAndSwap(pollDraining, pollRearm) {
+				return
+			}
+		default: // pollRearm: a re-drain is already queued behind the owner.
+			return
+		}
+	}
+}
+
+// drainUntilBlockedDirect is drainUntilBlocked for direct mode: a punted
+// drain returns immediately without releasing ownership — the queued
+// continuation finishes the drain and the release.
+func (c *Conn) drainUntilBlockedDirect() {
+	for {
+		if c.drainReadableDirect() {
+			return
+		}
+		if c.pollState.CompareAndSwap(pollDraining, pollArmed) {
+			return
+		}
+		c.pollState.Store(pollDraining)
+	}
+}
+
+// drainReadableDirect is drainReadable with the fast-path decode loop.
+// It reports whether the drain punted to the event queue.
+func (c *Conn) drainReadableDirect() (punted bool) {
+	for {
+		if c.closed.Load() {
+			return false
+		}
+		lease := bufpool.Get(readChunkSize)
+		readStart := c.sh.profile.StageStart()
+		n, again, err := reactor.NonblockRead(c.raw, lease.Bytes())
+		if n > 0 {
+			c.sh.profile.ObserveSince(profiling.StageRead, readStart)
+			lease.SetLen(n)
+			c.sh.profile.BytesRead(n)
+			c.touch()
+			punted = c.processChunkDirect(lease.Bytes())
+		}
+		lease.Release()
+		if punted {
+			return true
+		}
+		if again {
+			return false
+		}
+		if err != nil || n == 0 {
+			if err == nil || errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) || c.closed.Load() {
+				c.teardown(nil)
+			} else {
+				c.teardown(err)
+			}
+			return false
+		}
+	}
+}
+
+// processChunkDirect is processChunk with each decoded request first
+// offered to the FastPath hook. The first declined request punts this
+// request and the rest of the drain to the event queue; the report is
+// true in that case. Direct mode requires a codec (the hook consumes
+// decoded requests), which Server.directDispatch guarantees.
+func (c *Conn) processChunkDirect(chunk []byte) (punted bool) {
+	c.pipeMu.Lock()
+	defer c.pipeMu.Unlock()
+	if c.closed.Load() {
+		return false
+	}
+	if max := c.srv.opts.MaxRequestBytes; max > 0 && len(c.inbuf)+len(chunk) > max {
+		c.srv.trace.Record("communicator", "request cap exceeded on %d (%d bytes)",
+			c.handle, len(c.inbuf)+len(chunk))
+		c.teardown(ErrRequestTooLarge)
+		return false
+	}
+	c.inbuf = append(c.inbuf, chunk...)
+	for {
+		decStart := c.sh.profile.StageStart()
+		req, n, err := c.decodeSafe()
+		c.sh.profile.ObserveSince(profiling.StageDecode, decStart)
+		if n > 0 {
+			c.inbuf = c.inbuf[n:]
+			if !c.srv.tryFastHandle(c, req) {
+				c.puntLocked(req)
+				return true
+			}
+		}
+		if err != nil {
+			c.srv.trace.Record("communicator", "decode error on %d: %v", c.handle, err)
+			c.teardown(err)
+			return false
+		}
+		if n == 0 || len(c.inbuf) == 0 {
+			if len(c.inbuf) == 0 {
+				c.reqStart.Store(0)
+			} else if c.reqStart.Load() == 0 {
+				c.reqStart.Store(time.Now().UnixNano())
+			}
+			return false
+		}
+	}
+}
+
+// puntLocked hands a declined request and the rest of the direct drain
+// to the shard's event queue. Poll ownership stays claimed (pollState is
+// left at pollDraining/pollRearm) so no concurrent drain can touch the
+// pipeline before the continuation runs. The caller holds pipeMu.
+func (c *Conn) puntLocked(req any) {
+	err := c.sh.reactive.Submit(events.PFunc{
+		P: c.Priority(),
+		F: func() { c.resumePunted(req) },
+	})
+	if err != nil {
+		// The queue refused the continuation (shutdown or a hard shed):
+		// the request can never be processed, and silently dropping a
+		// decoded pipelined request would desynchronize the connection.
+		c.srv.trace.Record("communicator", "direct-drain punt refused on %d: %v", c.handle, err)
+		c.teardown(err)
+		c.pollState.Store(pollArmed)
+	}
+}
+
+// resumePunted continues a punted direct drain on an Event Processor
+// worker: the declined request runs through the normal Handle path, the
+// remaining buffered requests decode and dispatch as usual, and the
+// socket drain resumes in queued mode — whose completion releases poll
+// ownership and collects any readiness edges that landed meanwhile.
+func (c *Conn) resumePunted(req any) {
+	c.pipeMu.Lock()
+	if !c.closed.Load() {
+		c.srv.handleRequest(c, req)
+		c.decodeLoopLocked()
+	}
+	c.pipeMu.Unlock()
+	c.drainUntilBlocked()
 }
 
 // RequestPendingFor returns how long the current partially assembled

@@ -67,6 +67,24 @@ type Config struct {
 	// the default (every 128th); 1 traces every request. Only effective
 	// when Options.Logging is on and a Logger is supplied.
 	TraceSampleEvery int
+	// FastPath is the application's run-to-completion hook
+	// (Options.DirectDispatch): called inline from the reactor goroutine
+	// for each request decoded during a direct-mode drain, it must either
+	// serve the request completely — using only non-blocking machinery
+	// (Conn.SendBuffers on a polled connection parks residuals) — and
+	// return true, or touch nothing and return false, in which case the
+	// request is punted to the event queue and handled exactly as without
+	// the option. Required for DirectDispatch to activate; the option also
+	// needs the kernel-event read path, a codec and a separate thread
+	// pool at runtime, and falls back to the queued path wherever any of
+	// those is missing.
+	FastPath func(c *Conn, req any) bool
+	// CacheOnRemove, when non-nil, is installed as the file cache's
+	// removal hook (cache.Config.OnRemove): it is called with each key
+	// whose bytes leave the cache — evictions, Remove, Put-replace — so
+	// derived caches (the application's rendered-response cache) can
+	// invalidate in lockstep. Ignored when no cache policy is selected.
+	CacheOnRemove func(key string)
 }
 
 // defaultTraceSampleEvery is the O12 sampling interval when the
@@ -168,6 +186,14 @@ type Server struct {
 	// Options.EventDriven on a platform with a poller, with every shard's
 	// epoll instance successfully created.
 	eventDriven bool
+
+	// directDispatch records whether the run-to-completion fast path is
+	// active: Options.DirectDispatch with the whole substrate present —
+	// kernel-event reads (inline drains start from the poller), a codec
+	// (the hook consumes decoded requests), a separate worker pool
+	// (declined requests punt to its queue) and the FastPath hook.
+	directDispatch bool
+	fastPath       func(c *Conn, req any) bool
 }
 
 // eventDrivenSweep forces Options.EventDriven on at assembly time. It is
@@ -181,6 +207,12 @@ var eventDrivenSweep = os.Getenv("NSERVER_EVENT_DRIVEN") == "1"
 // O9 suites over the adaptive limiter (the watermark backstop keeps the
 // static gate's guarantees intact). Set by NSERVER_ADAPTIVE_SHED=1.
 var adaptiveShedSweep = os.Getenv("NSERVER_ADAPTIVE_SHED") == "1"
+
+// directDispatchSweep forces Options.DirectDispatch (and its EventDriven
+// prerequisite) on at assembly time, so `make test` and `make model` can
+// run every suite over the run-to-completion fast path without
+// duplicating test bodies. Set by NSERVER_DIRECT_DISPATCH=1.
+var directDispatchSweep = os.Getenv("NSERVER_DIRECT_DISPATCH") == "1"
 
 // New validates the configuration and assembles (but does not start) a
 // server — the library analogue of template instantiation: every
@@ -205,6 +237,10 @@ func New(cfg Config) (*Server, error) {
 	}
 	if adaptiveShedSweep && o.OverloadControl {
 		o.AdaptiveShed = true
+	}
+	if directDispatchSweep {
+		o.EventDriven = true
+		o.DirectDispatch = true
 	}
 	nShards := o.ResolveShards(runtime.NumCPU())
 	o.Shards = nShards
@@ -356,6 +392,14 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 
+	// Run-to-completion fast path: only active when its whole substrate
+	// is (see the directDispatch field doc); anywhere short of that the
+	// option degrades to the queued path, exactly as EventDriven degrades
+	// to goroutine reads without a poller.
+	s.fastPath = cfg.FastPath
+	s.directDispatch = o.DirectDispatch && s.eventDriven &&
+		s.codec != nil && o.SeparateThreadPool && s.fastPath != nil
+
 	// Bounded work stealing between the shard queues: only wired when
 	// more than one shard exists, so the single-shard worker loop stays
 	// the pre-sharding one.
@@ -381,6 +425,7 @@ func New(cfg Config) (*Server, error) {
 			// Large files stream from descriptors; admitting them would
 			// only evict the hot set on the way through.
 			MaxEntryBytes: o.LargeFileThreshold,
+			OnRemove:      cfg.CacheOnRemove,
 		})
 		if err != nil {
 			return nil, err
@@ -573,6 +618,10 @@ func (s *Server) ActiveConns() int {
 // connections may still use the goroutine read path when their transport
 // exposes no raw descriptor.
 func (s *Server) EventDriven() bool { return s.eventDriven }
+
+// DirectDispatch reports whether the run-to-completion fast path is
+// active (Options.DirectDispatch with every runtime prerequisite met).
+func (s *Server) DirectDispatch() bool { return s.directDispatch }
 
 // ParkedConns returns the number of connections currently resident in the
 // shard epoll tables — event-driven connections parked without a reader
@@ -781,6 +830,10 @@ func (s *Server) startRuntime() {
 	}
 	// The per-shard kernel drain loops: each batches readiness from its
 	// epoll instance into the shard's event queue as PollReady events.
+	// With DirectDispatch active and the O9 gate clear, readable edges
+	// drain inline on this goroutine instead — the run-to-completion fast
+	// path — falling back per request to the queued path the moment a
+	// drain meets anything it cannot finish non-blockingly.
 	for _, sh := range s.shards {
 		if sh.poller == nil {
 			continue
@@ -792,6 +845,11 @@ func (s *Server) startRuntime() {
 				// An EPOLLOUT edge: the socket drained below its buffer
 				// mark and parked outbound bytes can flush.
 				typ = reactor.WriteReady
+			} else if s.directDispatch && s.fastGateClear() {
+				if c := sh.conn(h); c != nil {
+					c.pollDrainDirect()
+					return
+				}
 			}
 			_ = sh.reactor.Source().Emit(reactor.Ready{
 				Type:   typ,
@@ -910,6 +968,30 @@ func (s *Server) attach(sh *shard, nc net.Conn) {
 	go c.readLoop()
 }
 
+// conn returns the shard's connection for a handle (nil when already
+// detached).
+func (sh *shard) conn(h reactor.Handle) *Conn {
+	sh.mu.Lock()
+	c := sh.conns[h]
+	sh.mu.Unlock()
+	return c
+}
+
+// fastGateClear reports whether the O9 gate permits the fast path:
+// during overload every request must ride the event queue, where the
+// admission limiter's queue-wait samples and the watermark controller's
+// depth checks can see it. Eliding the queue under load would starve the
+// very signal the shed decision feeds on.
+func (s *Server) fastGateClear() bool {
+	if s.limiter != nil && s.limiter.Engaged() {
+		return false
+	}
+	if s.overload != nil && !s.overload.AcceptAllowed() {
+		return false
+	}
+	return true
+}
+
 // detach removes a finished connection from its shard.
 func (s *Server) detach(c *Conn) {
 	sh := c.sh
@@ -938,6 +1020,34 @@ func (s *Server) handleRequest(c *Conn, req any) {
 	c.sh.profile.RequestServed(d)
 	c.sh.profile.ObserveStage(profiling.StageHandle, d)
 	s.reqTrace.Sample(c.id, rid, d)
+}
+
+// tryFastHandle runs the application's FastPath hook for one decoded
+// request, with panic isolation. It reports whether the request was
+// consumed: true means it was served inline (or the hook panicked and
+// the connection is torn down — the request must not be retried after a
+// possibly partial write); false means the hook touched nothing and the
+// request belongs to the queued path. A successful fast serve lands in
+// the same request counters and Handle-stage histogram as the queued
+// path, plus the direct-dispatch counter.
+func (s *Server) tryFastHandle(c *Conn, req any) (consumed bool) {
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			consumed = true
+			s.trace.Record("server", "fast-path panic on %d (%s): %v", c.handle, c.RequestID(), r)
+			c.teardown(fmt.Errorf("nserver: fast-path panic: %v", r))
+		}
+	}()
+	if !s.fastPath(c, req) {
+		return false
+	}
+	d := time.Since(start)
+	c.sh.profile.RequestServed(d)
+	c.sh.profile.ObserveStage(profiling.StageHandle, d)
+	c.sh.profile.DirectDispatched()
+	s.reqTrace.Sample(c.id, c.reqs.Load(), d)
+	return true
 }
 
 // encode runs the Encode Reply step with panic isolation: a buggy Encode

@@ -107,6 +107,7 @@ func (p *Profile) addInto(agg *Snapshot) uint64 {
 	agg.Responses206 += s.Responses206
 	agg.Responses416 += s.Responses416
 	agg.OutboundShed += s.OutboundShed
+	agg.DirectDispatched += s.DirectDispatched
 	return p.serviceNanos.Load()
 }
 

@@ -55,6 +55,10 @@ type Profile struct {
 	// latency of each parked reply residual.
 	outboundShed atomic.Uint64
 	flushLatency Histogram
+	// directDispatched counts requests served run-to-completion on the
+	// reactor goroutine (Options.DirectDispatch), a subset of
+	// requestsServed: the event-queue hop was elided for these.
+	directDispatched atomic.Uint64
 	// stageSeen drives the 1-in-StageSampleEvery lattice of StageStart.
 	stageSeen atomic.Uint64
 }
@@ -180,6 +184,14 @@ func (p *Profile) RangeUnsatisfiable() {
 	}
 }
 
+// DirectDispatched counts one request served run-to-completion on the
+// reactor goroutine (the event-queue hop elided).
+func (p *Profile) DirectDispatched() {
+	if p != nil {
+		p.directDispatched.Add(1)
+	}
+}
+
 // OutboundShed counts one connection torn down because its parked
 // outbound queue exceeded the per-connection memory cap.
 func (p *Profile) OutboundShed() {
@@ -224,6 +236,7 @@ type Snapshot struct {
 	Responses206        uint64
 	Responses416        uint64
 	OutboundShed        uint64
+	DirectDispatched    uint64
 	MeanServiceTime     time.Duration
 }
 
@@ -259,6 +272,7 @@ func (p *Profile) Snapshot() Snapshot {
 		Responses206:        p.responses206.Load(),
 		Responses416:        p.responses416.Load(),
 		OutboundShed:        p.outboundShed.Load(),
+		DirectDispatched:    p.directDispatched.Load(),
 	}
 	if s.RequestsServed > 0 {
 		s.MeanServiceTime = time.Duration(p.serviceNanos.Load() / s.RequestsServed)

@@ -1,0 +1,167 @@
+package respcache
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/httpproto"
+)
+
+// renderHead builds a realistic cached-GET head the way copshttp does.
+func renderHead(body []byte, modTime time.Time) []byte {
+	resp := &httpproto.Response{
+		Status:  200,
+		Proto:   "HTTP/1.1",
+		Headers: httpproto.NewHeader(),
+		Body:    body,
+	}
+	resp.Headers.Set("Content-Type", "text/html")
+	resp.Headers.Set("Accept-Ranges", "bytes")
+	resp.Headers.Set("Last-Modified", httpproto.FormatHTTPDate(modTime))
+	return httpproto.AppendResponseHead(nil, resp)
+}
+
+func TestStoreLookupRoundTrip(t *testing.T) {
+	c := New(4, time.Second)
+	body := []byte("<html>hot document</html>")
+	mt := time.Date(2005, 4, 4, 12, 0, 0, 0, time.UTC)
+	now := time.Now()
+	c.storeAt("/index.html", renderHead(body, mt), body, mt, int64(len(body)), now)
+
+	head, got, ok := c.lookupAt("/index.html", now)
+	if !ok {
+		t.Fatal("fresh entry did not hit")
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatalf("body mismatch: %q", got)
+	}
+	want := renderHead(body, mt)
+	// The stored head's Date was patched to now; normalize before diffing.
+	i := bytes.Index(want, datePrefix) + len(datePrefix)
+	copy(want[i:i+dateLen], httpproto.FormatHTTPDate(now))
+	if !bytes.Equal(head, want) {
+		t.Fatalf("head mismatch:\n got %q\nwant %q", head, want)
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestDateCrossesSecondBoundary is the wire-equality audit of the cached
+// Date rendering: an entry rendered at second T must serve Date: T+1 at
+// second T+1, with every other head byte frozen.
+func TestDateCrossesSecondBoundary(t *testing.T) {
+	c := New(1, time.Hour) // wide window: only the Date may move
+	body := []byte("payload")
+	mt := time.Date(2005, 4, 4, 12, 0, 0, 0, time.UTC)
+	t0 := time.Date(2026, 8, 8, 9, 30, 15, 100e6, time.UTC)
+	c.storeAt("/doc", renderHead(body, mt), body, mt, int64(len(body)), t0)
+
+	headAtT0, _, ok := c.lookupAt("/doc", t0)
+	if !ok {
+		t.Fatal("miss at T")
+	}
+	wantDate := []byte(httpproto.FormatHTTPDate(t0))
+	if !bytes.Contains(headAtT0, append(append([]byte(nil), datePrefix...), wantDate...)) {
+		t.Fatalf("head at T does not carry Date %q:\n%q", wantDate, headAtT0)
+	}
+
+	t1 := t0.Add(time.Second) // crosses the wall-clock second boundary
+	headAtT1, _, ok := c.lookupAt("/doc", t1)
+	if !ok {
+		t.Fatal("miss at T+1")
+	}
+	// Wire equality: the two heads must differ in exactly the 29 Date
+	// bytes and nowhere else.
+	if len(headAtT0) != len(headAtT1) {
+		t.Fatalf("head length changed across the boundary: %d vs %d", len(headAtT0), len(headAtT1))
+	}
+	off := bytes.Index(headAtT0, datePrefix) + len(datePrefix)
+	if got, want := string(headAtT1[off:off+dateLen]), httpproto.FormatHTTPDate(t1); got != want {
+		t.Fatalf("Date at T+1 = %q, want %q (stale cached date served across a second boundary)", got, want)
+	}
+	if !bytes.Equal(headAtT0[:off], headAtT1[:off]) || !bytes.Equal(headAtT0[off+dateLen:], headAtT1[off+dateLen:]) {
+		t.Fatalf("non-Date bytes changed across the boundary:\n T  %q\n T1 %q", headAtT0, headAtT1)
+	}
+
+	// Within one second the image is shared, not re-copied.
+	again, _, _ := c.lookupAt("/doc", t1.Add(200*time.Millisecond))
+	if &again[0] != &headAtT1[0] {
+		t.Fatal("same-second lookups did not share one head image")
+	}
+}
+
+func TestRevalidateWindow(t *testing.T) {
+	c := New(2, 50*time.Millisecond)
+	body := []byte("x")
+	mt := time.Unix(1_000_000, 0)
+	now := time.Now()
+	c.storeAt("/a", renderHead(body, mt), body, mt, 1, now)
+
+	if _, _, ok := c.lookupAt("/a", now.Add(40*time.Millisecond)); !ok {
+		t.Fatal("entry inside the window missed")
+	}
+	if _, _, ok := c.lookupAt("/a", now.Add(60*time.Millisecond)); ok {
+		t.Fatal("entry outside the window served without revalidation")
+	}
+	if st := c.Stats(); st.Stale != 1 {
+		t.Fatalf("stale count = %d, want 1", st.Stale)
+	}
+
+	// A confirming stat with matching metadata restarts the window.
+	if dropped := c.Confirm("/a", mt, 1); dropped {
+		t.Fatal("matching Confirm dropped the entry")
+	}
+	if _, _, ok := c.Lookup("/a"); !ok {
+		t.Fatal("confirmed entry missed")
+	}
+
+	// A mismatching stat drops the entry and tells the caller to drop
+	// the file-cache bytes too.
+	if dropped := c.Confirm("/a", mt.Add(time.Second), 1); !dropped {
+		t.Fatal("mismatching Confirm kept the entry")
+	}
+	if _, _, ok := c.Lookup("/a"); ok {
+		t.Fatal("dropped entry still served")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(1, time.Second)
+	body := []byte("x")
+	mt := time.Unix(1, 0)
+	c.Store("/a", renderHead(body, mt), body, mt, 1)
+	c.Invalidate("/a")
+	if _, _, ok := c.Lookup("/a"); ok {
+		t.Fatal("invalidated entry still served")
+	}
+	c.Invalidate("/missing") // no-op, no counter bump
+	if st := c.Stats(); st.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", st.Invalidations)
+	}
+}
+
+func TestHeadWithoutDateNotStored(t *testing.T) {
+	c := New(1, time.Second)
+	c.Store("/a", []byte("HTTP/1.1 200 OK\r\n\r\n"), []byte("x"), time.Unix(1, 0), 1)
+	if c.Len() != 0 {
+		t.Fatal("dateless head was stored")
+	}
+}
+
+func TestSameSecondLookupAllocFree(t *testing.T) {
+	c := New(4, time.Hour)
+	body := make([]byte, 16<<10)
+	mt := time.Unix(1_000_000, 0)
+	now := time.Now()
+	c.storeAt("/hot", renderHead(body, mt), body, mt, int64(len(body)), now)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, _, ok := c.lookupAt("/hot", now); !ok {
+			t.Fatal("hot entry missed")
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("same-second lookup allocates: %.1f allocs/op", allocs)
+	}
+}
